@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) backing the paper's section 3.2
+ * complexity claims: the partitioner is O(n^3) worst case but
+ * converges after only a few Kernighan-Lin iterations in practice,
+ * and its runtime is far below modulo scheduling's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/depgraph.hh"
+#include "core/partition.hh"
+#include "machine/machine.hh"
+#include "pipeline/lowering.hh"
+#include "pipeline/modsched.hh"
+#include "workloads/generator.hh"
+
+namespace
+{
+
+using namespace selvec;
+
+GeneratedLoop
+loopOfSize(int target_ops)
+{
+    Rng rng(0x5EED0000u + static_cast<uint64_t>(target_ops));
+    GeneratorOptions options;
+    options.minOps = target_ops;
+    options.maxOps = target_ops;
+    return generateLoop(rng, options);
+}
+
+void
+BM_Partition(benchmark::State &state)
+{
+    GeneratedLoop g = loopOfSize(static_cast<int>(state.range(0)));
+    Machine machine = paperMachine();
+    DepGraph graph(g.module.arrays, g.loop(), machine);
+    VectAnalysis va = analyzeVectorizable(g.loop(), graph, machine);
+
+    int iterations = 0;
+    for (auto _ : state) {
+        PartitionResult pr = partitionOps(g.loop(), va, machine);
+        iterations = pr.iterations;
+        benchmark::DoNotOptimize(pr.bestCost);
+    }
+    state.counters["ops"] =
+        static_cast<double>(g.loop().numOps());
+    state.counters["kl_iterations"] = iterations;
+}
+BENCHMARK(BM_Partition)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_ModuloSchedule(benchmark::State &state)
+{
+    GeneratedLoop g = loopOfSize(static_cast<int>(state.range(0)));
+    Machine machine = paperMachine();
+    Loop lowered = lowerForScheduling(g.loop(), machine);
+    DepGraph graph(g.module.arrays, lowered, machine);
+
+    for (auto _ : state) {
+        ScheduleResult sr = moduloSchedule(lowered, graph, machine);
+        benchmark::DoNotOptimize(sr.schedule.ii);
+    }
+    state.counters["ops"] = static_cast<double>(lowered.numOps());
+}
+BENCHMARK(BM_ModuloSchedule)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_DependenceAnalysis(benchmark::State &state)
+{
+    GeneratedLoop g = loopOfSize(static_cast<int>(state.range(0)));
+    Machine machine = paperMachine();
+    for (auto _ : state) {
+        DepGraph graph(g.module.arrays, g.loop(), machine);
+        benchmark::DoNotOptimize(graph.edges().size());
+    }
+}
+BENCHMARK(BM_DependenceAnalysis)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_BinPack(benchmark::State &state)
+{
+    GeneratedLoop g = loopOfSize(static_cast<int>(state.range(0)));
+    Machine machine = paperMachine();
+    std::vector<Opcode> opcodes;
+    for (const Operation &op : g.loop().ops)
+        opcodes.push_back(op.opcode);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(packedHighWater(machine, opcodes));
+}
+BENCHMARK(BM_BinPack)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_TestRepartition(benchmark::State &state)
+{
+    // The incremental TEST-REPARTITION probe, the partitioner's inner
+    // loop body (the reason the full O(n) bin-pack per move is
+    // avoided).
+    GeneratedLoop g = loopOfSize(static_cast<int>(state.range(0)));
+    Machine machine = paperMachine();
+    DepGraph graph(g.module.arrays, g.loop(), machine);
+    VectAnalysis va = analyzeVectorizable(g.loop(), graph, machine);
+    PartitionCostModel model(g.loop(), va, machine);
+
+    OpId candidate = 0;
+    for (OpId op = 0; op < g.loop().numOps(); ++op) {
+        if (va.vectorizable[static_cast<size_t>(op)])
+            candidate = op;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.testSwitch(candidate));
+}
+BENCHMARK(BM_TestRepartition)->Arg(16)->Arg(64)->Arg(128);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#include "analysis/depgraph.hh"
+
+#include "analysis/memdep.hh"
+#include "ir/defuse.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+DepGraph::DepGraph(const ArrayTable &arrays, const Loop &loop,
+                   const Machine &machine)
+    : nOps(loop.numOps()),
+      outList(static_cast<size_t>(loop.numOps())),
+      inList(static_cast<size_t>(loop.numOps()))
+{
+    // The array table is part of the analysis contract (refs name its
+    // arrays); the current tests need only the reference fields.
+    static_cast<void>(arrays);
+
+    DefUse du(loop);
+
+    // Register flow within one iteration.
+    for (OpId use = 0; use < nOps; ++use) {
+        for (ValueId src : loop.op(use).srcs) {
+            if (src == kNoValue)
+                continue;
+            OpId def = du.defOp(src);
+            if (def == kNoOp)
+                continue;
+            addEdge(DepEdge{def, use, machine.latency(loop.op(def).opcode),
+                            0, DepKind::RegFlow});
+        }
+    }
+
+    // Loop-carried register flow: update def -> carried-in uses.
+    for (const CarriedValue &cv : loop.carried) {
+        OpId def = du.defOp(cv.update);
+        if (def == kNoOp)
+            continue;   // update is itself external; no recurrence
+        for (OpId use : du.uses(cv.in)) {
+            addEdge(DepEdge{def, use,
+                            machine.latency(loop.op(def).opcode), 1,
+                            DepKind::RegCarried});
+        }
+    }
+
+    // Early-exit control: no store may issue before the exit tests
+    // that could suppress it have resolved. Same-body order comes
+    // from the distance-0 edge (program-order-later stores); stores
+    // of subsequent iterations from the distance-1 edge.
+    for (OpId e = 0; e < nOps; ++e) {
+        if (loop.op(e).opcode != Opcode::ExitIf)
+            continue;
+        int lat = machine.latency(Opcode::ExitIf);
+        for (OpId s = 0; s < nOps; ++s) {
+            if (!loop.op(s).isStore())
+                continue;
+            if (s > e)
+                addEdge(DepEdge{e, s, lat, 0, DepKind::Mem});
+            addEdge(DepEdge{e, s, lat, 1, DepKind::Mem});
+        }
+    }
+
+    // Memory dependences.
+    auto access = [&](const Operation &op) {
+        int width = op.isVector() ? machine.vectorLength : 1;
+        return MemAccess{op.ref, width};
+    };
+
+    for (OpId a = 0; a < nOps; ++a) {
+        const Operation &opa = loop.op(a);
+        if (!opa.isMemory())
+            continue;
+        for (OpId b = a; b < nOps; ++b) {
+            const Operation &opb = loop.op(b);
+            if (!opb.isMemory())
+                continue;
+            if (!opa.isStore() && !opb.isStore())
+                continue;
+            if (opa.ref.array != opb.ref.array)
+                continue;   // distinct arrays never alias
+
+            MemDepResult dep = testMemDep(access(opa), access(opb));
+            if (dep.independent)
+                continue;
+
+            if (dep.unknown) {
+                unknownMemDeps = true;
+                if (a != b) {
+                    addEdge(DepEdge{a, b, 1, 0, DepKind::Mem, true});
+                    addEdge(DepEdge{b, a, 1, 1, DepKind::Mem, true});
+                } else {
+                    addEdge(DepEdge{a, a, 1, 1, DepKind::Mem, true});
+                }
+                continue;
+            }
+
+            for (int64_t d : dep.distances) {
+                if (d == 0) {
+                    if (a != b)
+                        addEdge(DepEdge{a, b, 1, 0, DepKind::Mem});
+                    // Same op, same iteration: no constraint.
+                } else if (d > 0) {
+                    // a (iteration j) before b (iteration j + d).
+                    addEdge(DepEdge{a, b, 1, static_cast<int>(d),
+                                    DepKind::Mem});
+                } else {
+                    // b (iteration j) before a (iteration j + |d|).
+                    addEdge(DepEdge{b, a, 1, static_cast<int>(-d),
+                                    DepKind::Mem});
+                }
+            }
+        }
+    }
+}
+
+void
+DepGraph::addEdge(DepEdge e)
+{
+    SV_ASSERT(e.src >= 0 && e.src < nOps && e.dst >= 0 && e.dst < nOps,
+              "bad dependence edge %d -> %d", e.src, e.dst);
+    SV_ASSERT(e.distance >= 0, "negative dependence distance");
+    SV_ASSERT(e.distance > 0 || e.src != e.dst,
+              "distance-0 self dependence on op %d", e.src);
+    int idx = static_cast<int>(edgeList.size());
+    edgeList.push_back(e);
+    outList[static_cast<size_t>(e.src)].push_back(idx);
+    inList[static_cast<size_t>(e.dst)].push_back(idx);
+}
+
+const std::vector<int> &
+DepGraph::outEdges(OpId op) const
+{
+    SV_ASSERT(op >= 0 && op < nOps, "bad op id %d", op);
+    return outList[static_cast<size_t>(op)];
+}
+
+const std::vector<int> &
+DepGraph::inEdges(OpId op) const
+{
+    SV_ASSERT(op >= 0 && op < nOps, "bad op id %d", op);
+    return inList[static_cast<size_t>(op)];
+}
+
+} // namespace selvec

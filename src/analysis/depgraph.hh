@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The data dependence graph of one loop body.
+ *
+ * Nodes are the loop's operations; edges carry a latency (cycles the
+ * consumer must trail the producer) and an iteration distance (0 for
+ * same-iteration dependences). In modulo-scheduling terms an edge
+ * imposes  sched(dst) + II*distance >= sched(src) + latency.
+ *
+ * Three edge families:
+ *  - RegFlow: SSA def -> use inside one iteration (latency = producer
+ *    latency on the target machine, distance 0);
+ *  - RegCarried: the def of a carried value's update -> every use of
+ *    the carried-in value, distance 1 (reductions and recurrences);
+ *  - Mem: ordering between same-array references where at least one
+ *    stores, from memory dependence analysis. Statically unresolvable
+ *    pairs produce a serializing edge cycle (distance-0 forward edge
+ *    plus distance-1 backward edge).
+ *
+ * Register anti- and output-dependences are not modeled: the target
+ * has rotating registers (or modulo variable expansion), which the
+ * paper relies on as well.
+ */
+
+#ifndef SELVEC_ANALYSIS_DEPGRAPH_HH
+#define SELVEC_ANALYSIS_DEPGRAPH_HH
+
+#include <vector>
+
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+enum class DepKind : uint8_t { RegFlow, RegCarried, Mem };
+
+struct DepEdge
+{
+    OpId src;
+    OpId dst;
+    int latency;
+    int distance;
+    DepKind kind;
+
+    /** Set on edges synthesized for statically unknown memory
+     *  dependences. */
+    bool serializing = false;
+};
+
+class DepGraph
+{
+  public:
+    DepGraph(const ArrayTable &arrays, const Loop &loop,
+             const Machine &machine);
+
+    int numOps() const { return nOps; }
+
+    const std::vector<DepEdge> &edges() const { return edgeList; }
+
+    /** Indices into edges() with the given source. */
+    const std::vector<int> &outEdges(OpId op) const;
+
+    /** Indices into edges() with the given destination. */
+    const std::vector<int> &inEdges(OpId op) const;
+
+    /** True if any memory pair was conservatively serialized. */
+    bool hasUnknownMemDeps() const { return unknownMemDeps; }
+
+  private:
+    void addEdge(DepEdge e);
+
+    int nOps;
+    bool unknownMemDeps = false;
+    std::vector<DepEdge> edgeList;
+    std::vector<std::vector<int>> outList;
+    std::vector<std::vector<int>> inList;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_ANALYSIS_DEPGRAPH_HH

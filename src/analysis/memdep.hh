@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory dependence testing between affine array references.
+ *
+ * Classic array dependence analysis in the Allen/Kennedy tradition,
+ * specialized to the single-loop, single-subscript form of the SelVec
+ * IR: an access touches elements `scale*j + offset .. + width-1` of a
+ * named array (width > 1 for vector accesses). Distinct arrays never
+ * alias (Fortran semantics; the paper's benchmarks are Fortran).
+ *
+ * The test answers: for which iteration distances d >= 0 can the two
+ * references touch the same element? Three outcomes:
+ *   - independent;
+ *   - a small set of exact distances (equal coefficients — the strong
+ *     SIV case, extended to ranges by the access widths);
+ *   - dependent at unknown distances (coefficient mismatch where the
+ *     GCD/range test cannot refute — treated conservatively as a
+ *     dependence cycle, which also covers loop-invariant references).
+ */
+
+#ifndef SELVEC_ANALYSIS_MEMDEP_HH
+#define SELVEC_ANALYSIS_MEMDEP_HH
+
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace selvec
+{
+
+/** One memory access: an affine reference plus its width in elements. */
+struct MemAccess
+{
+    AffineRef ref;
+    int width = 1;
+};
+
+/** Result of a dependence test between two accesses A and B. */
+struct MemDepResult
+{
+    /** No common element for any iteration pair: independent. */
+    bool independent = true;
+
+    /**
+     * Dependence at statically unknown distances. When set, treat the
+     * pair as dependent in both directions at every distance.
+     */
+    bool unknown = false;
+
+    /**
+     * Exact dependence distances. An entry d means: iteration j of A
+     * and iteration j + d of B access a common element (A executes
+     * first when d > 0). Negative d: iteration j of B and j + (-d) of
+     * A overlap (B executes first across iterations). d == 0 is a
+     * same-iteration overlap.
+     */
+    std::vector<int64_t> distances;
+};
+
+/**
+ * Dependence test between two accesses to the same array. The caller
+ * must have established ref.array equality; the test is symmetric in
+ * program order (directions are encoded in the sign of distances).
+ *
+ * @param a first access (program-order earlier op)
+ * @param b second access
+ * @param max_distance distances with |d| above this are dropped (they
+ *        cannot constrain any schedule or vectorization decision for
+ *        realistic vector lengths and IIs)
+ */
+MemDepResult testMemDep(const MemAccess &a, const MemAccess &b,
+                        int64_t max_distance = 64);
+
+} // namespace selvec
+
+#endif // SELVEC_ANALYSIS_MEMDEP_HH

@@ -1,0 +1,77 @@
+#include "analysis/recmii.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+bool
+recurrencesAdmit(const DepGraph &graph, int64_t ii)
+{
+    constexpr int64_t ninf = INT64_MIN / 4;
+    size_t n = static_cast<size_t>(graph.numOps());
+    if (n == 0)
+        return true;
+
+    std::vector<std::vector<int64_t>> d(n,
+                                        std::vector<int64_t>(n, ninf));
+    for (const DepEdge &e : graph.edges()) {
+        int64_t w = e.latency - ii * e.distance;
+        auto &cell = d[static_cast<size_t>(e.src)]
+                      [static_cast<size_t>(e.dst)];
+        cell = std::max(cell, w);
+    }
+    for (size_t via = 0; via < n; ++via) {
+        for (size_t i = 0; i < n; ++i) {
+            if (d[i][via] == ninf)
+                continue;
+            for (size_t j = 0; j < n; ++j) {
+                if (d[via][j] == ninf)
+                    continue;
+                int64_t cand = d[i][via] + d[via][j];
+                // Clamp so repeated positive cycles cannot overflow.
+                cand = std::min(cand, INT64_MAX / 8);
+                if (cand > d[i][j])
+                    d[i][j] = cand;
+            }
+        }
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (d[i][i] > 0)
+            return false;
+    }
+    return true;
+}
+
+int64_t
+computeRecMii(const DepGraph &graph)
+{
+    int64_t hi = 1;
+    bool any_cycle_possible = false;
+    for (const DepEdge &e : graph.edges()) {
+        hi += std::max<int64_t>(e.latency, 0);
+        if (e.distance > 0)
+            any_cycle_possible = true;
+    }
+    if (!any_cycle_possible)
+        return 1;
+
+    SV_ASSERT(recurrencesAdmit(graph, hi),
+              "RecMII upper bound %lld infeasible",
+              static_cast<long long>(hi));
+
+    int64_t lo = 1;
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if (recurrencesAdmit(graph, mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+} // namespace selvec

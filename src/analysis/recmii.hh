@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Recurrence-constrained minimum initiation interval.
+ *
+ * RecMII = max over dependence cycles C of
+ *            ceil( sum of latencies around C / sum of distances around C ).
+ *
+ * Computed by binary search on the candidate II: an II is feasible iff
+ * the graph with edge weights (latency - II * distance) has no positive
+ * cycle, checked with Floyd-Warshall longest paths. Loop bodies are
+ * small, so the O(n^3 log L) cost is negligible next to scheduling.
+ */
+
+#ifndef SELVEC_ANALYSIS_RECMII_HH
+#define SELVEC_ANALYSIS_RECMII_HH
+
+#include <cstdint>
+
+#include "analysis/depgraph.hh"
+
+namespace selvec
+{
+
+/** Compute the RecMII of a dependence graph (>= 1). */
+int64_t computeRecMii(const DepGraph &graph);
+
+/**
+ * True if the dependence constraints admit initiation interval `ii`
+ * (no positive cycle under weights latency - ii*distance).
+ */
+bool recurrencesAdmit(const DepGraph &graph, int64_t ii);
+
+} // namespace selvec
+
+#endif // SELVEC_ANALYSIS_RECMII_HH

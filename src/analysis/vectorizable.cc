@@ -1,0 +1,232 @@
+#include "analysis/vectorizable.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/defuse.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/**
+ * Minimum total distance around any cycle inside one component, by
+ * Floyd-Warshall over the component's edges with distance weights.
+ * Components are small (a handful of ops), so O(k^3) is immaterial.
+ */
+int64_t
+minCycleDistance(const std::vector<int> &members,
+                 const DepGraph &graph)
+{
+    constexpr int64_t inf = std::numeric_limits<int64_t>::max() / 4;
+    size_t k = members.size();
+    std::vector<int> local(static_cast<size_t>(graph.numOps()), -1);
+    for (size_t i = 0; i < k; ++i)
+        local[static_cast<size_t>(members[i])] = static_cast<int>(i);
+
+    std::vector<std::vector<int64_t>> d(k, std::vector<int64_t>(k, inf));
+    for (int m : members) {
+        for (int ei : graph.outEdges(m)) {
+            const DepEdge &e = graph.edges()[static_cast<size_t>(ei)];
+            int li = local[static_cast<size_t>(e.src)];
+            int lj = local[static_cast<size_t>(e.dst)];
+            if (lj < 0)
+                continue;   // edge leaves the component
+            d[static_cast<size_t>(li)][static_cast<size_t>(lj)] =
+                std::min(d[static_cast<size_t>(li)]
+                          [static_cast<size_t>(lj)],
+                         static_cast<int64_t>(e.distance));
+        }
+    }
+    for (size_t via = 0; via < k; ++via) {
+        for (size_t i = 0; i < k; ++i) {
+            for (size_t j = 0; j < k; ++j) {
+                if (d[i][via] + d[via][j] < d[i][j])
+                    d[i][j] = d[i][via] + d[via][j];
+            }
+        }
+    }
+    int64_t best = inf;
+    for (size_t i = 0; i < k; ++i)
+        best = std::min(best, d[i][i]);
+    return best >= inf ? std::numeric_limits<int64_t>::max() : best;
+}
+
+/** Opcodes whose reduction cycles are associative and commutative. */
+bool
+isAssociativeReduction(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd: case Opcode::IMul:
+      case Opcode::IMin: case Opcode::IMax:
+      case Opcode::FAdd: case Opcode::FMul:
+      case Opcode::FMin: case Opcode::FMax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+VectAnalysis
+analyzeVectorizable(const Loop &loop, const DepGraph &graph,
+                    const Machine &machine, const VectOptions &options)
+{
+    VectAnalysis va;
+    int n = loop.numOps();
+    va.vectorizable.assign(static_cast<size_t>(n), false);
+    va.reduction.assign(static_cast<size_t>(n), false);
+    // Misalignment-scheme hazards. The reuse load reads its chunk one
+    // kernel iteration early; the carried store writes its first phi
+    // lanes one kernel iteration late (and primes/drains partial
+    // chunks). Both shifts are safe against anti dependences from
+    // loads (reading earlier / writing later only widens the gap).
+    // For flow/output conflicts the two shifts can close a two-kernel-
+    // iteration gap, and floor effects eat one more, so only
+    // conflicts at least three vectors away are safe; anything closer
+    // marks the op. Serializing (unknown-distance) edges always mark.
+    va.memEntangled.assign(static_cast<size_t>(n), false);
+    int64_t safe_distance = 3 * machine.vectorLength;
+    for (const DepEdge &e : graph.edges()) {
+        if (e.kind != DepKind::Mem)
+            continue;
+        bool src_is_load = !loop.op(e.src).isStore();
+        bool close = e.serializing || e.distance < safe_distance;
+        if (!close)
+            continue;
+        // Incoming edge to e.dst: safe only when the source is a load
+        // (anti dependence).
+        if (!src_is_load)
+            va.memEntangled[static_cast<size_t>(e.dst)] = true;
+        // Outgoing edge from e.src: a load's outgoing edges are anti
+        // dependences (safe); a store's outgoing edges are flow or
+        // output conflicts (unsafe).
+        if (!src_is_load)
+            va.memEntangled[static_cast<size_t>(e.src)] = true;
+    }
+
+    std::vector<std::pair<int, int>> edge_pairs;
+    edge_pairs.reserve(graph.edges().size());
+    for (const DepEdge &e : graph.edges())
+        edge_pairs.emplace_back(e.src, e.dst);
+    va.sccs = computeSccs(n, edge_pairs);
+
+    va.minCycleDistance.assign(
+        static_cast<size_t>(va.sccs.numSccs()),
+        std::numeric_limits<int64_t>::max());
+    for (int c = 0; c < va.sccs.numSccs(); ++c) {
+        if (va.sccs.cyclic[static_cast<size_t>(c)]) {
+            va.minCycleDistance[static_cast<size_t>(c)] =
+                minCycleDistance(va.sccs.members[static_cast<size_t>(c)],
+                                 graph);
+        }
+    }
+
+    DefUse du(loop);
+
+    for (OpId id = 0; id < n; ++id) {
+        const Operation &op = loop.op(id);
+        if (!hasVectorForm(op.opcode))
+            continue;
+        if (op.isMemory() && op.ref.scale != 1)
+            continue;   // no scatter/gather on the modeled machines
+        if (op.isStore() &&
+            machine.alignment == AlignPolicy::AssumeMisaligned &&
+            va.memEntangled[static_cast<size_t>(id)]) {
+            // Misaligned stores defer their first/last partial chunks;
+            // that reorders against dependent accesses to the array.
+            continue;
+        }
+        if (op.isStore() && loop.hasEarlyExit()) {
+            // Vector stores could write lanes past the exit point
+            // (the paper's section 6 caveat): stores stay scalar so
+            // the executor can suppress them exactly.
+            continue;
+        }
+
+        int scc = va.sccs.sccOf[static_cast<size_t>(id)];
+        bool in_cycle = va.sccs.cyclic[static_cast<size_t>(scc)];
+        if (in_cycle) {
+            int64_t dist = va.minCycleDistance[static_cast<size_t>(scc)];
+            if (dist >= machine.vectorLength) {
+                // Cycles at distance >= VL do not inhibit
+                // vectorization (a[i+4] = a[i] with VL <= 4).
+                va.vectorizable[static_cast<size_t>(id)] = true;
+            } else if (options.recognizeReductions &&
+                       !loop.hasEarlyExit() &&
+                       va.sccs.members[static_cast<size_t>(scc)]
+                               .size() == 1 &&
+                       isAssociativeReduction(op.opcode) &&
+                       loop.carriedIndexOfUpdate(op.dest) >= 0) {
+                // Single-op associative recurrence through a carried
+                // value: vectorizable with partial accumulators. The
+                // op must consume the carried-in it updates.
+                int ci = loop.carriedIndexOfUpdate(op.dest);
+                ValueId in = loop.carried[static_cast<size_t>(ci)].in;
+                bool consumes_in = false;
+                for (ValueId s : op.srcs)
+                    consumes_in = consumes_in || s == in;
+                // The carried-in must have no other consumer and the
+                // update no body use at all: with vector partial
+                // accumulators the per-iteration values are partial
+                // sums, observable only through the post-loop fold.
+                bool sole_use = du.uses(in).size() == 1 &&
+                                du.uses(op.dest).empty();
+                if (consumes_in && sole_use) {
+                    va.vectorizable[static_cast<size_t>(id)] = true;
+                    va.reduction[static_cast<size_t>(id)] = true;
+                }
+            }
+            continue;
+        }
+        va.vectorizable[static_cast<size_t>(id)] = true;
+    }
+
+    if (options.neighborGuard) {
+        // Drop vectorizable marks from operations with no vectorizable
+        // dataflow neighbor, to a fixpoint (section 4.1). Reductions
+        // are exempt: vectorizing them removes a recurrence, which is
+        // profitable on its own.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (OpId id = 0; id < n; ++id) {
+                if (!va.vectorizable[static_cast<size_t>(id)] ||
+                    va.reduction[static_cast<size_t>(id)]) {
+                    continue;
+                }
+                bool has_neighbor = false;
+                for (int ei : graph.outEdges(id)) {
+                    const DepEdge &e =
+                        graph.edges()[static_cast<size_t>(ei)];
+                    if (e.kind == DepKind::RegFlow &&
+                        va.vectorizable[static_cast<size_t>(e.dst)]) {
+                        has_neighbor = true;
+                    }
+                }
+                for (int ei : graph.inEdges(id)) {
+                    const DepEdge &e =
+                        graph.edges()[static_cast<size_t>(ei)];
+                    if (e.kind == DepKind::RegFlow &&
+                        va.vectorizable[static_cast<size_t>(e.src)]) {
+                        has_neighbor = true;
+                    }
+                }
+                if (!has_neighbor) {
+                    va.vectorizable[static_cast<size_t>(id)] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (bool b : va.vectorizable)
+        va.anyVectorizable = va.anyVectorizable || b;
+    return va;
+}
+
+} // namespace selvec

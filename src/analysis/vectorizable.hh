@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Vectorizability analysis, following the classic vector-supercomputer
+ * approach the paper adopts: build the dependence graph, find strongly
+ * connected components with Tarjan's algorithm, and mark an operation
+ * vectorizable when it does not lie on a dependence cycle (or when
+ * every cycle through it has iteration distance >= the vector length,
+ * the paper's a[i+4] = a[i] example).
+ *
+ * Additional per-operation requirements:
+ *  - the opcode has a vector counterpart;
+ *  - memory references are unit stride (the machine has no
+ *    scatter/gather; strided and loop-invariant references stay
+ *    scalar, and the traditional vectorizer must aggregate them
+ *    through memory).
+ *
+ * Two opt-in extensions:
+ *  - neighborGuard: the profitability guard of section 4.1 (an op is
+ *    only vectorized with at least one vectorizable dataflow
+ *    neighbor), used by the traditional and full vectorizers where
+ *    through-memory communication would otherwise be generated blindly;
+ *  - recognizeReductions: the future-work extension that vectorizes
+ *    associative reduction cycles (sum/product/min/max) using partial
+ *    results combined after the loop. Off by default, matching the
+ *    paper's evaluation (floating-point reductions are not reordered).
+ */
+
+#ifndef SELVEC_ANALYSIS_VECTORIZABLE_HH
+#define SELVEC_ANALYSIS_VECTORIZABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/depgraph.hh"
+#include "analysis/scc.hh"
+
+namespace selvec
+{
+
+struct VectOptions
+{
+    /** Apply the section 4.1 vectorizable-neighbor guard. */
+    bool neighborGuard = false;
+
+    /** Vectorize associative reductions via partial results. */
+    bool recognizeReductions = false;
+};
+
+struct VectAnalysis
+{
+    /** Per op: may this operation be vectorized? */
+    std::vector<bool> vectorizable;
+
+    /** Per op: vectorizable only as an associative reduction (the
+     *  transformer must create partial accumulators). Subset of
+     *  `vectorizable`. */
+    std::vector<bool> reduction;
+
+    /**
+     * Per op: this memory operation has a memory dependence with some
+     * other operation of the loop. Entangled loads cannot use the
+     * previous-iteration-reuse misalignment scheme (the carried chunk
+     * would be stale); they fall back to two aligned loads plus a
+     * merge. Entangled stores cannot be compiled misaligned at all
+     * (the deferred prefix/tail writes would reorder against the
+     * conflicting accesses), so under AlignPolicy::AssumeMisaligned
+     * they are not vectorizable.
+     */
+    std::vector<bool> memEntangled;
+
+    /** Components of the full dependence graph. */
+    SccInfo sccs;
+
+    /** Per component: minimum total iteration distance around any
+     *  cycle, INT64_MAX for acyclic components. */
+    std::vector<int64_t> minCycleDistance;
+
+    bool anyVectorizable = false;
+
+    int
+    countVectorizable() const
+    {
+        int n = 0;
+        for (bool b : vectorizable)
+            n += b ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Analyze one loop. The dependence graph must have been built for the
+ * same loop and machine.
+ */
+VectAnalysis analyzeVectorizable(const Loop &loop, const DepGraph &graph,
+                                 const Machine &machine,
+                                 const VectOptions &options = {});
+
+} // namespace selvec
+
+#endif // SELVEC_ANALYSIS_VECTORIZABLE_HH

@@ -1,0 +1,97 @@
+#include "core/comm.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+std::vector<XferDir>
+planTransfers(const Loop &loop, const DefUse &du,
+              const std::vector<bool> &vectorize,
+              const std::vector<bool> *reduction)
+{
+    SV_ASSERT(static_cast<int>(vectorize.size()) == loop.numOps(),
+              "partition sized for a different loop");
+
+    std::vector<XferDir> plan(static_cast<size_t>(loop.numValues()),
+                              XferDir::None);
+
+    for (ValueId v = 0; v < loop.numValues(); ++v) {
+        OpId def = du.defOp(v);
+        bool def_vector;
+        if (def != kNoOp) {
+            def_vector = vectorize[static_cast<size_t>(def)];
+        } else if (loop.isLiveIn(v)) {
+            continue;   // splatted for free in the preheader
+        } else if (loop.carriedIndexOfIn(v) >= 0) {
+            // Carried-ins are produced by (scalar) updates of the
+            // previous iteration; a vector consumer gathers the VL
+            // per-replica readings.
+            def_vector = false;
+        } else {
+            continue;   // preload/splat destinations handled elsewhere
+        }
+
+        bool scalar_use = false;
+        bool vector_use = false;
+        bool is_carried_in = loop.carriedIndexOfIn(v) >= 0;
+        for (OpId use : du.uses(v)) {
+            if (vectorize[static_cast<size_t>(use)]) {
+                // A vectorized reduction reads its carried-in through
+                // the vector accumulator, not a transfer.
+                if (is_carried_in && reduction != nullptr &&
+                    (*reduction)[static_cast<size_t>(use)]) {
+                    continue;
+                }
+                vector_use = true;
+            } else {
+                scalar_use = true;
+            }
+        }
+        // A vectorized live-out must be extracted back to a scalar.
+        if (def != kNoOp && def_vector) {
+            for (ValueId out : loop.liveOuts)
+                scalar_use = scalar_use || out == v;
+        }
+
+        if (def_vector && scalar_use)
+            plan[static_cast<size_t>(v)] = XferDir::VectorToScalar;
+        else if (!def_vector && vector_use)
+            plan[static_cast<size_t>(v)] = XferDir::ScalarToVector;
+    }
+    return plan;
+}
+
+std::vector<Opcode>
+transferOpcodes(XferDir dir, const Machine &machine)
+{
+    std::vector<Opcode> ops;
+    if (dir == XferDir::None)
+        return ops;
+    int vl = machine.vectorLength;
+    switch (machine.transfer) {
+      case TransferModel::ThroughMemory:
+        if (dir == XferDir::ScalarToVector) {
+            for (int i = 0; i < vl; ++i)
+                ops.push_back(Opcode::XferStoreS);
+            ops.push_back(Opcode::XferLoadV);
+        } else {
+            ops.push_back(Opcode::XferStoreV);
+            for (int i = 0; i < vl; ++i)
+                ops.push_back(Opcode::XferLoadS);
+        }
+        break;
+      case TransferModel::DirectMove:
+        for (int i = 0; i < vl; ++i) {
+            ops.push_back(dir == XferDir::ScalarToVector ? Opcode::MovSV
+                                                         : Opcode::MovVS);
+        }
+        break;
+      case TransferModel::Free:
+        // VPack/VPick occupy no resources; nothing to cost.
+        break;
+    }
+    return ops;
+}
+
+} // namespace selvec

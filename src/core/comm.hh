@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Communication planning between the scalar and vector partitions.
+ *
+ * A value produced in one partition and consumed in the other needs an
+ * explicit operand transfer; the paper's partitioner accounts for these
+ * operations as a consequence of its decisions (Figure 2 lines 46-48),
+ * and a given operand is transferred at most once because every
+ * consumer reuses the transferred copy.
+ *
+ * This module computes, for a loop plus a candidate partition, which
+ * values cross and which opcodes each crossing costs on a given
+ * machine. Both the partitioner's cost model and the loop transformer
+ * consume it, so what is costed is exactly what is emitted.
+ */
+
+#ifndef SELVEC_CORE_COMM_HH
+#define SELVEC_CORE_COMM_HH
+
+#include <vector>
+
+#include "ir/defuse.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+/** Direction of one operand transfer. */
+enum class XferDir : uint8_t {
+    None,           ///< value does not cross
+    ScalarToVector, ///< scalar-partition def, vector-partition use
+    VectorToScalar, ///< vector-partition def, scalar-partition use
+};
+
+/**
+ * Which transfer (if any) each value of the loop needs under the given
+ * partition (`vectorize[op]` true = op goes to the vector partition).
+ *
+ * Rules:
+ *  - live-in values never transfer (loop-invariant operands of vector
+ *    operations are splatted in the preheader for free);
+ *  - carried-in values and scalar-partition defs consumed by a vector
+ *    op transfer scalar->vector (one lane per replica);
+ *  - vector-partition defs consumed by a scalar-partition op — or
+ *    appearing in the live-out list — transfer vector->scalar.
+ */
+std::vector<XferDir> planTransfers(
+    const Loop &loop, const DefUse &du,
+    const std::vector<bool> &vectorize,
+    const std::vector<bool> *reduction = nullptr);
+
+/**
+ * The opcode bag one transfer costs on a machine (empty when the
+ * machine communicates for free). Scalar->vector: VL scalar-side ops
+ * plus one vector-side op (through memory) or VL lane moves (direct);
+ * vector->scalar symmetric.
+ */
+std::vector<Opcode> transferOpcodes(XferDir dir, const Machine &machine);
+
+} // namespace selvec
+
+#endif // SELVEC_CORE_COMM_HH

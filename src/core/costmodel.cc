@@ -1,0 +1,260 @@
+#include "core/costmodel.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+PartitionCostModel::PartitionCostModel(const Loop &loop,
+                                       const VectAnalysis &va,
+                                       const Machine &machine,
+                                       const CostOptions &options)
+    : loop(loop), va(va), machine(machine), options(options), du(loop),
+      bins(machine),
+      current(static_cast<size_t>(loop.numOps()), false),
+      opLedger(static_cast<size_t>(loop.numOps())),
+      xferLedger(static_cast<size_t>(loop.numValues())),
+      xferDir(static_cast<size_t>(loop.numValues()), XferDir::None)
+{
+    rebuild(current);
+}
+
+std::vector<Opcode>
+PartitionCostModel::opcodesFor(OpId op, bool vector) const
+{
+    const Operation &o = loop.op(op);
+    std::vector<Opcode> bag;
+    if (!vector) {
+        for (int i = 0; i < machine.vectorLength; ++i)
+            bag.push_back(o.opcode);
+        return bag;
+    }
+    Opcode vop = vectorOpcode(o.opcode);
+    SV_ASSERT(vop != Opcode::Nop, "op %d (%s) has no vector form", op,
+              opName(o.opcode));
+    bag.push_back(vop);
+    if (o.isMemory() &&
+        machine.alignment == AlignPolicy::AssumeMisaligned) {
+        // Misaligned vector memory: one merge per access; the extra
+        // memory operation is eliminated by previous-iteration reuse.
+        // Dependence-entangled loads cannot reuse and pay the second
+        // aligned load every iteration.
+        bag.push_back(Opcode::VMerge);
+        if (!o.isStore() && va.memEntangled[static_cast<size_t>(op)])
+            bag.push_back(Opcode::VLoad);
+    }
+    return bag;
+}
+
+std::vector<Opcode>
+PartitionCostModel::overheadOpcodes() const
+{
+    if (!machine.loopOverhead)
+        return {};
+    return {Opcode::IAdd, Opcode::Br};
+}
+
+std::vector<ValueId>
+PartitionCostModel::adjacentValues(OpId op) const
+{
+    std::vector<ValueId> vals;
+    const Operation &o = loop.op(op);
+    if (o.dest != kNoValue)
+        vals.push_back(o.dest);
+    for (ValueId s : o.srcs) {
+        if (s != kNoValue &&
+            std::find(vals.begin(), vals.end(), s) == vals.end()) {
+            vals.push_back(s);
+        }
+    }
+    return vals;
+}
+
+XferDir
+PartitionCostModel::neededTransfer(ValueId v, OpId flipped) const
+{
+    auto side = [&](OpId op) {
+        bool vec = current[static_cast<size_t>(op)];
+        return op == flipped ? !vec : vec;
+    };
+
+    OpId def = du.defOp(v);
+    bool def_vector;
+    if (def != kNoOp) {
+        def_vector = side(def);
+    } else if (loop.isLiveIn(v)) {
+        return XferDir::None;
+    } else if (loop.carriedIndexOfIn(v) >= 0) {
+        def_vector = false;
+    } else {
+        return XferDir::None;
+    }
+
+    bool scalar_use = false;
+    bool vector_use = false;
+    bool is_carried_in = loop.carriedIndexOfIn(v) >= 0;
+    for (OpId use : du.uses(v)) {
+        if (side(use)) {
+            if (is_carried_in &&
+                va.reduction[static_cast<size_t>(use)]) {
+                continue;
+            }
+            vector_use = true;
+        } else {
+            scalar_use = true;
+        }
+    }
+    if (def != kNoOp && def_vector) {
+        for (ValueId out : loop.liveOuts)
+            scalar_use = scalar_use || out == v;
+    }
+
+    if (def_vector && scalar_use)
+        return XferDir::VectorToScalar;
+    if (!def_vector && vector_use)
+        return XferDir::ScalarToVector;
+    return XferDir::None;
+}
+
+int64_t
+PartitionCostModel::recurrenceFloor(OpId flipped) const
+{
+    int64_t floor = 0;
+    for (const CarriedValue &cv : loop.carried) {
+        OpId def = du.defOp(cv.update);
+        if (def == kNoOp || !va.reduction[static_cast<size_t>(def)])
+            continue;
+        bool vec_side = current[static_cast<size_t>(def)];
+        if (def == flipped)
+            vec_side = !vec_side;
+        int64_t lat = machine.latency(loop.op(def).opcode);
+        floor = std::max(floor,
+                         vec_side ? lat : lat * machine.vectorLength);
+    }
+    return floor;
+}
+
+void
+PartitionCostModel::reserveOp(OpId op, bool vector)
+{
+    auto &ledger = opLedger[static_cast<size_t>(op)];
+    SV_ASSERT(ledger.empty(), "op %d reserved twice", op);
+    for (Opcode opcode : opcodesFor(op, vector))
+        bins.reserve(opcode, ledger);
+}
+
+void
+PartitionCostModel::reserveTransfer(ValueId v, XferDir dir)
+{
+    auto &ledger = xferLedger[static_cast<size_t>(v)];
+    SV_ASSERT(ledger.empty(), "value %d transfer reserved twice", v);
+    for (Opcode opcode : transferOpcodes(dir, machine))
+        bins.reserve(opcode, ledger);
+    xferDir[static_cast<size_t>(v)] = dir;
+}
+
+void
+PartitionCostModel::rebuild(const std::vector<bool> &vectorize)
+{
+    SV_ASSERT(static_cast<int>(vectorize.size()) == loop.numOps(),
+              "partition sized for a different loop");
+    current = vectorize;
+    bins.clear();
+    for (auto &l : opLedger)
+        l.clear();
+    for (auto &l : xferLedger)
+        l.clear();
+    std::fill(xferDir.begin(), xferDir.end(), XferDir::None);
+
+    // Fixed loop-control overhead.
+    for (Opcode opcode : overheadOpcodes())
+        bins.reserve(opcode);
+
+    // Operations with the least scheduling freedom first (section 3.2).
+    std::vector<Opcode> first_opcode;
+    first_opcode.reserve(static_cast<size_t>(loop.numOps()));
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        auto bag = opcodesFor(op, current[static_cast<size_t>(op)]);
+        first_opcode.push_back(bag.front());
+    }
+    std::vector<int> order = packingOrder(machine, first_opcode);
+
+    std::vector<XferDir> plan =
+        planTransfers(loop, du, current, &va.reduction);
+    for (int idx : order) {
+        OpId op = idx;
+        reserveOp(op, current[static_cast<size_t>(op)]);
+        if (!options.considerCommunication)
+            continue;
+        // Bin this op's pending operand transfers (Figure 2 ln 46-48).
+        for (ValueId v : adjacentValues(op)) {
+            if (plan[static_cast<size_t>(v)] == XferDir::None)
+                continue;
+            if (!xferLedger[static_cast<size_t>(v)].empty())
+                continue;   // transferred at most once
+            reserveTransfer(v, plan[static_cast<size_t>(v)]);
+        }
+    }
+}
+
+int64_t
+PartitionCostModel::testSwitch(OpId op)
+{
+    bool new_side = !current[static_cast<size_t>(op)];
+
+    // Checkpoint: remember what we release and what we add.
+    std::vector<Placement> released_op =
+        opLedger[static_cast<size_t>(op)];
+    bins.release(released_op);
+    opLedger[static_cast<size_t>(op)].clear();
+
+    std::vector<Placement> added;
+    for (Opcode opcode : opcodesFor(op, new_side))
+        bins.reserve(opcode, added);
+
+    std::vector<std::pair<ValueId, std::vector<Placement>>> released_x;
+    std::vector<Placement> added_x;
+    if (options.considerCommunication) {
+        for (ValueId v : adjacentValues(op)) {
+            XferDir now = xferDir[static_cast<size_t>(v)];
+            XferDir then = neededTransfer(v, op);
+            if (now == then)
+                continue;
+            if (now != XferDir::None) {
+                released_x.emplace_back(
+                    v, xferLedger[static_cast<size_t>(v)]);
+                bins.release(xferLedger[static_cast<size_t>(v)]);
+            }
+            if (then != XferDir::None) {
+                for (Opcode opcode : transferOpcodes(then, machine))
+                    bins.reserve(opcode, added_x);
+            }
+        }
+    }
+
+    int64_t result =
+        std::max(bins.highWaterMark(), recurrenceFloor(op));
+
+    // Restore the checkpoint exactly.
+    bins.release(added);
+    bins.release(added_x);
+    bins.restore(released_op);
+    opLedger[static_cast<size_t>(op)] = std::move(released_op);
+    for (auto &[v, ledger] : released_x) {
+        bins.restore(ledger);
+        xferLedger[static_cast<size_t>(v)] = std::move(ledger);
+    }
+    return result;
+}
+
+void
+PartitionCostModel::commitSwitch(OpId op)
+{
+    std::vector<bool> next = current;
+    next[static_cast<size_t>(op)] = !next[static_cast<size_t>(op)];
+    rebuild(next);
+}
+
+} // namespace selvec

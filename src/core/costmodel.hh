@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The partitioner's cost model: the resource bin-packing of Figure 2.
+ *
+ * The cost of a partition is the high-water mark of the bins after
+ * packing, per kernel iteration covering VL original iterations:
+ *
+ *  - a scalar-partition operation reserves its scalar opcode VL times
+ *    (lines 38-40: scalar work is replicated to match the vector
+ *    work output);
+ *  - a vector-partition operation reserves its vector opcode once,
+ *    plus one merge-unit operation per vector memory access when the
+ *    machine compiles all vector memory as misaligned;
+ *  - each value crossing the partition reserves its transfer opcodes
+ *    exactly once (lines 46-48), unless communication accounting is
+ *    disabled (the paper's Table 4 ablation);
+ *  - the per-iteration loop overhead (induction update + branch) is
+ *    reserved as a fixed background load.
+ *
+ * testSwitch() implements TEST-REPARTITION: checkpoint, release the
+ * op's reservations (and any transfer reservations its adjacent values
+ * no longer need), reserve the new partition's resources, read the
+ * high-water mark, restore. commitSwitch() implements SWITCH-OP
+ * followed by a fresh BIN-PACK (Figure 2 line 14).
+ */
+
+#ifndef SELVEC_CORE_COSTMODEL_HH
+#define SELVEC_CORE_COSTMODEL_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/vectorizable.hh"
+#include "core/comm.hh"
+#include "ir/defuse.hh"
+#include "machine/binpack.hh"
+
+namespace selvec
+{
+
+struct CostOptions
+{
+    /** Account for operand-transfer operations during partitioning
+     *  (Table 4 studies the damage of turning this off). */
+    bool considerCommunication = true;
+};
+
+class PartitionCostModel
+{
+  public:
+    PartitionCostModel(const Loop &loop, const VectAnalysis &va,
+                       const Machine &machine,
+                       const CostOptions &options = {});
+
+    /** Fresh BIN-PACK of a partition (vectorize[op] = vector side). */
+    void rebuild(const std::vector<bool> &vectorize);
+
+    /** Cost of the current configuration (HIGH-WATER-MARK, raised to
+     *  the recurrence floor of any recognized reductions). */
+    int64_t
+    cost() const
+    {
+        return std::max(bins.highWaterMark(),
+                        recurrenceFloor(kNoOp));
+    }
+
+    /** Cost if `op` were moved to the other partition; bins restored
+     *  before returning. */
+    int64_t testSwitch(OpId op);
+
+    /** Move `op` to the other partition and re-pack from scratch. */
+    void commitSwitch(OpId op);
+
+    const std::vector<bool> &partition() const { return current; }
+
+    /**
+     * Opcode bag an operation reserves on the given side (VL scalar
+     * copies, or the vector opcode plus misalignment merges).
+     */
+    std::vector<Opcode> opcodesFor(OpId op, bool vector) const;
+
+    /** Fixed overhead opcodes packed into every configuration. */
+    std::vector<Opcode> overheadOpcodes() const;
+
+  private:
+    /** Transfer the value would need if `flipped` changed sides
+     *  (kNoOp: no flip). */
+    XferDir neededTransfer(ValueId v, OpId flipped) const;
+
+    /**
+     * Recurrence floor of the initiation interval under the current
+     * partition (with `flipped` hypothetically switched): a
+     * recognized reduction kept scalar chains VL dependent adds per
+     * kernel iteration (VL * latency); vectorized, a single vector
+     * add (latency). Zero when no reductions are recognized — the
+     * paper's pure resource cost, which deliberately ignores latency
+     * because vector operations are assumed off dependence cycles.
+     */
+    int64_t recurrenceFloor(OpId flipped) const;
+
+    /** Values adjacent to an op (dest + unique srcs). */
+    std::vector<ValueId> adjacentValues(OpId op) const;
+
+    void reserveOp(OpId op, bool vector);
+    void reserveTransfer(ValueId v, XferDir dir);
+
+    const Loop &loop;
+    const VectAnalysis &va;
+    const Machine &machine;
+    CostOptions options;
+    DefUse du;
+
+    ReservationBins bins;
+    std::vector<bool> current;
+    std::vector<std::vector<Placement>> opLedger;     ///< per op
+    std::vector<std::vector<Placement>> xferLedger;   ///< per value
+    std::vector<XferDir> xferDir;                     ///< per value
+};
+
+} // namespace selvec
+
+#endif // SELVEC_CORE_COSTMODEL_HH

@@ -1,0 +1,175 @@
+#include "core/itersplit.hh"
+
+#include "ir/defuse.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+IterSplitResult
+refuse(std::string reason)
+{
+    IterSplitResult r;
+    r.reason = std::move(reason);
+    return r;
+}
+
+} // anonymous namespace
+
+IterSplitResult
+iterationSplit(const Loop &src, const ArrayTable &arrays,
+               const VectAnalysis &va, const Machine &machine,
+               int unroll)
+{
+    int vl = machine.vectorLength;
+    SV_ASSERT(unroll > vl, "unroll factor must exceed VL");
+
+    if (machine.alignment != AlignPolicy::AssumeAligned) {
+        return refuse("vector references advance by the unroll factor "
+                      "(not a multiple of VL): hardware unaligned "
+                      "access required");
+    }
+    if (!src.carried.empty()) {
+        return refuse("loop-carried register state couples the "
+                      "iterations");
+    }
+    if (src.hasEarlyExit())
+        return refuse("early exits couple the iterations");
+    if (!src.preloads.empty() || !src.poststores.empty() ||
+        !src.splatIns.empty() || !src.reduceInits.empty() ||
+        !src.postReduces.empty()) {
+        return refuse("not a frontend loop");
+    }
+    for (OpId op = 0; op < src.numOps(); ++op) {
+        if (!va.vectorizable[static_cast<size_t>(op)] ||
+            va.reduction[static_cast<size_t>(op)]) {
+            return refuse("operation #" + std::to_string(op) +
+                          " is not plainly vectorizable");
+        }
+    }
+
+    IterSplitResult result;
+    Loop &out = result.loop;
+    out.name = src.name;
+    out.coverage = src.coverage * unroll;
+
+    std::vector<ValueId> live_in_map(
+        static_cast<size_t>(src.numValues()), kNoValue);
+    for (ValueId v : src.liveIns) {
+        ValueId nv = out.addValue(src.typeOf(v),
+                                  src.valueInfo(v).name);
+        out.liveIns.push_back(nv);
+        live_in_map[static_cast<size_t>(v)] = nv;
+    }
+
+    // Vector instance: iterations [u*j, u*j + VL).
+    std::vector<ValueId> vec_map(static_cast<size_t>(src.numValues()),
+                                 kNoValue);
+    std::vector<ValueId> splat_map(static_cast<size_t>(src.numValues()),
+                                   kNoValue);
+    auto vector_read = [&](ValueId v) {
+        if (vec_map[static_cast<size_t>(v)] != kNoValue)
+            return vec_map[static_cast<size_t>(v)];
+        ValueId li = live_in_map[static_cast<size_t>(v)];
+        SV_ASSERT(li != kNoValue, "unmapped vector operand '%s'",
+                  src.valueInfo(v).name.c_str());
+        if (splat_map[static_cast<size_t>(v)] == kNoValue) {
+            ValueId nv = out.addValue(
+                vectorType(src.typeOf(v)),
+                out.freshName(src.valueInfo(v).name + ".vspl"));
+            out.splatIns.push_back(SplatIn{nv, li});
+            splat_map[static_cast<size_t>(v)] = nv;
+        }
+        return splat_map[static_cast<size_t>(v)];
+    };
+
+    for (OpId id = 0; id < src.numOps(); ++id) {
+        const Operation &op = src.op(id);
+        Operation n;
+        n.origin = id;
+        if (op.isMemory()) {
+            n.opcode = op.opcode == Opcode::Load ? Opcode::VLoad
+                                                 : Opcode::VStore;
+            SV_ASSERT(op.ref.scale == 1, "non-unit stride slipped in");
+            n.ref = AffineRef{op.ref.array,
+                              op.ref.scale * unroll, op.ref.offset};
+        } else {
+            n.opcode = vectorOpcode(op.opcode);
+        }
+        for (ValueId s : op.srcs)
+            n.srcs.push_back(vector_read(s));
+        if (op.dest != kNoValue) {
+            ValueId nv = out.addValue(
+                vectorType(src.typeOf(op.dest)),
+                out.freshName(src.valueInfo(op.dest).name + ".v"));
+            n.dest = nv;
+            vec_map[static_cast<size_t>(op.dest)] = nv;
+        }
+        out.addOp(std::move(n));
+    }
+
+    // Scalar replicas: iterations [u*j + VL, u*j + unroll).
+    std::vector<ValueId> scalar_map(
+        static_cast<size_t>(src.numValues()), kNoValue);
+    for (int r = vl; r < unroll; ++r) {
+        for (OpId id = 0; id < src.numOps(); ++id) {
+            const Operation &op = src.op(id);
+            Operation n;
+            n.opcode = op.opcode;
+            n.lane = op.lane;
+            n.iimm = op.iimm;
+            n.fimm = op.fimm;
+            n.replica = r;
+            n.origin = id;
+            for (ValueId s : op.srcs) {
+                ValueId mapped =
+                    live_in_map[static_cast<size_t>(s)] != kNoValue
+                        ? live_in_map[static_cast<size_t>(s)]
+                        : scalar_map[static_cast<size_t>(s)];
+                SV_ASSERT(mapped != kNoValue,
+                          "unmapped scalar operand '%s'",
+                          src.valueInfo(s).name.c_str());
+                n.srcs.push_back(mapped);
+            }
+            if (op.ref.valid()) {
+                n.ref = AffineRef{op.ref.array,
+                                  op.ref.scale * unroll,
+                                  op.ref.offset + op.ref.scale * r};
+            }
+            if (op.dest != kNoValue) {
+                ValueId nv = out.addValue(
+                    src.typeOf(op.dest),
+                    out.freshName(src.valueInfo(op.dest).name + "." +
+                                  std::to_string(r)));
+                n.dest = nv;
+                scalar_map[static_cast<size_t>(op.dest)] = nv;
+            }
+            out.addOp(std::move(n));
+        }
+    }
+
+    // Live-outs observe the last original iteration (the final scalar
+    // replica) under their source names.
+    for (ValueId v : src.liveOuts) {
+        ValueId mapped = live_in_map[static_cast<size_t>(v)];
+        if (mapped == kNoValue)
+            mapped = scalar_map[static_cast<size_t>(v)];
+        SV_ASSERT(mapped != kNoValue, "unmapped live-out");
+        const std::string &want = src.valueInfo(v).name;
+        if (out.valueInfo(mapped).name != want &&
+            out.findValue(want) == kNoValue) {
+            out.values[static_cast<size_t>(mapped)].name = want;
+        }
+        out.liveOuts.push_back(mapped);
+    }
+
+    verifyLoopOrDie(arrays, out);
+    result.ok = true;
+    return result;
+}
+
+} // namespace selvec

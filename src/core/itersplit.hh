@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Iteration-partitioned vectorization: the paper's section 6 "larger
+ * scheduling window" extension.
+ *
+ * Instead of dividing *operations* between the partitions, whole
+ * iterations are assigned to resources: with vector length 2 and an
+ * unroll factor of 3, iterations 3j and 3j+1 execute as one vector
+ * iteration and iteration 3j+2 in scalar form. In the absence of
+ * loop-carried dependences no operand ever crosses the partitions, so
+ * no communication is required — the extension's selling point on
+ * machines with expensive scalar<->vector transfers.
+ *
+ * The drawbacks the paper predicts are modeled faithfully:
+ *  - alignment suffers: vector references advance by the unroll
+ *    factor, which is not a multiple of the vector length, so their
+ *    phase varies per iteration. The transform therefore requires a
+ *    machine with hardware-supported unaligned access
+ *    (AlignPolicy::AssumeAligned);
+ *  - loops with carried register state (or too-close memory
+ *    recurrences) are rejected — their iterations cannot be assigned
+ *    independently.
+ */
+
+#ifndef SELVEC_CORE_ITERSPLIT_HH
+#define SELVEC_CORE_ITERSPLIT_HH
+
+#include <string>
+
+#include "analysis/vectorizable.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+struct IterSplitResult
+{
+    bool ok = false;
+    std::string reason;     ///< why the transform was refused
+    Loop loop;              ///< coverage = unroll factor when ok
+};
+
+/**
+ * Check applicability and build the iteration-partitioned loop.
+ *
+ * @param unroll total iterations per body execution; the first VL run
+ *        on the vector units, the remaining unroll-VL in scalar form.
+ *        Must exceed the machine's vector length.
+ */
+IterSplitResult iterationSplit(const Loop &loop,
+                               const ArrayTable &arrays,
+                               const VectAnalysis &va,
+                               const Machine &machine, int unroll);
+
+} // namespace selvec
+
+#endif // SELVEC_CORE_ITERSPLIT_HH

@@ -1,0 +1,107 @@
+#include "core/partition.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+PartitionResult
+partitionOps(const Loop &loop, const VectAnalysis &va,
+             const Machine &machine, const PartitionOptions &options)
+{
+    int n = loop.numOps();
+    SV_ASSERT(static_cast<int>(va.vectorizable.size()) == n,
+              "analysis sized for a different loop");
+
+    PartitionResult result;
+    result.vectorize.assign(static_cast<size_t>(n), false);
+
+    std::vector<OpId> candidates;
+    for (OpId op = 0; op < n; ++op) {
+        if (va.vectorizable[static_cast<size_t>(op)])
+            candidates.push_back(op);
+    }
+
+    PartitionCostModel model(loop, va, machine, options.cost);
+    model.rebuild(result.vectorize);
+    result.allScalarCost = model.cost();
+
+    if (candidates.empty()) {
+        result.bestCost = result.allScalarCost;
+        return result;
+    }
+
+    // The cost function is resource-only (latency is software
+    // pipelining's problem), so it cannot see that vectorizing an
+    // associative reduction divides the recurrence bound by VL. When
+    // reduction recognition is enabled, reductions start in the
+    // vector partition; ties in the KL search then leave them there,
+    // and genuine resource pressure can still move them out.
+    bool any_reduction = false;
+    for (OpId op : candidates) {
+        if (va.reduction[static_cast<size_t>(op)]) {
+            result.vectorize[static_cast<size_t>(op)] = true;
+            any_reduction = true;
+        }
+    }
+    if (any_reduction)
+        model.rebuild(result.vectorize);
+
+    {
+        // Informational: the fully vectorized configuration's cost.
+        std::vector<bool> all_vec(static_cast<size_t>(n), false);
+        for (OpId op : candidates)
+            all_vec[static_cast<size_t>(op)] = true;
+        PartitionCostModel probe(loop, va, machine, options.cost);
+        probe.rebuild(all_vec);
+        result.allVectorCost = probe.cost();
+    }
+
+    std::vector<bool> best = result.vectorize;
+    int64_t best_cost = model.cost();
+    int64_t last_cost = INT64_MAX;
+
+    while (last_cost != best_cost) {
+        if (options.maxIterations > 0 &&
+            result.iterations >= options.maxIterations) {
+            break;
+        }
+        last_cost = best_cost;
+        ++result.iterations;
+
+        std::vector<bool> locked(static_cast<size_t>(n), false);
+        for (size_t step = 0; step < candidates.size(); ++step) {
+            // FIND-OP-TO-SWITCH: the unlocked move with lowest cost.
+            OpId best_op = kNoOp;
+            int64_t move_cost = INT64_MAX;
+            for (OpId op : candidates) {
+                if (locked[static_cast<size_t>(op)])
+                    continue;
+                int64_t c = model.testSwitch(op);
+                ++result.movesEvaluated;
+                if (c < move_cost) {
+                    move_cost = c;
+                    best_op = op;
+                }
+            }
+            SV_ASSERT(best_op != kNoOp, "no unlocked candidate");
+
+            model.commitSwitch(best_op);
+            locked[static_cast<size_t>(best_op)] = true;
+
+            int64_t cost = model.cost();
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = model.partition();
+            }
+        }
+        // Restart the next iteration from the best configuration.
+        model.rebuild(best);
+    }
+
+    result.vectorize = best;
+    result.bestCost = best_cost;
+    return result;
+}
+
+} // namespace selvec

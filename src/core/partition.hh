@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Selective vectorization: the Kernighan-Lin-style two-partition
+ * heuristic of the paper's Figure 2 (PARTITION-OPS).
+ *
+ * All operations start in the scalar partition. Each outer iteration
+ * repositions every vectorizable operation exactly once: the operation
+ * whose trial move yields the lowest configuration cost is switched
+ * and locked, the bins are re-packed, and the best configuration seen
+ * is remembered (individual moves may increase the cost — that is the
+ * hill-climbing escape hatch of Kernighan-Lin). The outer loop repeats
+ * from the best configuration until an iteration fails to improve it.
+ */
+
+#ifndef SELVEC_CORE_PARTITION_HH
+#define SELVEC_CORE_PARTITION_HH
+
+#include "analysis/vectorizable.hh"
+#include "core/costmodel.hh"
+
+namespace selvec
+{
+
+struct PartitionOptions
+{
+    CostOptions cost;
+
+    /** Cap on outer iterations (0 = run until convergence). The paper
+     *  notes convergence typically takes only a few iterations. */
+    int maxIterations = 0;
+};
+
+struct PartitionResult
+{
+    /** Final partition: vectorize[op] true = vector side. */
+    std::vector<bool> vectorize;
+
+    int64_t bestCost = 0;       ///< packed cost of the final partition
+    int64_t allScalarCost = 0;  ///< cost of the initial configuration
+    int64_t allVectorCost = 0;  ///< cost of vectorizing everything
+
+    int iterations = 0;         ///< outer KL iterations executed
+    int movesEvaluated = 0;     ///< TEST-REPARTITION calls
+
+    /** True when at least one op ended up vectorized. */
+    bool
+    anyVector() const
+    {
+        for (bool b : vectorize) {
+            if (b)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Run selective vectorization on one loop.
+ *
+ * @param loop the candidate loop (pre-lowering)
+ * @param va vectorizability marks for the same loop
+ * @param machine the target
+ */
+PartitionResult partitionOps(const Loop &loop, const VectAnalysis &va,
+                             const Machine &machine,
+                             const PartitionOptions &options = {});
+
+} // namespace selvec
+
+#endif // SELVEC_CORE_PARTITION_HH

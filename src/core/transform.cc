@@ -1,0 +1,738 @@
+#include "core/transform.hh"
+
+#include <algorithm>
+
+#include "analysis/depgraph.hh"
+#include "ir/defuse.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+class Transformer
+{
+  public:
+    Transformer(const Loop &src, const ArrayTable &arrays,
+                const VectAnalysis &va,
+                const std::vector<bool> &vectorize,
+                const Machine &machine)
+        : src(src), arrays(arrays), va(va), vec(vectorize),
+          machine(machine), k(machine.vectorLength), du(src),
+          scalarMap(static_cast<size_t>(src.numValues()),
+                    std::vector<ValueId>(static_cast<size_t>(k),
+                                         kNoValue)),
+          vectorMap(static_cast<size_t>(src.numValues()), kNoValue),
+          liveInMap(static_cast<size_t>(src.numValues()), kNoValue),
+          splatMap(static_cast<size_t>(src.numValues()), kNoValue),
+          carriedInMap(static_cast<size_t>(src.numValues()), kNoValue)
+    {
+    }
+
+    Loop
+    run()
+    {
+        SV_ASSERT(src.preloads.empty() && src.poststores.empty() &&
+                      src.splatIns.empty() && src.reduceInits.empty() &&
+                      src.postReduces.empty(),
+                  "transform input '%s' is not a frontend loop",
+                  src.name.c_str());
+        for (OpId op = 0; op < src.numOps(); ++op) {
+            SV_ASSERT(!vec[static_cast<size_t>(op)] ||
+                          va.vectorizable[static_cast<size_t>(op)],
+                      "partition vectorizes non-vectorizable op %d",
+                      op);
+        }
+
+        out.name = src.name;
+        out.coverage = src.coverage * k;
+
+        // Live-ins carry over unchanged.
+        for (ValueId v : src.liveIns) {
+            ValueId nv = out.addValue(src.typeOf(v),
+                                      src.valueInfo(v).name);
+            out.liveIns.push_back(nv);
+            liveInMap[static_cast<size_t>(v)] = nv;
+        }
+
+        // Carried-in values get fresh names; updates bound later.
+        for (const CarriedValue &cv : src.carried) {
+            ValueId nv = out.addValue(src.typeOf(cv.in),
+                                      src.valueInfo(cv.in).name);
+            carriedInMap[static_cast<size_t>(cv.in)] = nv;
+        }
+
+        emitBody();
+
+        // Rebind original carried values through the last replica.
+        // Chains replaced by vector reduction accumulators are
+        // finalized by their post-loop folds instead.
+        for (const CarriedValue &cv : src.carried) {
+            OpId upd_def = du.defOp(cv.update);
+            if (upd_def != kNoOp && isVec(upd_def) &&
+                va.reduction[static_cast<size_t>(upd_def)]) {
+                continue;
+            }
+            ValueId in = carriedInMap[static_cast<size_t>(cv.in)];
+            ValueId update = scalarRead(cv.update, k - 1);
+            ValueId init = liveInMap[static_cast<size_t>(cv.init)];
+            SV_ASSERT(init != kNoValue, "carried init not a live-in");
+            out.carried.push_back(CarriedValue{in, update, init});
+        }
+
+        // Live-outs observe the final original iteration (lane k-1)
+        // and keep their source-level names so callers can chain
+        // loops by name.
+        for (ValueId v : src.liveOuts) {
+            ValueId mapped = scalarRead(v, k - 1);
+            const std::string &want = src.valueInfo(v).name;
+            if (out.valueInfo(mapped).name != want &&
+                out.findValue(want) == kNoValue) {
+                out.values[static_cast<size_t>(mapped)].name = want;
+            }
+            out.liveOuts.push_back(mapped);
+        }
+
+        // Early-exit loops observe state at the exiting replica: lane
+        // tables give the executor every replica's reading.
+        if (src.hasEarlyExit()) {
+            for (ValueId v : src.liveOuts) {
+                std::vector<ValueId> lanes;
+                for (int r = 0; r < k; ++r)
+                    lanes.push_back(scalarRead(v, r));
+                out.liveOutLanes.push_back(std::move(lanes));
+            }
+            for (const CarriedValue &ncv : out.carried) {
+                // Synthesized chains (alignment reuse) have no
+                // original counterpart; their continuation is moot
+                // after an exit, so any visible value serves.
+                int oi = originalCarried(ncv);
+                std::vector<ValueId> lanes;
+                for (int r = 0; r < k; ++r) {
+                    lanes.push_back(
+                        oi >= 0 ? scalarRead(
+                                      src.carried[static_cast<size_t>(
+                                          oi)].update, r)
+                                : ncv.update);
+                }
+                out.carriedUpdateLanes.push_back(std::move(lanes));
+            }
+        }
+
+        verifyLoopOrDie(arrays, out);
+        return std::move(out);
+    }
+
+  private:
+    /** Index of the source carried record a transformed record came
+     *  from (-1 for synthesized alignment chains). */
+    int
+    originalCarried(const CarriedValue &ncv) const
+    {
+        for (size_t i = 0; i < src.carried.size(); ++i) {
+            if (carriedInMap[static_cast<size_t>(
+                    src.carried[i].in)] == ncv.in) {
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+    }
+
+    bool
+    isVec(OpId op) const
+    {
+        return vec[static_cast<size_t>(op)];
+    }
+
+    std::string
+    fresh(const std::string &base)
+    {
+        return out.freshName(base);
+    }
+
+    /** Value read by scalar replica r for original value v. */
+    ValueId
+    scalarRead(ValueId v, int r)
+    {
+        if (liveInMap[static_cast<size_t>(v)] != kNoValue)
+            return liveInMap[static_cast<size_t>(v)];
+
+        int ci = src.carriedIndexOfIn(v);
+        if (ci >= 0) {
+            if (r == 0)
+                return carriedInMap[static_cast<size_t>(v)];
+            const CarriedValue &cv =
+                src.carried[static_cast<size_t>(ci)];
+            return scalarRead(cv.update, r - 1);
+        }
+
+        OpId def = du.defOp(v);
+        SV_ASSERT(def != kNoOp, "reading undefined value '%s'",
+                  src.valueInfo(v).name.c_str());
+        if (reducedScalar[static_cast<size_t>(v)] != kNoValue) {
+            // A vectorized reduction's update: only its post-loop
+            // fold is observable (the analysis forbids body uses).
+            return reducedScalar[static_cast<size_t>(v)];
+        }
+        if (!isVec(def)) {
+            ValueId nv = scalarMap[static_cast<size_t>(v)]
+                                  [static_cast<size_t>(r)];
+            SV_ASSERT(nv != kNoValue,
+                      "replica %d of '%s' read before definition", r,
+                      src.valueInfo(v).name.c_str());
+            return nv;
+        }
+        // Vector-defined value consumed by a scalar: transfer once;
+        // every consumer reuses the transferred lanes.
+        if (scalarMap[static_cast<size_t>(v)][0] == kNoValue)
+            emitVectorToScalar(v);
+        return scalarMap[static_cast<size_t>(v)][static_cast<size_t>(r)];
+    }
+
+    /** Vector value for original value v. */
+    ValueId
+    vectorRead(ValueId v)
+    {
+        if (vectorMap[static_cast<size_t>(v)] != kNoValue)
+            return vectorMap[static_cast<size_t>(v)];
+
+        if (liveInMap[static_cast<size_t>(v)] != kNoValue) {
+            // Loop-invariant: splat in the preheader.
+            if (splatMap[static_cast<size_t>(v)] == kNoValue) {
+                ValueId nv = out.addValue(
+                    vectorType(src.typeOf(v)),
+                    fresh(src.valueInfo(v).name + ".vspl"));
+                out.splatIns.push_back(SplatIn{
+                    nv, liveInMap[static_cast<size_t>(v)]});
+                splatMap[static_cast<size_t>(v)] = nv;
+            }
+            return splatMap[static_cast<size_t>(v)];
+        }
+
+        // Scalar-side or carried value: gather the VL lane readings.
+        emitScalarToVector(v);
+        return vectorMap[static_cast<size_t>(v)];
+    }
+
+    void
+    emitVectorToScalar(ValueId v)
+    {
+        ValueId vv = vectorMap[static_cast<size_t>(v)];
+        SV_ASSERT(vv != kNoValue, "transfer from unmapped vector '%s'",
+                  src.valueInfo(v).name.c_str());
+        const std::string &base = src.valueInfo(v).name;
+        Type elem = elementType(out.typeOf(vv));
+
+        ValueId chan = kNoValue;
+        if (machine.transfer == TransferModel::ThroughMemory) {
+            Operation st;
+            st.opcode = Opcode::XferStoreV;
+            st.srcs = {vv};
+            chan = out.addValue(Type::Chan, fresh(base + ".ch"));
+            st.dest = chan;
+            out.addOp(std::move(st));
+        }
+        for (int r = 0; r < k; ++r) {
+            Operation ld;
+            ld.lane = r;
+            ld.replica = r;
+            switch (machine.transfer) {
+              case TransferModel::ThroughMemory:
+                ld.opcode = Opcode::XferLoadS;
+                ld.srcs = {chan};
+                break;
+              case TransferModel::DirectMove:
+                ld.opcode = Opcode::MovVS;
+                ld.srcs = {vv};
+                break;
+              case TransferModel::Free:
+                ld.opcode = Opcode::VPick;
+                ld.srcs = {vv};
+                break;
+            }
+            ValueId nv = out.addValue(
+                elem, fresh(base + ".s" + std::to_string(r)));
+            ld.dest = nv;
+            out.addOp(std::move(ld));
+            scalarMap[static_cast<size_t>(v)][static_cast<size_t>(r)] =
+                nv;
+        }
+    }
+
+    void
+    emitScalarToVector(ValueId v)
+    {
+        const std::string &base = src.valueInfo(v).name;
+        std::vector<ValueId> lanes;
+        for (int r = 0; r < k; ++r)
+            lanes.push_back(scalarRead(v, r));
+        Type vt = vectorType(src.typeOf(v));
+
+        ValueId result = kNoValue;
+        switch (machine.transfer) {
+          case TransferModel::ThroughMemory: {
+            std::vector<ValueId> chans;
+            for (int r = 0; r < k; ++r) {
+                Operation st;
+                st.opcode = Opcode::XferStoreS;
+                st.srcs = {lanes[static_cast<size_t>(r)]};
+                st.lane = r;
+                st.replica = r;
+                ValueId chan = out.addValue(
+                    Type::Chan, fresh(base + ".ch" + std::to_string(r)));
+                st.dest = chan;
+                out.addOp(std::move(st));
+                chans.push_back(chan);
+            }
+            Operation ld;
+            ld.opcode = Opcode::XferLoadV;
+            ld.srcs = chans;
+            result = out.addValue(vt, fresh(base + ".v"));
+            ld.dest = result;
+            out.addOp(std::move(ld));
+            break;
+          }
+          case TransferModel::DirectMove: {
+            ValueId acc = kNoValue;
+            for (int r = 0; r < k; ++r) {
+                Operation mv;
+                mv.opcode = Opcode::MovSV;
+                mv.srcs = {acc, lanes[static_cast<size_t>(r)]};
+                mv.lane = r;
+                mv.replica = r;
+                acc = out.addValue(
+                    vt, fresh(base + ".v" + std::to_string(r)));
+                mv.dest = acc;
+                out.addOp(std::move(mv));
+            }
+            result = acc;
+            break;
+          }
+          case TransferModel::Free: {
+            Operation pk;
+            pk.opcode = Opcode::VPack;
+            pk.srcs = lanes;
+            result = out.addValue(vt, fresh(base + ".v"));
+            pk.dest = result;
+            out.addOp(std::move(pk));
+            break;
+          }
+        }
+        vectorMap[static_cast<size_t>(v)] = result;
+    }
+
+    /**
+     * Emit the body in an order that satisfies every same-kernel-
+     * iteration dependence: one node per vector instance and one per
+     * scalar replica, with edges for distance-0 register and memory
+     * dependences (a vector consumer needs ALL replicas of a scalar
+     * producer; a scalar consumer of a vector value needs the vector
+     * instance) and for carried chains threading replica r-1 into
+     * replica r. The graph is acyclic whenever the partition is legal
+     * (a cycle would imply an original dependence cycle of distance
+     * below the vector length, which the analysis rejects); ties
+     * resolve to program order then replica order, which reproduces
+     * the paper's topologically-sorted-components emission on
+     * unmixed loops.
+     */
+    void
+    emitBody()
+    {
+        struct Node
+        {
+            OpId op;
+            int replica;   // -1: the vector instance
+        };
+        std::vector<Node> nodes;
+        // Node id of (op, r): scalar ops occupy k slots, vector one.
+        std::vector<int> first_node(static_cast<size_t>(src.numOps()));
+        for (OpId op = 0; op < src.numOps(); ++op) {
+            first_node[static_cast<size_t>(op)] =
+                static_cast<int>(nodes.size());
+            if (isVec(op)) {
+                nodes.push_back(Node{op, -1});
+            } else {
+                for (int r = 0; r < k; ++r)
+                    nodes.push_back(Node{op, r});
+            }
+        }
+        auto node_of = [&](OpId op, int r) {
+            return first_node[static_cast<size_t>(op)] +
+                   (isVec(op) ? 0 : r);
+        };
+
+        int n = static_cast<int>(nodes.size());
+        std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+        std::vector<int> indeg(static_cast<size_t>(n), 0);
+        auto add_edge = [&](int from, int to) {
+            succ[static_cast<size_t>(from)].push_back(to);
+            ++indeg[static_cast<size_t>(to)];
+        };
+        // A dependence at original-iteration distance d < k crosses
+        // replicas inside one kernel iteration: producer lane r feeds
+        // consumer lane r + d. Vector instances stand in for every
+        // lane of their op, so edges from/to them collapse onto the
+        // single vector node (deduplication is unnecessary; Kahn's
+        // indegrees tolerate parallel edges).
+        auto add_dep = [&](OpId p, OpId c, int d) {
+            for (int rp = 0; rp < k; ++rp) {
+                int rc = rp + d;
+                if (rc >= k)
+                    break;
+                int from = node_of(p, rp);
+                int to = node_of(c, rc);
+                if (from == to)
+                    continue;   // vector self-pairs carry no order
+                add_edge(from, to);
+            }
+        };
+
+        DepGraph graph(arrays, src, machine);
+        for (const DepEdge &e : graph.edges()) {
+            if (e.src == e.dst)
+                continue;
+            if (e.distance < k)
+                add_dep(e.src, e.dst, e.distance);
+        }
+
+        // Kahn's algorithm with (program order, replica) priority.
+        std::vector<bool> emitted(static_cast<size_t>(n), false);
+        int remaining = n;
+        while (remaining > 0) {
+            int pick = -1;
+            for (int i = 0; i < n; ++i) {
+                if (!emitted[static_cast<size_t>(i)] &&
+                    indeg[static_cast<size_t>(i)] == 0) {
+                    pick = i;
+                    break;
+                }
+            }
+            SV_ASSERT(pick >= 0,
+                      "cyclic emission constraints in loop '%s' "
+                      "(illegal partition)", src.name.c_str());
+            emitted[static_cast<size_t>(pick)] = true;
+            --remaining;
+            const Node &node = nodes[static_cast<size_t>(pick)];
+            if (node.replica < 0)
+                emitVector(node.op);
+            else
+                emitScalar(node.op, node.replica);
+            for (int s : succ[static_cast<size_t>(pick)])
+                --indeg[static_cast<size_t>(s)];
+        }
+    }
+
+    void
+    emitScalar(OpId id, int r)
+    {
+        const Operation &op = src.op(id);
+        Operation n;
+        n.opcode = op.opcode;
+        n.lane = op.lane;
+        n.iimm = op.iimm;
+        n.fimm = op.fimm;
+        n.replica = r;
+        n.origin = id;
+        for (ValueId s : op.srcs)
+            n.srcs.push_back(s == kNoValue ? kNoValue
+                                           : scalarRead(s, r));
+        if (op.ref.valid()) {
+            n.ref = AffineRef{op.ref.array, op.ref.scale * k,
+                              op.ref.offset + op.ref.scale * r};
+        }
+        if (op.dest != kNoValue) {
+            ValueId nv = out.addValue(
+                src.typeOf(op.dest),
+                fresh(src.valueInfo(op.dest).name + "." +
+                      std::to_string(r)));
+            n.dest = nv;
+            scalarMap[static_cast<size_t>(op.dest)]
+                     [static_cast<size_t>(r)] = nv;
+        }
+        out.addOp(std::move(n));
+    }
+
+    void
+    emitVector(OpId id)
+    {
+        const Operation &op = src.op(id);
+        if (va.reduction[static_cast<size_t>(id)]) {
+            emitReduction(id);
+            return;
+        }
+        if (op.opcode == Opcode::Load) {
+            emitVectorLoad(id);
+            return;
+        }
+        if (op.opcode == Opcode::Store) {
+            emitVectorStore(id);
+            return;
+        }
+
+        Operation n;
+        n.opcode = vectorOpcode(op.opcode);
+        SV_ASSERT(n.opcode != Opcode::Nop, "op %d not vectorizable",
+                  id);
+        n.origin = id;
+        for (ValueId s : op.srcs)
+            n.srcs.push_back(vectorRead(s));
+        ValueId nv = out.addValue(
+            vectorType(src.typeOf(op.dest)),
+            fresh(src.valueInfo(op.dest).name + ".v"));
+        n.dest = nv;
+        vectorMap[static_cast<size_t>(op.dest)] = nv;
+        out.addOp(std::move(n));
+    }
+
+    /**
+     * Vectorize an associative reduction (the paper's section 6
+     * extension): the scalar accumulator becomes a vector of VL
+     * partial accumulators seeded with [s0, identity, ...], updated
+     * by the vector opcode each iteration and folded back to a scalar
+     * after the loop. The fold result takes the original carried-in's
+     * name so cleanup loops chain from it transparently.
+     */
+    void
+    emitReduction(OpId id)
+    {
+        const Operation &op = src.op(id);
+        int ci = src.carriedIndexOfUpdate(op.dest);
+        SV_ASSERT(ci >= 0, "reduction %d updates no carried value", id);
+        const CarriedValue &cv = src.carried[static_cast<size_t>(ci)];
+        SV_ASSERT(op.srcs.size() == 2, "reduction %d is not binary",
+                  id);
+        bool in_first = op.srcs[0] == cv.in;
+        ValueId data = in_first ? op.srcs[1] : op.srcs[0];
+        ValueId data_v = vectorRead(data);
+
+        Type vt = vectorType(src.typeOf(op.dest));
+        const std::string &in_name = src.valueInfo(cv.in).name;
+
+        ValueId init_vec =
+            out.addValue(vt, fresh(in_name + ".vinit"));
+        ValueId init_scalar = liveInMap[static_cast<size_t>(cv.init)];
+        SV_ASSERT(init_scalar != kNoValue,
+                  "reduction init is not a live-in");
+        out.reduceInits.push_back(
+            ReduceInit{init_vec, init_scalar, op.opcode});
+
+        ValueId acc_in = out.addValue(vt, fresh(in_name + ".vacc"));
+
+        Operation n;
+        n.opcode = vectorOpcode(op.opcode);
+        n.origin = id;
+        n.srcs = in_first ? std::vector<ValueId>{acc_in, data_v}
+                          : std::vector<ValueId>{data_v, acc_in};
+        ValueId acc_out = out.addValue(
+            vt, fresh(src.valueInfo(op.dest).name + ".vacc"));
+        n.dest = acc_out;
+        out.addOp(std::move(n));
+        out.carried.push_back(CarriedValue{acc_in, acc_out, init_vec});
+
+        // The fold destination is a fresh scalar (renameable by the
+        // live-out mapping); the pre-created carried-in value rides
+        // along as the chain alias so cleanup loops resume under the
+        // original carried name.
+        ValueId fold = out.addValue(
+            src.typeOf(op.dest),
+            fresh(src.valueInfo(op.dest).name + ".red"));
+        out.postReduces.push_back(
+            PostReduce{fold, acc_out, op.opcode,
+                       carriedInMap[static_cast<size_t>(cv.in)]});
+        reducedScalar[static_cast<size_t>(op.dest)] = fold;
+    }
+
+    /** Sub-vector phase of an original unit-stride offset. */
+    int64_t
+    phase(int64_t offset) const
+    {
+        return ((offset % k) + k) % k;
+    }
+
+    void
+    emitVectorLoad(OpId id)
+    {
+        const Operation &op = src.op(id);
+        SV_ASSERT(op.ref.scale == 1, "vector load must be unit stride");
+        int64_t b = op.ref.offset;
+        Type vt = vectorType(src.typeOf(op.dest));
+        const std::string &base = src.valueInfo(op.dest).name;
+
+        if (machine.alignment == AlignPolicy::AssumeAligned) {
+            Operation n;
+            n.opcode = Opcode::VLoad;
+            n.origin = id;
+            n.ref = AffineRef{op.ref.array, k, b};
+            ValueId nv = out.addValue(vt, fresh(base + ".v"));
+            n.dest = nv;
+            vectorMap[static_cast<size_t>(op.dest)] = nv;
+            out.addOp(std::move(n));
+            return;
+        }
+
+        int64_t phi = phase(b);
+        if (va.memEntangled[static_cast<size_t>(id)]) {
+            // Some store to this array is dependence-entangled with
+            // the stream: the previous iteration's chunk may be stale.
+            // Fall back to two aligned loads plus a merge; the lanes
+            // the second load over-reads are discarded by the merge.
+            Operation lo;
+            lo.opcode = Opcode::VLoad;
+            lo.origin = id;
+            lo.ref = AffineRef{op.ref.array, k, b - phi};
+            ValueId lo_v = out.addValue(vt, fresh(base + ".lo"));
+            lo.dest = lo_v;
+            out.addOp(std::move(lo));
+
+            Operation hi;
+            hi.opcode = Opcode::VLoad;
+            hi.origin = id;
+            hi.ref = AffineRef{op.ref.array, k, b - phi + k};
+            ValueId hi_v = out.addValue(vt, fresh(base + ".hi"));
+            hi.dest = hi_v;
+            out.addOp(std::move(hi));
+
+            Operation merge;
+            merge.opcode = Opcode::VMerge;
+            merge.origin = id;
+            merge.srcs = {lo_v, hi_v};
+            merge.lane = static_cast<int>(phi);
+            ValueId nv = out.addValue(vt, fresh(base + ".v"));
+            merge.dest = nv;
+            out.addOp(std::move(merge));
+            vectorMap[static_cast<size_t>(op.dest)] = nv;
+            return;
+        }
+
+        // Clean stream: aligned chunk ahead + merge with the previous
+        // iteration's chunk (the reuse scheme of [13, 40]). phi = 0
+        // still compiles this way: the paper assumes no alignment
+        // information at all.
+        ValueId prev0 = out.addValue(vt, fresh(base + ".pre"));
+        out.preloads.push_back(
+            PreLoad{prev0, AffineRef{op.ref.array, k, b - phi}, true});
+        ValueId prev_in = out.addValue(vt, fresh(base + ".prev"));
+
+        Operation cur;
+        cur.opcode = Opcode::VLoad;
+        cur.origin = id;
+        cur.ref = AffineRef{op.ref.array, k, b - phi + k};
+        ValueId cur_v = out.addValue(vt, fresh(base + ".cur"));
+        cur.dest = cur_v;
+        out.addOp(std::move(cur));
+
+        Operation merge;
+        merge.opcode = Opcode::VMerge;
+        merge.origin = id;
+        merge.srcs = {prev_in, cur_v};
+        merge.lane = static_cast<int>(phi);
+        ValueId nv = out.addValue(vt, fresh(base + ".v"));
+        merge.dest = nv;
+        out.addOp(std::move(merge));
+
+        out.carried.push_back(CarriedValue{prev_in, cur_v, prev0});
+        vectorMap[static_cast<size_t>(op.dest)] = nv;
+    }
+
+    void
+    emitVectorStore(OpId id)
+    {
+        const Operation &op = src.op(id);
+        SV_ASSERT(op.ref.scale == 1, "vector store must be unit stride");
+        int64_t b = op.ref.offset;
+        ValueId sv = vectorRead(op.srcs[0]);
+        Type vt = out.typeOf(sv);
+        std::string base = "st" + std::to_string(id);
+
+        if (machine.alignment == AlignPolicy::AssumeAligned) {
+            Operation n;
+            n.opcode = Opcode::VStore;
+            n.origin = id;
+            n.srcs = {sv};
+            n.ref = AffineRef{op.ref.array, k, b};
+            out.addOp(std::move(n));
+            return;
+        }
+
+        // Misaligned: merge the tail of the previous iteration's value
+        // with the head of this one and store the aligned chunk; the
+        // first chunk is primed with original memory, the final phi
+        // elements drain through poststores. The analysis keeps
+        // dependence-entangled stores scalar, so the deferred partial
+        // chunks cannot reorder against other accesses.
+        SV_ASSERT(!va.memEntangled[static_cast<size_t>(id)],
+                  "misaligned store %d is dependence-entangled", id);
+        int64_t phi = phase(b);
+        ValueId prev0 = out.addValue(vt, fresh(base + ".pre"));
+        out.preloads.push_back(
+            PreLoad{prev0, AffineRef{op.ref.array, k, b - k}, true});
+        ValueId prev_in = out.addValue(vt, fresh(base + ".prev"));
+
+        Operation merge;
+        merge.opcode = Opcode::VMerge;
+        merge.origin = id;
+        merge.srcs = {prev_in, sv};
+        merge.lane = static_cast<int>(k - phi);
+        ValueId merged = out.addValue(vt, fresh(base + ".m"));
+        merge.dest = merged;
+        out.addOp(std::move(merge));
+
+        Operation n;
+        n.opcode = Opcode::VStore;
+        n.origin = id;
+        n.srcs = {merged};
+        n.ref = AffineRef{op.ref.array, k, b - phi};
+        out.addOp(std::move(n));
+
+        out.carried.push_back(CarriedValue{prev_in, sv, prev0});
+        for (int64_t l = 0; l < phi; ++l) {
+            out.poststores.push_back(PostStore{
+                sv, static_cast<int>(k - phi + l),
+                AffineRef{op.ref.array, k, b - phi + l}});
+        }
+    }
+
+    const Loop &src;
+    const ArrayTable &arrays;
+    const VectAnalysis &va;
+    const std::vector<bool> &vec;
+    const Machine &machine;
+    int k;
+    DefUse du;
+
+    Loop out;
+    std::vector<std::vector<ValueId>> scalarMap;
+    std::vector<ValueId> vectorMap;
+    std::vector<ValueId> liveInMap;
+    std::vector<ValueId> splatMap;
+    std::vector<ValueId> carriedInMap;
+    std::vector<ValueId> reducedScalar =
+        std::vector<ValueId>(static_cast<size_t>(src.numValues()),
+                             kNoValue);
+};
+
+} // anonymous namespace
+
+Loop
+transformLoop(const Loop &loop, const ArrayTable &arrays,
+              const VectAnalysis &va,
+              const std::vector<bool> &vectorize, const Machine &machine)
+{
+    Transformer t(loop, arrays, va, vectorize, machine);
+    return t.run();
+}
+
+Loop
+unrollLoop(const Loop &loop, const ArrayTable &arrays,
+           const Machine &machine)
+{
+    DepGraph graph(arrays, loop, machine);
+    VectAnalysis va = analyzeVectorizable(loop, graph, machine);
+    std::vector<bool> none(static_cast<size_t>(loop.numOps()), false);
+    return transformLoop(loop, arrays, va, none, machine);
+}
+
+} // namespace selvec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Loop transformation (paper section 3.3): materialize a partitioning
+ * decision as a new loop body covering VL original iterations.
+ *
+ *  - Vector-partition operations are replaced by their vector opcodes;
+ *    scalar-partition operations are emitted VL times with their
+ *    references rescaled (base + offset addressing over the widened
+ *    step).
+ *  - Strongly connected components are emitted in topological order,
+ *    members in original program order, replicas chained through
+ *    loop-carried values exactly as unrolling would.
+ *  - Values crossing the partitions get explicit transfer operations,
+ *    each operand transferred at most once (through-memory channels,
+ *    direct lane moves, or free packs, per the machine's model).
+ *  - Under AlignPolicy::AssumeMisaligned every vector memory access is
+ *    compiled as an aligned access plus a merge, reusing the previous
+ *    iteration's data (Eichenberger et al. [13], Wu et al. [40]):
+ *    loads carry the next aligned chunk forward; stores carry the
+ *    unmerged value forward and drain the final partial chunk with
+ *    poststores.
+ *  - Loop-invariant operands of vector operations are splatted in the
+ *    preheader (no kernel cost).
+ *
+ * The all-scalar partition degenerates to plain unroll-by-VL, which is
+ * exactly the paper's modulo-scheduling baseline.
+ */
+
+#ifndef SELVEC_CORE_TRANSFORM_HH
+#define SELVEC_CORE_TRANSFORM_HH
+
+#include "analysis/vectorizable.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+/**
+ * Apply a partition to a loop. `vectorize[op]` must imply
+ * `va.vectorizable[op]`. The input must be a frontend-level loop
+ * (no transfer/merge machinery, no preloads).
+ *
+ * The result covers `loop.coverage * machine.vectorLength` original
+ * iterations per body execution and passes the IR verifier.
+ */
+Loop transformLoop(const Loop &loop, const ArrayTable &arrays,
+                   const VectAnalysis &va,
+                   const std::vector<bool> &vectorize,
+                   const Machine &machine);
+
+/** Plain unroll-by-VL: transformLoop with the all-scalar partition. */
+Loop unrollLoop(const Loop &loop, const ArrayTable &arrays,
+                const Machine &machine);
+
+} // namespace selvec
+
+#endif // SELVEC_CORE_TRANSFORM_HH

@@ -1,0 +1,248 @@
+#include "driver/driver.hh"
+
+#include "analysis/depgraph.hh"
+#include "analysis/recmii.hh"
+#include "core/itersplit.hh"
+#include "core/transform.hh"
+#include "machine/binpack.hh"
+#include "pipeline/checker.hh"
+#include "pipeline/lowering.hh"
+#include "support/logging.hh"
+#include "vectorize/full.hh"
+#include "vectorize/traditional.hh"
+
+namespace selvec
+{
+
+const char *
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::ModuloOnly:  return "modulo";
+      case Technique::Traditional: return "traditional";
+      case Technique::Full:        return "full";
+      case Technique::Selective:   return "selective";
+      case Technique::IterationSplit: return "iter-split";
+    }
+    return "?";
+}
+
+double
+CompiledProgram::resMiiPerIteration() const
+{
+    double total = 0.0;
+    for (const CompiledLoop &cl : loops) {
+        total += static_cast<double>(cl.mainResMii) /
+                 static_cast<double>(cl.coverage);
+    }
+    return total;
+}
+
+double
+CompiledProgram::iiPerIteration() const
+{
+    double total = 0.0;
+    for (const CompiledLoop &cl : loops) {
+        total += static_cast<double>(cl.mainSchedule.ii) /
+                 static_cast<double>(cl.coverage);
+    }
+    return total;
+}
+
+namespace
+{
+
+/** Lower, build dependences, schedule, and validate one loop. */
+void
+scheduleInto(const Loop &body, const ArrayTable &arrays,
+             const Machine &machine, const ScheduleOptions &options,
+             Loop &lowered_out, ModuloSchedule &schedule_out,
+             int64_t *res_mii, int64_t *rec_mii)
+{
+    lowered_out = lowerForScheduling(body, machine);
+    DepGraph graph(arrays, lowered_out, machine);
+    ScheduleResult sr =
+        moduloSchedule(lowered_out, graph, machine, options);
+    if (!sr.ok)
+        SV_FATAL("%s", sr.error.c_str());
+    std::string check =
+        validateSchedule(lowered_out, graph, machine, sr.schedule);
+    if (!check.empty())
+        SV_FATAL("invalid schedule: %s", check.c_str());
+    schedule_out = std::move(sr.schedule);
+    if (res_mii != nullptr)
+        *res_mii = sr.resMii;
+    if (rec_mii != nullptr)
+        *rec_mii = sr.recMii;
+}
+
+CompiledLoop
+compilePair(const Loop &main_body, const Loop &cleanup_body,
+            const ArrayTable &arrays, const Machine &machine,
+            const ScheduleOptions &options)
+{
+    CompiledLoop cl;
+    cl.coverage = main_body.coverage;
+    scheduleInto(main_body, arrays, machine, options, cl.main,
+                 cl.mainSchedule, &cl.mainResMii, &cl.mainRecMii);
+    scheduleInto(cleanup_body, arrays, machine, options, cl.cleanup,
+                 cl.cleanupSchedule, nullptr, nullptr);
+    return cl;
+}
+
+/** Whether the baseline of `loop` is resource- (not recurrence-)
+ *  limited: ResMII >= RecMII on the unrolled form. */
+bool
+isResourceLimited(const Loop &loop, const ArrayTable &arrays,
+                  const Machine &machine)
+{
+    Loop unrolled = unrollLoop(loop, arrays, machine);
+    Loop lowered = lowerForScheduling(unrolled, machine);
+    DepGraph graph(arrays, lowered, machine);
+
+    std::vector<Opcode> opcodes;
+    for (const Operation &op : lowered.ops)
+        opcodes.push_back(op.opcode);
+    int64_t res = packedHighWater(machine, opcodes);
+    int64_t rec = computeRecMii(graph);
+    return res >= rec;
+}
+
+} // anonymous namespace
+
+CompiledProgram
+compileLoop(const Loop &loop, ArrayTable &arrays, const Machine &machine,
+            Technique technique, const DriverOptions &options)
+{
+    CompiledProgram program;
+    program.technique = technique;
+    program.resourceLimited = isResourceLimited(loop, arrays, machine);
+
+    switch (technique) {
+      case Technique::ModuloOnly: {
+        Loop main = unrollLoop(loop, arrays, machine);
+        program.loops.push_back(compilePair(main, loop, arrays, machine,
+                                            options.scheduling));
+        break;
+      }
+      case Technique::Full: {
+        Loop main = fullVectorize(loop, arrays, machine);
+        program.loops.push_back(compilePair(main, loop, arrays, machine,
+                                            options.scheduling));
+        break;
+      }
+      case Technique::Selective: {
+        DepGraph graph(arrays, loop, machine);
+        VectAnalysis va = analyzeVectorizable(loop, graph, machine,
+                                              options.vectorize);
+        program.partition =
+            partitionOps(loop, va, machine, options.partition);
+        Loop main = transformLoop(loop, arrays, va,
+                                  program.partition.vectorize, machine);
+        program.loops.push_back(compilePair(main, loop, arrays, machine,
+                                            options.scheduling));
+        break;
+      }
+      case Technique::Traditional: {
+        DistributedLoops dist = traditionalVectorize(
+            loop, arrays, machine, options.expansionSize);
+        for (const DistLoop &dl : dist.loops) {
+            program.loops.push_back(
+                compilePair(dl.main, dl.cleanup, arrays, machine,
+                            options.scheduling));
+        }
+        break;
+      }
+      case Technique::IterationSplit: {
+        DepGraph graph(arrays, loop, machine);
+        VectAnalysis va = analyzeVectorizable(loop, graph, machine,
+                                              options.vectorize);
+        int unroll = options.iterSplitUnroll > 0
+                         ? options.iterSplitUnroll
+                         : machine.vectorLength + 1;
+        IterSplitResult split =
+            iterationSplit(loop, arrays, va, machine, unroll);
+        Loop main = split.ok
+                        ? std::move(split.loop)
+                        : unrollLoop(loop, arrays, machine);
+        program.loops.push_back(compilePair(main, loop, arrays, machine,
+                                            options.scheduling));
+        break;
+      }
+    }
+    return program;
+}
+
+ExecResult
+runCompiled(const CompiledProgram &program, const ArrayTable &arrays,
+            const Machine &machine, MemoryImage &mem,
+            const LiveEnv &live_ins, int64_t n)
+{
+    ExecResult result;
+    result.env = live_ins;
+
+    for (const CompiledLoop &cl : program.loops) {
+        int64_t cover = cl.coverage;
+        int64_t j_main = n / cover;
+        int64_t remainder = n - j_main * cover;
+
+        result.cycles += machine.invocationOverhead;
+
+        LiveEnv carried_bridge;
+        if (j_main > 0) {
+            RunOutput out = executeLoop(arrays, cl.main, machine, mem,
+                                        result.env, j_main, 0,
+                                        &cl.mainSchedule);
+            result.cycles += out.cycles;
+            for (auto &[name, v] : out.liveOuts)
+                result.env[name] = v;
+            carried_bridge = std::move(out.carriedFinal);
+            if (out.exited) {
+                // The loop terminated itself: the executor already
+                // selected the exiting replica's observable state.
+                continue;
+            }
+        }
+
+        if (remainder > 0) {
+            LiveEnv cleanup_env = result.env;
+            // The cleanup loop resumes every carried chain from the
+            // main loop's continuation state.
+            if (j_main > 0) {
+                for (const CarriedValue &cv : cl.cleanup.carried) {
+                    const std::string &in_name =
+                        cl.cleanup.valueInfo(cv.in).name;
+                    auto it = carried_bridge.find(in_name);
+                    if (it != carried_bridge.end()) {
+                        cleanup_env[cl.cleanup.valueInfo(cv.init)
+                                        .name] = it->second;
+                    }
+                }
+            }
+            RunOutput out = executeLoop(arrays, cl.cleanup, machine,
+                                        mem, cleanup_env, remainder,
+                                        j_main * cover,
+                                        &cl.cleanupSchedule);
+            result.cycles += out.cycles;
+            for (auto &[name, v] : out.liveOuts)
+                result.env[name] = v;
+        }
+    }
+    return result;
+}
+
+ExecResult
+runReference(const Loop &loop, const ArrayTable &arrays,
+             const Machine &machine, MemoryImage &mem,
+             const LiveEnv &live_ins, int64_t n)
+{
+    RunOutput out =
+        executeLoop(arrays, loop, machine, mem, live_ins, n, 0, nullptr);
+    ExecResult result;
+    result.env = live_ins;
+    for (auto &[name, v] : out.liveOuts)
+        result.env[name] = v;
+    return result;
+}
+
+} // namespace selvec

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The compilation driver: one call from a frontend loop to an executed,
+ * cycle-counted software pipeline under any of the paper's four
+ * techniques.
+ *
+ *   ModuloOnly   — the baseline: unroll by VL (matching the benefit of
+ *                  one-address vector memory via base+offset
+ *                  addressing) and modulo schedule.
+ *   Traditional  — Allen-Kennedy distribution + scalar expansion +
+ *                  fusion; every resulting loop modulo scheduled.
+ *   Full         — vectorize everything in place, unroll the scalar
+ *                  rest, modulo schedule.
+ *   Selective    — the paper's contribution: KL partitioning against
+ *                  the machine's bins, then transform + modulo
+ *                  schedule.
+ *
+ * Every compiled loop pairs a main loop (coverage VL for vectorized /
+ * unrolled forms) with a scalar cleanup loop covering remainder
+ * iterations, exactly like the paper's generated code.
+ */
+
+#ifndef SELVEC_DRIVER_DRIVER_HH
+#define SELVEC_DRIVER_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/vectorizable.hh"
+#include "core/partition.hh"
+#include "pipeline/modsched.hh"
+#include "sim/executor.hh"
+
+namespace selvec
+{
+
+enum class Technique : uint8_t {
+    ModuloOnly,
+    Traditional,
+    Full,
+    Selective,
+
+    /**
+     * The paper's section 6 larger-scheduling-window extension: whole
+     * iterations are assigned to vector or scalar resources (unroll
+     * factor VL+1 by default; DriverOptions::iterSplitUnroll), with no
+     * communication. Requires hardware unaligned vector memory and no
+     * loop-carried state; otherwise falls back to the unrolled
+     * baseline.
+     */
+    IterationSplit,
+};
+
+const char *techniqueName(Technique t);
+
+struct DriverOptions
+{
+    /** Size of scalar-expansion temporaries (>= any trip count). */
+    int64_t expansionSize = 8192;
+
+    /**
+     * Vectorizability options for the Selective technique. Enable
+     * recognizeReductions to vectorize associative recurrences with
+     * partial accumulators (the paper's section 6 extension; it
+     * reorders floating-point reductions, so it is off by default as
+     * in the paper's evaluation).
+     */
+    VectOptions vectorize;
+
+    /** Selective-vectorization options (Table 4 toggles
+     *  cost.considerCommunication). */
+    PartitionOptions partition;
+
+    ScheduleOptions scheduling;
+
+    /** Unroll factor for Technique::IterationSplit (0: VL + 1). */
+    int iterSplitUnroll = 0;
+};
+
+/** One scheduled loop (main + cleanup pair). */
+struct CompiledLoop
+{
+    Loop main;                      ///< lowered
+    ModuloSchedule mainSchedule;
+    int64_t mainResMii = 0;
+    int64_t mainRecMii = 0;
+
+    Loop cleanup;                   ///< lowered, coverage 1
+    ModuloSchedule cleanupSchedule;
+
+    int coverage = 1;               ///< main.coverage
+};
+
+/** A compiled technique for one source loop. */
+struct CompiledProgram
+{
+    Technique technique = Technique::ModuloOnly;
+    std::vector<CompiledLoop> loops;    ///< executed in order
+
+    /** Selective only: the partitioning outcome. */
+    PartitionResult partition;
+
+    /** Per-original-iteration ResMII: sum of resMii/coverage. */
+    double resMiiPerIteration() const;
+
+    /** Per-original-iteration achieved II. */
+    double iiPerIteration() const;
+
+    /** True when the source loop's baseline II is bounded by
+     *  resources rather than recurrences. */
+    bool resourceLimited = false;
+};
+
+/**
+ * Compile one frontend loop with one technique. `arrays` may gain
+ * scalar-expansion temporaries (Traditional). Fatals on scheduling
+ * failure (which the II search makes practically impossible).
+ */
+CompiledProgram compileLoop(const Loop &loop, ArrayTable &arrays,
+                            const Machine &machine, Technique technique,
+                            const DriverOptions &options = {});
+
+/** Execution result of a compiled program. */
+struct ExecResult
+{
+    int64_t cycles = 0;      ///< total, including invocation overheads
+    LiveEnv env;             ///< live values after the last loop
+};
+
+/**
+ * Run a compiled program over `n` original iterations: each compiled
+ * loop executes floor(n/coverage) pipelined body iterations plus its
+ * cleanup remainder, chained through live values and carried state.
+ */
+ExecResult runCompiled(const CompiledProgram &program,
+                       const ArrayTable &arrays, const Machine &machine,
+                       MemoryImage &mem, const LiveEnv &live_ins,
+                       int64_t n);
+
+/**
+ * Reference execution of the original loop (sequential interpreter);
+ * the oracle every technique must match bit-for-bit.
+ */
+ExecResult runReference(const Loop &loop, const ArrayTable &arrays,
+                        const Machine &machine, MemoryImage &mem,
+                        const LiveEnv &live_ins, int64_t n);
+
+} // namespace selvec
+
+#endif // SELVEC_DRIVER_DRIVER_HH

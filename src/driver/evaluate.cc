@@ -1,0 +1,89 @@
+#include "driver/evaluate.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+SuiteReport
+evaluateSuite(const Suite &suite, const Machine &machine,
+              Technique technique, const EvaluateOptions &options)
+{
+    SuiteReport report;
+    report.suite = suite.name;
+    report.technique = technique;
+
+    for (const WorkloadLoop &wl : suite.loops) {
+        const Loop &loop = suite.loopOf(wl);
+
+        // Compilation may add scalar-expansion temporaries; both the
+        // pipelined run and the reference run use the extended table
+        // so their memory images stay comparable.
+        ArrayTable arrays = suite.module.arrays;
+        DriverOptions dopt = options.driver;
+        dopt.expansionSize =
+            std::max<int64_t>(dopt.expansionSize, wl.tripCount + 8);
+        CompiledProgram program =
+            compileLoop(loop, arrays, machine, technique, dopt);
+
+        MemoryImage mem(arrays);
+        mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
+        ExecResult run = runCompiled(program, arrays, machine, mem,
+                                     wl.liveIns, wl.tripCount);
+
+        if (options.verify) {
+            MemoryImage ref_mem(arrays);
+            ref_mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
+            ExecResult ref =
+                runReference(loop, arrays, machine, ref_mem,
+                             wl.liveIns, wl.tripCount);
+            std::string diff = mem.diff(ref_mem);
+            if (!diff.empty()) {
+                SV_FATAL("%s / %s / %s: memory diverged: %s",
+                         suite.name.c_str(), loop.name.c_str(),
+                         techniqueName(technique), diff.c_str());
+            }
+            for (ValueId v : loop.liveOuts) {
+                const std::string &name = loop.valueInfo(v).name;
+                if (!ref.env.count(name))
+                    continue;
+                if (!run.env.count(name) ||
+                    !(run.env.at(name) == ref.env.at(name))) {
+                    SV_FATAL("%s / %s / %s: live-out '%s' diverged "
+                             "(%s vs %s)",
+                             suite.name.c_str(), loop.name.c_str(),
+                             techniqueName(technique), name.c_str(),
+                             run.env.count(name)
+                                 ? run.env.at(name).str().c_str()
+                                 : "<absent>",
+                             ref.env.at(name).str().c_str());
+                }
+            }
+        }
+
+        LoopReport lr;
+        lr.name = loop.name;
+        lr.tripCount = wl.tripCount;
+        lr.invocations = wl.invocations;
+        lr.resMiiPerIter = program.resMiiPerIteration();
+        lr.iiPerIter = program.iiPerIteration();
+        lr.resourceLimited = program.resourceLimited;
+        lr.distributedLoops = static_cast<int>(program.loops.size());
+        lr.cyclesPerInvocation = run.cycles;
+        lr.weightedCycles = run.cycles * wl.invocations;
+        lr.partition = program.partition;
+        report.totalCycles += lr.weightedCycles;
+        report.loops.push_back(std::move(lr));
+    }
+    return report;
+}
+
+double
+speedupOver(const SuiteReport &baseline, const SuiteReport &technique)
+{
+    SV_ASSERT(technique.totalCycles > 0, "empty technique report");
+    return static_cast<double>(baseline.totalCycles) /
+           static_cast<double>(technique.totalCycles);
+}
+
+} // namespace selvec

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Suite-level evaluation: compile every kernel of a workload suite
+ * under one technique, verify the pipelined execution against the
+ * sequential reference, and accumulate invocation-weighted cycles —
+ * the quantity behind every speedup the paper reports.
+ */
+
+#ifndef SELVEC_DRIVER_EVALUATE_HH
+#define SELVEC_DRIVER_EVALUATE_HH
+
+#include "driver/driver.hh"
+#include "workloads/workloads.hh"
+
+namespace selvec
+{
+
+struct LoopReport
+{
+    std::string name;
+    int64_t tripCount = 0;
+    int64_t invocations = 0;
+
+    double resMiiPerIter = 0.0;   ///< sum over loops of ResMII/coverage
+    double iiPerIter = 0.0;       ///< achieved II per original iteration
+    bool resourceLimited = false;
+    int distributedLoops = 1;     ///< compiled loop count (traditional)
+
+    int64_t cyclesPerInvocation = 0;
+    int64_t weightedCycles = 0;
+
+    /** Selective only. */
+    PartitionResult partition;
+};
+
+struct SuiteReport
+{
+    std::string suite;
+    Technique technique = Technique::ModuloOnly;
+    int64_t totalCycles = 0;
+    std::vector<LoopReport> loops;
+};
+
+struct EvaluateOptions
+{
+    DriverOptions driver;
+
+    /** Check pipelined results against the reference interpreter
+     *  (memory and live-outs, bitwise). Fatal on mismatch. */
+    bool verify = true;
+};
+
+/** Evaluate one suite under one technique. */
+SuiteReport evaluateSuite(const Suite &suite, const Machine &machine,
+                          Technique technique,
+                          const EvaluateOptions &options = {});
+
+/** Speedup of `technique` over the ModuloOnly baseline. */
+double speedupOver(const SuiteReport &baseline,
+                   const SuiteReport &technique);
+
+} // namespace selvec
+
+#endif // SELVEC_DRIVER_EVALUATE_HH

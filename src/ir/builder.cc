@@ -1,0 +1,173 @@
+#include "ir/builder.hh"
+
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+LoopBuilder::LoopBuilder(ArrayTable &arrays, std::string loop_name)
+    : arrayTable(arrays)
+{
+    work.name = std::move(loop_name);
+}
+
+ArrayId
+LoopBuilder::array(const std::string &name, Type elem_type, int64_t size,
+                   int64_t base_align)
+{
+    ArrayInfo info;
+    info.name = name;
+    info.elemType = elem_type;
+    info.size = size;
+    info.baseAlign = base_align;
+    return arrayTable.add(std::move(info));
+}
+
+ValueId
+LoopBuilder::liveIn(const std::string &name, Type t)
+{
+    ValueId v = work.addValue(t, name);
+    work.liveIns.push_back(v);
+    return v;
+}
+
+ValueId
+LoopBuilder::carriedIn(const std::string &name, Type t, ValueId init)
+{
+    SV_ASSERT(init != kNoValue, "carried value '%s' needs an init",
+              name.c_str());
+    ValueId v = work.addValue(t, name);
+    work.carried.push_back(CarriedValue{v, kNoValue, init});
+    return v;
+}
+
+void
+LoopBuilder::bindUpdate(ValueId carried_in, ValueId update)
+{
+    int idx = work.carriedIndexOfIn(carried_in);
+    SV_ASSERT(idx >= 0, "value %d is not a carried-in", carried_in);
+    CarriedValue &cv = work.carried[static_cast<size_t>(idx)];
+    SV_ASSERT(cv.update == kNoValue, "carried '%s' already has an update",
+              work.valueInfo(carried_in).name.c_str());
+    cv.update = update;
+}
+
+ValueId
+LoopBuilder::load(ArrayId arr, int64_t scale, int64_t offset,
+                  const std::string &name)
+{
+    Type t = arrayTable[arr].elemType;
+    ValueId dest = work.addValue(
+        t, name.empty() ? autoName("ld") : name);
+    Operation op;
+    op.opcode = Opcode::Load;
+    op.dest = dest;
+    op.ref = AffineRef{arr, scale, offset};
+    work.addOp(std::move(op));
+    return dest;
+}
+
+void
+LoopBuilder::store(ArrayId arr, int64_t scale, int64_t offset,
+                   ValueId src)
+{
+    Operation op;
+    op.opcode = Opcode::Store;
+    op.srcs.push_back(src);
+    op.ref = AffineRef{arr, scale, offset};
+    work.addOp(std::move(op));
+}
+
+ValueId
+LoopBuilder::emit(Opcode opcode, std::initializer_list<ValueId> srcs,
+                  const std::string &name)
+{
+    const OpInfo &info = opInfo(opcode);
+    SV_ASSERT(!info.isMemory, "use load()/store() for memory ops");
+    Operation op;
+    op.opcode = opcode;
+    op.srcs.assign(srcs.begin(), srcs.end());
+
+    ValueId dest = kNoValue;
+    if (info.resultType != Type::None) {
+        // Derive the concrete result type from the first operand for
+        // polymorphic data-movement ops; arithmetic ops use the table.
+        Type t = info.resultType;
+        if (!op.srcs.empty()) {
+            Type st = work.typeOf(op.srcs[0]);
+            switch (opcode) {
+              case Opcode::VMerge:
+                t = st;
+                break;
+              case Opcode::VSplat:
+                t = vectorType(st);
+                break;
+              case Opcode::MovVS:
+                t = elementType(st);
+                break;
+              default:
+                break;
+            }
+        }
+        dest = work.addValue(t, name.empty() ? autoName("v") : name);
+        op.dest = dest;
+    } else {
+        SV_ASSERT(name.empty(), "op '%s' produces no value",
+                  info.name);
+    }
+    work.addOp(std::move(op));
+    return dest;
+}
+
+ValueId
+LoopBuilder::iconst(int64_t v, const std::string &name)
+{
+    ValueId dest = work.addValue(
+        Type::I64, name.empty() ? autoName("c") : name);
+    Operation op;
+    op.opcode = Opcode::IConst;
+    op.dest = dest;
+    op.iimm = v;
+    work.addOp(std::move(op));
+    return dest;
+}
+
+ValueId
+LoopBuilder::fconst(double v, const std::string &name)
+{
+    ValueId dest = work.addValue(
+        Type::F64, name.empty() ? autoName("c") : name);
+    Operation op;
+    op.opcode = Opcode::FConst;
+    op.dest = dest;
+    op.fimm = v;
+    work.addOp(std::move(op));
+    return dest;
+}
+
+void
+LoopBuilder::liveOut(ValueId v)
+{
+    work.liveOuts.push_back(v);
+}
+
+std::string
+LoopBuilder::autoName(const std::string &base)
+{
+    return base + std::to_string(nameCounter++);
+}
+
+Loop
+LoopBuilder::take()
+{
+    for (const CarriedValue &cv : work.carried) {
+        SV_ASSERT(cv.update != kNoValue,
+                  "carried '%s' in loop '%s' has no bound update",
+                  work.valueInfo(cv.in).name.c_str(), work.name.c_str());
+    }
+    verifyLoopOrDie(arrayTable, work);
+    return std::move(work);
+}
+
+} // namespace selvec

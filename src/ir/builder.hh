@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fluent construction API for Loops. Used by tests, workloads and the
+ * LIR parser; transformations construct Loops directly.
+ *
+ * Example (dot product with a sequential FP reduction):
+ * @code
+ *     ArrayTable arrays;
+ *     LoopBuilder b(arrays, "dot");
+ *     ArrayId x = b.array("X", Type::F64, 4096);
+ *     ArrayId y = b.array("Y", Type::F64, 4096);
+ *     ValueId s0 = b.liveIn("s0", Type::F64);
+ *     ValueId s = b.carriedIn("s", Type::F64, s0);
+ *     ValueId xv = b.load(x, 1, 0, "x");
+ *     ValueId yv = b.load(y, 1, 0, "y");
+ *     ValueId t = b.emit(Opcode::FMul, {xv, yv}, "t");
+ *     ValueId s1 = b.emit(Opcode::FAdd, {s, t}, "s1");
+ *     b.bindUpdate(s, s1);
+ *     b.liveOut(s1);
+ *     Loop loop = b.take();
+ * @endcode
+ */
+
+#ifndef SELVEC_IR_BUILDER_HH
+#define SELVEC_IR_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+
+#include "ir/loop.hh"
+
+namespace selvec
+{
+
+class LoopBuilder
+{
+  public:
+    LoopBuilder(ArrayTable &arrays, std::string loop_name);
+
+    /** Declare an array in the shared table. */
+    ArrayId array(const std::string &name, Type elem_type, int64_t size,
+                  int64_t base_align = 2);
+
+    /** Declare a live-in value. */
+    ValueId liveIn(const std::string &name, Type t);
+
+    /**
+     * Declare a loop-carried value with initial value `init` (a live-in
+     * or preload destination). The returned id names the carried-in
+     * value inside the body; bindUpdate() must be called before take().
+     */
+    ValueId carriedIn(const std::string &name, Type t, ValueId init);
+
+    /** Bind the body value that becomes next iteration's carried-in. */
+    void bindUpdate(ValueId carried_in, ValueId update);
+
+    /** Scalar load from arr[scale*j + offset]. */
+    ValueId load(ArrayId arr, int64_t scale, int64_t offset,
+                 const std::string &name = "");
+
+    /** Scalar store of src to arr[scale*j + offset]. */
+    void store(ArrayId arr, int64_t scale, int64_t offset, ValueId src);
+
+    /** Generic arithmetic op. */
+    ValueId emit(Opcode op, std::initializer_list<ValueId> srcs,
+                 const std::string &name = "");
+
+    /** Integer constant. */
+    ValueId iconst(int64_t v, const std::string &name = "");
+
+    /** Floating-point constant. */
+    ValueId fconst(double v, const std::string &name = "");
+
+    /** Mark a value live-out. */
+    void liveOut(ValueId v);
+
+    /** Direct access for unusual constructions. */
+    Loop &loop() { return work; }
+    ArrayTable &arrays() { return arrayTable; }
+
+    /**
+     * Finalize and move the loop out. Verifies all carried values have
+     * bound updates and runs the full IR verifier.
+     */
+    Loop take();
+
+  private:
+    std::string autoName(const std::string &base);
+
+    ArrayTable &arrayTable;
+    Loop work;
+    int nameCounter = 0;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_IR_BUILDER_HH

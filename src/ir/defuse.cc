@@ -1,0 +1,44 @@
+#include "ir/defuse.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+DefUse::DefUse(const Loop &loop)
+    : defs(static_cast<size_t>(loop.numValues()), kNoOp),
+      useLists(static_cast<size_t>(loop.numValues()))
+{
+    for (OpId id = 0; id < loop.numOps(); ++id) {
+        const Operation &op = loop.op(id);
+        if (op.dest != kNoValue) {
+            SV_ASSERT(defs[static_cast<size_t>(op.dest)] == kNoOp,
+                      "value '%s' multiply defined in loop '%s'",
+                      loop.valueInfo(op.dest).name.c_str(),
+                      loop.name.c_str());
+            defs[static_cast<size_t>(op.dest)] = id;
+        }
+        for (ValueId src : op.srcs) {
+            if (src != kNoValue)
+                useLists[static_cast<size_t>(src)].push_back(id);
+        }
+    }
+}
+
+OpId
+DefUse::defOp(ValueId v) const
+{
+    SV_ASSERT(v >= 0 && v < static_cast<ValueId>(defs.size()),
+              "bad value id %d", v);
+    return defs[static_cast<size_t>(v)];
+}
+
+const std::vector<OpId> &
+DefUse::uses(ValueId v) const
+{
+    SV_ASSERT(v >= 0 && v < static_cast<ValueId>(useLists.size()),
+              "bad value id %d", v);
+    return useLists[static_cast<size_t>(v)];
+}
+
+} // namespace selvec

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Def-use chains over a Loop body, computed once on demand.
+ */
+
+#ifndef SELVEC_IR_DEFUSE_HH
+#define SELVEC_IR_DEFUSE_HH
+
+#include <vector>
+
+#include "ir/loop.hh"
+
+namespace selvec
+{
+
+/**
+ * Def-use information for one Loop. Values defined outside the body
+ * (live-ins, carried-ins, preload destinations) report kNoOp as their
+ * defining operation.
+ */
+class DefUse
+{
+  public:
+    explicit DefUse(const Loop &loop);
+
+    /** Body op defining v, or kNoOp for externally defined values. */
+    OpId defOp(ValueId v) const;
+
+    /** Body ops reading v (in ascending OpId order). */
+    const std::vector<OpId> &uses(ValueId v) const;
+
+    /** True if v is read by any body op. */
+    bool hasUses(ValueId v) const { return !uses(v).empty(); }
+
+  private:
+    std::vector<OpId> defs;
+    std::vector<std::vector<OpId>> useLists;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_IR_DEFUSE_HH

@@ -1,0 +1,148 @@
+#include "ir/loop.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+ArrayId
+ArrayTable::add(ArrayInfo info)
+{
+    SV_ASSERT(find(info.name) == kNoArray, "duplicate array '%s'",
+              info.name.c_str());
+    SV_ASSERT(info.size >= 0, "array '%s' has negative size",
+              info.name.c_str());
+    table.push_back(std::move(info));
+    return static_cast<ArrayId>(table.size()) - 1;
+}
+
+const ArrayInfo &
+ArrayTable::operator[](ArrayId id) const
+{
+    SV_ASSERT(id >= 0 && id < size(), "bad array id %d", id);
+    return table[static_cast<size_t>(id)];
+}
+
+ArrayInfo &
+ArrayTable::operator[](ArrayId id)
+{
+    SV_ASSERT(id >= 0 && id < size(), "bad array id %d", id);
+    return table[static_cast<size_t>(id)];
+}
+
+ArrayId
+ArrayTable::find(const std::string &name) const
+{
+    for (size_t i = 0; i < table.size(); ++i) {
+        if (table[i].name == name)
+            return static_cast<ArrayId>(i);
+    }
+    return kNoArray;
+}
+
+ValueId
+Loop::addValue(Type t, std::string value_name)
+{
+    SV_ASSERT(t != Type::None, "value '%s' needs a type",
+              value_name.c_str());
+    SV_ASSERT(findValue(value_name) == kNoValue,
+              "duplicate value '%s' in loop '%s'", value_name.c_str(),
+              name.c_str());
+    values.push_back(ValueInfo{t, std::move(value_name)});
+    return static_cast<ValueId>(values.size()) - 1;
+}
+
+OpId
+Loop::addOp(Operation op)
+{
+    ops.push_back(std::move(op));
+    return static_cast<OpId>(ops.size()) - 1;
+}
+
+const ValueInfo &
+Loop::valueInfo(ValueId v) const
+{
+    SV_ASSERT(v >= 0 && v < numValues(), "bad value id %d in loop '%s'",
+              v, name.c_str());
+    return values[static_cast<size_t>(v)];
+}
+
+const Operation &
+Loop::op(OpId id) const
+{
+    SV_ASSERT(id >= 0 && id < numOps(), "bad op id %d in loop '%s'", id,
+              name.c_str());
+    return ops[static_cast<size_t>(id)];
+}
+
+Operation &
+Loop::op(OpId id)
+{
+    SV_ASSERT(id >= 0 && id < numOps(), "bad op id %d in loop '%s'", id,
+              name.c_str());
+    return ops[static_cast<size_t>(id)];
+}
+
+bool
+Loop::isLiveIn(ValueId v) const
+{
+    for (ValueId li : liveIns) {
+        if (li == v)
+            return true;
+    }
+    return false;
+}
+
+int
+Loop::carriedIndexOfIn(ValueId v) const
+{
+    for (size_t i = 0; i < carried.size(); ++i) {
+        if (carried[i].in == v)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Loop::carriedIndexOfUpdate(ValueId v) const
+{
+    for (size_t i = 0; i < carried.size(); ++i) {
+        if (carried[i].update == v)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+ValueId
+Loop::findValue(const std::string &value_name) const
+{
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (values[i].name == value_name)
+            return static_cast<ValueId>(i);
+    }
+    return kNoValue;
+}
+
+bool
+Loop::hasEarlyExit() const
+{
+    for (const Operation &op : ops) {
+        if (op.opcode == Opcode::ExitIf)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Loop::freshName(const std::string &base) const
+{
+    if (findValue(base) == kNoValue)
+        return base;
+    for (int n = 1;; ++n) {
+        std::string candidate = base + "." + std::to_string(n);
+        if (findValue(candidate) == kNoValue)
+            return candidate;
+    }
+}
+
+} // namespace selvec

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The Loop container: one innermost, countable do-loop in SSA-like
+ * form, plus the ArrayTable describing the memory it touches.
+ *
+ * A Loop is the unit every SelVec pass operates on. Its body is a list
+ * of Operations over virtual registers. Loop-carried register values
+ * (reductions, recurrences, the reuse registers of misaligned memory
+ * accesses) are declared as CarriedValue records: reading `in` yields
+ * the previous iteration's `update` value (or `init` on the first
+ * iteration).
+ *
+ * The loop's induction variable is implicit and normalized: iteration j
+ * runs j = 0 .. tripCount-1 and memory operations address elements
+ * `scale*j + offset`. `coverage` records how many iterations of the
+ * *original* source loop one execution of this body completes (1 for
+ * source loops; the unroll factor or vector length after
+ * transformation). Loop-control overhead (one induction update and one
+ * back-branch per body execution) is materialized by the lowering in
+ * src/pipeline, not stored here.
+ *
+ * `preloads` and `poststores` hold the once-per-invocation memory
+ * operations synthesized by the misaligned-access transformation
+ * (priming loads before the loop, final-element stores after it). They
+ * do not occupy kernel resources.
+ */
+
+#ifndef SELVEC_IR_LOOP_HH
+#define SELVEC_IR_LOOP_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace selvec
+{
+
+/** A named virtual register with a declared type. */
+struct ValueInfo
+{
+    Type type = Type::None;
+    std::string name;
+};
+
+/** One array known to the program. Sizes are in elements. */
+struct ArrayInfo
+{
+    std::string name;
+    Type elemType = Type::F64;
+    int64_t size = 0;
+
+    /**
+     * True for arrays synthesized by transformations (scalar expansion
+     * temporaries, gather/scatter staging buffers). Synthesized arrays
+     * are excluded from end-state equivalence checks.
+     */
+    bool synthesized = false;
+
+    /**
+     * Alignment of the array base in elements. The stock machines use
+     * vectors of two 64-bit elements, so an array is vector-aligned
+     * when `baseAlign % vectorLength == 0`. The default 16-byte-aligned
+     * base gives baseAlign 2.
+     */
+    int64_t baseAlign = 2;
+};
+
+/** Table of arrays shared by all loops of a module. */
+class ArrayTable
+{
+  public:
+    ArrayId add(ArrayInfo info);
+
+    const ArrayInfo &operator[](ArrayId id) const;
+    ArrayInfo &operator[](ArrayId id);
+
+    int size() const { return static_cast<int>(table.size()); }
+
+    /** Find by name; kNoArray if absent. */
+    ArrayId find(const std::string &name) const;
+
+  private:
+    std::vector<ArrayInfo> table;
+};
+
+/**
+ * A loop-carried register value: inside the body, `in` names the value
+ * produced by the previous iteration's `update` (or `init`, a live-in,
+ * on iteration 0). `update` may equal `in` only in the degenerate case
+ * of an unchanged carried value.
+ */
+struct CarriedValue
+{
+    ValueId in = kNoValue;
+    ValueId update = kNoValue;
+    ValueId init = kNoValue;
+};
+
+/** A priming load executed once before the loop body runs. */
+struct PreLoad
+{
+    ValueId dest = kNoValue;    ///< must be a carried value's init slot
+    AffineRef ref;              ///< evaluated at j = 0
+    bool vector = false;        ///< vector-wide load
+};
+
+/** A draining store executed once after the final iteration. */
+struct PostStore
+{
+    ValueId src = kNoValue;     ///< value whose final copy is stored
+    int lane = 0;               ///< lane extracted from a vector src
+    AffineRef ref;              ///< evaluated at j = tripCount
+};
+
+/**
+ * A hoisted broadcast: `vec` holds every lane equal to the scalar
+ * live-in's value. Loop-invariant operands of vector operations are
+ * splatted once in the preheader, so they occupy no kernel resources.
+ */
+struct SplatIn
+{
+    ValueId vec = kNoValue;
+    ValueId scalar = kNoValue;  ///< must be a live-in
+};
+
+/**
+ * Preheader constructor for a vectorized reduction's accumulator:
+ * lane 0 holds the scalar live-in's value, the remaining lanes the
+ * identity element of `op` (0 for adds, 1 for multiplies, the
+ * appropriate infinities for min/max).
+ */
+struct ReduceInit
+{
+    ValueId vec = kNoValue;
+    ValueId scalar = kNoValue;  ///< must be a live-in
+    Opcode op = Opcode::FAdd;   ///< scalar opcode of the reduction
+};
+
+/**
+ * Post-loop horizontal fold of a vectorized reduction: after the
+ * final iteration, `dest` receives the lanes of `srcVec`'s last value
+ * combined left-to-right with the scalar opcode `op`. `dest` may
+ * appear in the live-out list and names the continuation state a
+ * cleanup loop resumes from.
+ */
+struct PostReduce
+{
+    ValueId dest = kNoValue;
+    ValueId srcVec = kNoValue;  ///< body-defined vector value
+    Opcode op = Opcode::FAdd;
+
+    /**
+     * Optional alias carrying the original carried-in's name: the
+     * executor publishes the folded value as continuation state under
+     * this value's name (so cleanup loops resume the chain) while
+     * `dest` keeps the live-out name. kNoValue: use `dest`'s name.
+     */
+    ValueId chainIn = kNoValue;
+};
+
+/**
+ * One innermost loop. See the file comment for the execution model.
+ */
+class Loop
+{
+  public:
+    std::string name;
+
+    std::vector<ValueInfo> values;
+    std::vector<ValueId> liveIns;
+    std::vector<CarriedValue> carried;
+    std::vector<ValueId> liveOuts;
+    std::vector<Operation> ops;
+
+    std::vector<PreLoad> preloads;
+    std::vector<PostStore> poststores;
+    std::vector<SplatIn> splatIns;
+    std::vector<ReduceInit> reduceInits;
+    std::vector<PostReduce> postReduces;
+
+    /**
+     * Early-exit support for transformed loops (coverage > 1 and an
+     * ExitIf present): when the exit triggers at original iteration e
+     * inside a body, the loop's observable values come from replica
+     * e %% coverage, not the usual last replica. liveOutLanes[i][r]
+     * is live-out i's value as of replica r; carriedUpdateLanes[c][r]
+     * is carried chain c's update as of replica r. Empty for source
+     * loops and exit-free transforms.
+     */
+    std::vector<std::vector<ValueId>> liveOutLanes;
+    std::vector<std::vector<ValueId>> carriedUpdateLanes;
+
+    /** Original-loop iterations completed per body execution. */
+    int coverage = 1;
+
+    /** True if any operation is an ExitIf. */
+    bool hasEarlyExit() const;
+
+    /** Create a new value; returns its id. */
+    ValueId addValue(Type t, std::string value_name);
+
+    /** Append an operation; returns its id. */
+    OpId addOp(Operation op);
+
+    const ValueInfo &valueInfo(ValueId v) const;
+    const Operation &op(OpId id) const;
+    Operation &op(OpId id);
+
+    int numValues() const { return static_cast<int>(values.size()); }
+    int numOps() const { return static_cast<int>(ops.size()); }
+
+    Type typeOf(ValueId v) const { return valueInfo(v).type; }
+
+    bool isLiveIn(ValueId v) const;
+
+    /** Index into `carried` whose `in` is v, or -1. */
+    int carriedIndexOfIn(ValueId v) const;
+
+    /** Index into `carried` whose `update` is v, or -1. */
+    int carriedIndexOfUpdate(ValueId v) const;
+
+    /** Find a value by name; kNoValue if absent. */
+    ValueId findValue(const std::string &value_name) const;
+
+    /**
+     * A fresh value name that does not collide with any existing value,
+     * derived from `base`.
+     */
+    std::string freshName(const std::string &base) const;
+};
+
+/** A parsed or constructed module: arrays plus one or more loops. */
+struct Module
+{
+    ArrayTable arrays;
+    std::vector<Loop> loops;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_IR_LOOP_HH

@@ -1,0 +1,181 @@
+#include "ir/opcodes.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+constexpr Opcode NOP = Opcode::Nop;
+
+// Shorthand row constructor keeps the table legible.
+constexpr OpInfo
+row(const char *name, OpClass cls, int srcs, Type result,
+    Opcode vec = NOP, Opcode scal = NOP, bool mem = false,
+    bool store = false, bool isvec = false)
+{
+    return OpInfo{name, cls, srcs, result, vec, scal, mem, store, isvec};
+}
+
+const OpInfo opTable[kNumOpcodes] = {
+    // Scalar integer.
+    row("iconst", OpClass::IntAlu, 0, Type::I64),
+    row("imov", OpClass::IntAlu, 1, Type::I64),
+    row("iadd", OpClass::IntAlu, 2, Type::I64, Opcode::VIAdd),
+    row("isub", OpClass::IntAlu, 2, Type::I64, Opcode::VISub),
+    row("imul", OpClass::IntMul, 2, Type::I64, Opcode::VIMul),
+    row("idiv", OpClass::IntDiv, 2, Type::I64, Opcode::VIDiv),
+    row("imin", OpClass::IntAlu, 2, Type::I64, Opcode::VIMin),
+    row("imax", OpClass::IntAlu, 2, Type::I64, Opcode::VIMax),
+    row("iand", OpClass::IntAlu, 2, Type::I64, Opcode::VIAnd),
+    row("ior", OpClass::IntAlu, 2, Type::I64, Opcode::VIOr),
+    row("ixor", OpClass::IntAlu, 2, Type::I64, Opcode::VIXor),
+    row("ishl", OpClass::IntAlu, 2, Type::I64, Opcode::VIShl),
+    row("ishr", OpClass::IntAlu, 2, Type::I64, Opcode::VIShr),
+    row("ineg", OpClass::IntAlu, 1, Type::I64, Opcode::VINeg),
+    // Scalar floating point.
+    row("fconst", OpClass::FpAlu, 0, Type::F64),
+    row("fmov", OpClass::FpAlu, 1, Type::F64),
+    row("fadd", OpClass::FpAlu, 2, Type::F64, Opcode::VFAdd),
+    row("fsub", OpClass::FpAlu, 2, Type::F64, Opcode::VFSub),
+    row("fmul", OpClass::FpMul, 2, Type::F64, Opcode::VFMul),
+    row("fdiv", OpClass::FpDiv, 2, Type::F64, Opcode::VFDiv),
+    row("fmin", OpClass::FpAlu, 2, Type::F64, Opcode::VFMin),
+    row("fmax", OpClass::FpAlu, 2, Type::F64, Opcode::VFMax),
+    row("fneg", OpClass::FpAlu, 1, Type::F64, Opcode::VFNeg),
+    row("fabs", OpClass::FpAlu, 1, Type::F64, Opcode::VFAbs),
+    row("fmuladd", OpClass::FpMul, 3, Type::F64, Opcode::VFMulAdd),
+    // Scalar memory. The result type of Load is refined by the verifier
+    // from the destination value's declared type (I64 or F64).
+    row("load", OpClass::MemLoad, 0, Type::F64, Opcode::VLoad, NOP,
+        true),
+    row("store", OpClass::MemStore, 1, Type::None, Opcode::VStore, NOP,
+        true, true),
+    // Vector memory.
+    row("vload", OpClass::VecMemLoad, 0, Type::VF64, NOP, Opcode::Load,
+        true, false, true),
+    row("vstore", OpClass::VecMemStore, 1, Type::None, NOP,
+        Opcode::Store, true, true, true),
+    // Vector integer.
+    row("viadd", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IAdd,
+        false, false, true),
+    row("visub", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::ISub,
+        false, false, true),
+    row("vimul", OpClass::VecIntMul, 2, Type::VI64, NOP, Opcode::IMul,
+        false, false, true),
+    row("vidiv", OpClass::VecIntDiv, 2, Type::VI64, NOP, Opcode::IDiv,
+        false, false, true),
+    row("vimin", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IMin,
+        false, false, true),
+    row("vimax", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IMax,
+        false, false, true),
+    row("viand", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IAnd,
+        false, false, true),
+    row("vior", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IOr,
+        false, false, true),
+    row("vixor", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IXor,
+        false, false, true),
+    row("vishl", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IShl,
+        false, false, true),
+    row("vishr", OpClass::VecIntAlu, 2, Type::VI64, NOP, Opcode::IShr,
+        false, false, true),
+    row("vineg", OpClass::VecIntAlu, 1, Type::VI64, NOP, Opcode::INeg,
+        false, false, true),
+    // Vector floating point.
+    row("vfadd", OpClass::VecFpAlu, 2, Type::VF64, NOP, Opcode::FAdd,
+        false, false, true),
+    row("vfsub", OpClass::VecFpAlu, 2, Type::VF64, NOP, Opcode::FSub,
+        false, false, true),
+    row("vfmul", OpClass::VecFpMul, 2, Type::VF64, NOP, Opcode::FMul,
+        false, false, true),
+    row("vfdiv", OpClass::VecFpDiv, 2, Type::VF64, NOP, Opcode::FDiv,
+        false, false, true),
+    row("vfmin", OpClass::VecFpAlu, 2, Type::VF64, NOP, Opcode::FMin,
+        false, false, true),
+    row("vfmax", OpClass::VecFpAlu, 2, Type::VF64, NOP, Opcode::FMax,
+        false, false, true),
+    row("vfneg", OpClass::VecFpAlu, 1, Type::VF64, NOP, Opcode::FNeg,
+        false, false, true),
+    row("vfabs", OpClass::VecFpAlu, 1, Type::VF64, NOP, Opcode::FAbs,
+        false, false, true),
+    row("vfmuladd", OpClass::VecFpMul, 3, Type::VF64, NOP,
+        Opcode::FMulAdd, false, false, true),
+    // Vector data movement.
+    row("vmerge", OpClass::VecMergeCls, 2, Type::VF64, NOP, NOP, false,
+        false, true),
+    row("vsplat", OpClass::VecMergeCls, 1, Type::VF64, NOP, NOP, false,
+        false, true),
+    row("movsv", OpClass::VecMergeCls, 2, Type::VF64, NOP, NOP, false,
+        false, true),
+    row("movvs", OpClass::VecMergeCls, 1, Type::F64, NOP, NOP, false,
+        false, true),
+    // Through-memory transfer channels. Resource-wise these are memory
+    // operations (the evaluated machine communicates through memory);
+    // semantically they form an SSA channel.
+    row("xfer.stores", OpClass::MemStore, 1, Type::Chan),
+    row("xfer.loadv", OpClass::VecMemLoad, -1, Type::VF64, NOP, NOP,
+        false, false, true),
+    row("xfer.storev", OpClass::VecMemStore, 1, Type::Chan, NOP, NOP,
+        false, false, true),
+    row("xfer.loads", OpClass::MemLoad, 1, Type::F64),
+    // Zero-cost transfers: variadic scalar gather into a vector and
+    // single-lane extract, for machines where communication is free
+    // (the paper's Figure 1 idealization).
+    row("vpack", OpClass::XferFree, -1, Type::VF64, NOP, NOP, false,
+        false, true),
+    row("vpick", OpClass::XferFree, 1, Type::F64),
+    // Comparisons and early exit.
+    row("icmplt", OpClass::IntAlu, 2, Type::I64),
+    row("fcmplt", OpClass::FpAlu, 2, Type::I64),
+    row("exitif", OpClass::BranchCls, 1, Type::None),
+    // Control.
+    row("br", OpClass::BranchCls, 0, Type::None),
+    row("nop", OpClass::Misc, 0, Type::None),
+};
+
+const char *clsNames[kNumOpClasses] = {
+    "IntAlu", "IntMul", "IntDiv",
+    "FpAlu", "FpMul", "FpDiv",
+    "MemLoad", "MemStore",
+    "VecIntAlu", "VecIntMul", "VecIntDiv",
+    "VecFpAlu", "VecFpMul", "VecFpDiv",
+    "VecMemLoad", "VecMemStore",
+    "VecMerge",
+    "Branch",
+    "XferFree",
+    "Misc",
+};
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    int idx = static_cast<int>(op);
+    SV_ASSERT(idx >= 0 && idx < kNumOpcodes, "bad opcode %d", idx);
+    return opTable[idx];
+}
+
+Opcode
+opcodeFromName(const char *name)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        if (std::strcmp(opTable[i].name, name) == 0)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    int idx = static_cast<int>(cls);
+    SV_ASSERT(idx >= 0 && idx < kNumOpClasses, "bad op class %d", idx);
+    return clsNames[idx];
+}
+
+} // namespace selvec

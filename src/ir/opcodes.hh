@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Opcode vocabulary of the SelVec low-level IR.
+ *
+ * The IR models the instruction set of a VLIW multimedia processor at
+ * the level the selective-vectorization partitioner cares about: each
+ * opcode belongs to an operation class (OpClass) which the machine
+ * description maps to resource reservations and a latency. Scalar
+ * opcodes that have a vector counterpart are the candidates for
+ * vectorization; `vectorOpcode()` / `scalarOpcode()` convert between the
+ * two forms.
+ *
+ * Communication between the scalar and vector partitions is explicit:
+ *  - On machines that transfer operands through memory (the paper's
+ *    evaluated configuration), a scalar->vector transfer is VL
+ *    XferStoreS operations feeding one XferLoadV, and a vector->scalar
+ *    transfer is one XferStoreV feeding VL XferLoadS operations. These
+ *    reserve the same resources as ordinary stores/loads.
+ *  - On machines with direct register moves, MovSV/MovVS lane moves
+ *    execute on the vector merge unit.
+ *
+ * VMerge extracts a VL-lane window from the concatenation of two vector
+ * registers (AltiVec vperm-style); it implements misaligned vector
+ * memory accesses via the previous-iteration reuse scheme of
+ * Eichenberger et al. and Wu et al.
+ */
+
+#ifndef SELVEC_IR_OPCODES_HH
+#define SELVEC_IR_OPCODES_HH
+
+#include <cstdint>
+
+#include "ir/types.hh"
+
+namespace selvec
+{
+
+enum class Opcode : uint8_t {
+    // Scalar integer arithmetic.
+    IConst, IMov, IAdd, ISub, IMul, IDiv, IMin, IMax,
+    IAnd, IOr, IXor, IShl, IShr, INeg,
+    // Scalar floating point arithmetic.
+    FConst, FMov, FAdd, FSub, FMul, FDiv, FMin, FMax,
+    FNeg, FAbs, FMulAdd,
+    // Scalar memory.
+    Load, Store,
+    // Vector memory.
+    VLoad, VStore,
+    // Vector integer arithmetic.
+    VIAdd, VISub, VIMul, VIDiv, VIMin, VIMax,
+    VIAnd, VIOr, VIXor, VIShl, VIShr, VINeg,
+    // Vector floating point arithmetic.
+    VFAdd, VFSub, VFMul, VFDiv, VFMin, VFMax,
+    VFNeg, VFAbs, VFMulAdd,
+    // Vector data movement (merge unit).
+    VMerge, VSplat, MovSV, MovVS,
+    // Through-memory transfer channels.
+    XferStoreS, XferLoadV, XferStoreV, XferLoadS,
+    // Zero-cost transfers (machines with free scalar<->vector moves).
+    VPack, VPick,
+    // Comparisons (scalar only; they feed early-exit tests).
+    ICmpLt, FCmpLt,
+    // Early exit: if the i64 operand is nonzero, the iteration that
+    // executed this op is the loop's last (post-tested semantics).
+    ExitIf,
+    // Control and loop overhead.
+    Br, Nop,
+
+    NumOpcodes,
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/**
+ * Operation classes. The machine description assigns resource
+ * reservations and latencies per class, not per opcode.
+ */
+enum class OpClass : uint8_t {
+    IntAlu, IntMul, IntDiv,
+    FpAlu, FpMul, FpDiv,
+    MemLoad, MemStore,
+    VecIntAlu, VecIntMul, VecIntDiv,
+    VecFpAlu, VecFpMul, VecFpDiv,
+    VecMemLoad, VecMemStore,
+    VecMergeCls,
+    BranchCls,
+    XferFree,
+    Misc,
+
+    NumClasses,
+};
+
+constexpr int kNumOpClasses = static_cast<int>(OpClass::NumClasses);
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;       ///< mnemonic, also used by the LIR format
+    OpClass cls;            ///< operation class for resource/latency
+    int numSrcs;            ///< register source operands (-1: variadic)
+    Type resultType;        ///< None if the opcode produces no value
+    Opcode vectorForm;      ///< vector counterpart, or Nop if none
+    Opcode scalarForm;      ///< scalar counterpart, or Nop if none
+    bool isMemory;          ///< references memory through an AffineRef
+    bool isStore;           ///< memory write
+    bool isVector;          ///< operates on vector registers
+};
+
+/** Look up the static properties of an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic of an opcode. */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+/** Operation class of an opcode. */
+inline OpClass opClass(Opcode op) { return opInfo(op).cls; }
+
+/** True if the opcode reads or writes memory via an AffineRef. */
+inline bool isMemoryOp(Opcode op) { return opInfo(op).isMemory; }
+
+/** True if the opcode writes memory. */
+inline bool isStoreOp(Opcode op) { return opInfo(op).isStore; }
+
+/** True if the opcode operates on vector registers. */
+inline bool isVectorOp(Opcode op) { return opInfo(op).isVector; }
+
+/** True if a vector counterpart exists (the op may be vectorized). */
+inline bool
+hasVectorForm(Opcode op)
+{
+    return opInfo(op).vectorForm != Opcode::Nop;
+}
+
+/** Vector counterpart of a scalar opcode (Nop if none exists). */
+inline Opcode vectorOpcode(Opcode op) { return opInfo(op).vectorForm; }
+
+/** Scalar counterpart of a vector opcode (Nop if none exists). */
+inline Opcode scalarOpcode(Opcode op) { return opInfo(op).scalarForm; }
+
+/** Parse a mnemonic; returns Opcode::NumOpcodes on failure. */
+Opcode opcodeFromName(const char *name);
+
+/** Printable name of an operation class. */
+const char *opClassName(OpClass cls);
+
+} // namespace selvec
+
+#endif // SELVEC_IR_OPCODES_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A single IR operation and the affine memory reference it may carry.
+ */
+
+#ifndef SELVEC_IR_OPERATION_HH
+#define SELVEC_IR_OPERATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcodes.hh"
+#include "ir/types.hh"
+
+namespace selvec
+{
+
+/** Index of a virtual register within a Loop's value table. */
+using ValueId = int32_t;
+
+/** Index of an operation within a Loop's op list. */
+using OpId = int32_t;
+
+/** Index of an array within an ArrayTable. */
+using ArrayId = int32_t;
+
+constexpr ValueId kNoValue = -1;
+constexpr OpId kNoOp = -1;
+constexpr ArrayId kNoArray = -1;
+
+/**
+ * An affine reference into a one-dimensional array: the accessed element
+ * index is `scale * j + offset` where `j` is the loop's normalized
+ * induction variable (0, 1, 2, ...). Vector memory operations access
+ * `width` consecutive elements starting at that index; `width` is 1 for
+ * scalar accesses and the vector length for vector accesses.
+ *
+ * Multi-dimensional Fortran arrays are linearized by the frontend (the
+ * LIR format and builders), as SUIF does before dependence analysis;
+ * inner loops over the fastest-varying dimension then produce the
+ * unit-stride (`scale == 1`) references vectorization needs.
+ */
+struct AffineRef
+{
+    ArrayId array = kNoArray;
+    int64_t scale = 0;
+    int64_t offset = 0;
+
+    bool valid() const { return array != kNoArray; }
+
+    /** Element index accessed in iteration j (first lane for vectors). */
+    int64_t elementAt(int64_t j) const { return scale * j + offset; }
+
+    bool
+    operator==(const AffineRef &o) const
+    {
+        return array == o.array && scale == o.scale && offset == o.offset;
+    }
+};
+
+/**
+ * One IR operation. Operations are stored by value inside a Loop and
+ * addressed by OpId; they form an SSA-ish dataflow within a single loop
+ * body (each ValueId has at most one defining operation; loop-carried
+ * values are expressed by the Loop's CarriedValue records rather than by
+ * phi nodes).
+ */
+struct Operation
+{
+    Opcode opcode = Opcode::Nop;
+
+    /** Defined value, kNoValue if the opcode produces nothing. */
+    ValueId dest = kNoValue;
+
+    /** Register source operands. */
+    std::vector<ValueId> srcs;
+
+    /** Memory reference (memory opcodes only). */
+    AffineRef ref;
+
+    /** Lane index for MovSV/MovVS/XferStoreS/XferLoadS,
+     *  window shift for VMerge. */
+    int lane = 0;
+
+    /** Immediate payloads for IConst / FConst. */
+    int64_t iimm = 0;
+    double fimm = 0.0;
+
+    /**
+     * Which unroll replica of the original body this op belongs to
+     * (0-based). Purely diagnostic: it lets schedules print the
+     * "(iteration)" annotations of the paper's Figure 1.
+     */
+    int replica = 0;
+
+    /** OpId of the original-loop op this one descends from, or kNoOp. */
+    OpId origin = kNoOp;
+
+    const OpInfo &info() const { return opInfo(opcode); }
+    bool isMemory() const { return isMemoryOp(opcode); }
+    bool isStore() const { return isStoreOp(opcode); }
+    bool isVector() const { return isVectorOp(opcode); }
+};
+
+} // namespace selvec
+
+#endif // SELVEC_IR_OPERATION_HH

@@ -1,0 +1,31 @@
+#include "ir/types.hh"
+
+namespace selvec
+{
+
+const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::None: return "none";
+      case Type::I64:  return "i64";
+      case Type::F64:  return "f64";
+      case Type::VI64: return "vi64";
+      case Type::VF64: return "vf64";
+      case Type::Chan: return "chan";
+    }
+    return "?";
+}
+
+Type
+typeFromName(const std::string &name)
+{
+    if (name == "i64")  return Type::I64;
+    if (name == "f64")  return Type::F64;
+    if (name == "vi64") return Type::VI64;
+    if (name == "vf64") return Type::VF64;
+    if (name == "chan") return Type::Chan;
+    return Type::None;
+}
+
+} // namespace selvec

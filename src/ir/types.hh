@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Value types for the SelVec low-level IR.
+ *
+ * The evaluated machine operates on 64-bit scalar data (the paper's
+ * benchmarks are double-precision Fortran codes) and 128-bit vectors of
+ * two 64-bit elements. The IR is nonetheless parametric in the vector
+ * length: VI64/VF64 values hold `Machine::vectorLength` lanes.
+ *
+ * `Chan` is the type of a transfer-channel token produced by the
+ * explicit scalar<->vector communication operations (XferStore*). On the
+ * modeled machine these communicate through memory; the channel token
+ * simply carries the dataflow dependence from the store half to the load
+ * half of a transfer without inventing fake memory addresses.
+ */
+
+#ifndef SELVEC_IR_TYPES_HH
+#define SELVEC_IR_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace selvec
+{
+
+enum class Type : uint8_t {
+    None,   ///< no value (stores, branches)
+    I64,    ///< scalar 64-bit integer
+    F64,    ///< scalar double
+    VI64,   ///< vector of 64-bit integers
+    VF64,   ///< vector of doubles
+    Chan,   ///< transfer-channel token
+};
+
+/** True for VI64/VF64. */
+constexpr bool
+isVectorType(Type t)
+{
+    return t == Type::VI64 || t == Type::VF64;
+}
+
+/** True for I64/F64. */
+constexpr bool
+isScalarType(Type t)
+{
+    return t == Type::I64 || t == Type::F64;
+}
+
+/** True for F64/VF64. */
+constexpr bool
+isFloatType(Type t)
+{
+    return t == Type::F64 || t == Type::VF64;
+}
+
+/** Scalar element type of a (possibly vector) type. */
+constexpr Type
+elementType(Type t)
+{
+    switch (t) {
+      case Type::VI64: return Type::I64;
+      case Type::VF64: return Type::F64;
+      default:         return t;
+    }
+}
+
+/** Vector type with the given scalar element type. */
+constexpr Type
+vectorType(Type t)
+{
+    switch (t) {
+      case Type::I64: return Type::VI64;
+      case Type::F64: return Type::VF64;
+      default:        return t;
+    }
+}
+
+/** Printable name ("i64", "vf64", ...). */
+const char *typeName(Type t);
+
+/** Parse a type name; returns Type::None on failure. */
+Type typeFromName(const std::string &name);
+
+} // namespace selvec
+
+#endif // SELVEC_IR_TYPES_HH

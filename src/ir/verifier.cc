@@ -1,0 +1,535 @@
+#include "ir/verifier.hh"
+
+#include <set>
+
+#include "ir/defuse.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/** Accumulates the first error; later checks become no-ops. */
+class Checker
+{
+  public:
+    explicit Checker(const Loop &l) : loop(l) {}
+
+    bool failed() const { return !message.empty(); }
+    const std::string &error() const { return message; }
+
+    void
+    fail(std::string msg)
+    {
+        if (message.empty())
+            message = "loop '" + loop.name + "': " + std::move(msg);
+    }
+
+    void
+    check(bool cond, const std::string &msg)
+    {
+        if (!cond)
+            fail(msg);
+    }
+
+    std::string
+    vname(ValueId v) const
+    {
+        if (v == kNoValue)
+            return "<none>";
+        if (v < 0 || v >= loop.numValues())
+            return "<bad:" + std::to_string(v) + ">";
+        return loop.valueInfo(v).name;
+    }
+
+  private:
+    const Loop &loop;
+    std::string message;
+};
+
+} // anonymous namespace
+
+std::string
+verifyLoop(const ArrayTable &arrays, const Loop &loop)
+{
+    Checker c(loop);
+
+    int nvals = loop.numValues();
+    auto valid_id = [&](ValueId v) { return v >= 0 && v < nvals; };
+
+    // Classify definition sites.
+    enum class DefKind { Undef, LiveIn, CarriedIn, Body, PreLoad,
+                         Splat, ReduceInitV, PostReduceV };
+    std::vector<DefKind> defKind(static_cast<size_t>(nvals),
+                                 DefKind::Undef);
+
+    auto define = [&](ValueId v, DefKind kind, const char *what) {
+        if (!valid_id(v)) {
+            c.fail(std::string(what) + " references bad value id " +
+                   std::to_string(v));
+            return;
+        }
+        if (defKind[static_cast<size_t>(v)] != DefKind::Undef) {
+            c.fail("value '" + c.vname(v) + "' defined more than once (" +
+                   what + ")");
+            return;
+        }
+        defKind[static_cast<size_t>(v)] = kind;
+    };
+
+    for (ValueId v : loop.liveIns)
+        define(v, DefKind::LiveIn, "live-in list");
+    for (const CarriedValue &cv : loop.carried)
+        define(cv.in, DefKind::CarriedIn, "carried-in");
+    for (const PreLoad &pl : loop.preloads)
+        define(pl.dest, DefKind::PreLoad, "preload");
+    for (const SplatIn &si : loop.splatIns)
+        define(si.vec, DefKind::Splat, "splat-in");
+    for (const ReduceInit &ri : loop.reduceInits)
+        define(ri.vec, DefKind::ReduceInitV, "reduce-init");
+    for (const PostReduce &pr : loop.postReduces)
+        define(pr.dest, DefKind::PostReduceV, "post-reduce");
+    for (OpId id = 0; id < loop.numOps(); ++id) {
+        const Operation &op = loop.op(id);
+        if (op.dest != kNoValue)
+            define(op.dest, DefKind::Body, "body op");
+    }
+    if (c.failed())
+        return c.error();
+
+    // Operand visibility inside the body.
+    auto visible = [&](ValueId v) {
+        if (!valid_id(v))
+            return false;
+        DefKind k = defKind[static_cast<size_t>(v)];
+        return k == DefKind::LiveIn || k == DefKind::CarriedIn ||
+               k == DefKind::Body || k == DefKind::Splat;
+    };
+
+    auto check_ref = [&](const AffineRef &ref, const std::string &where) {
+        if (ref.array == kNoArray || ref.array >= arrays.size()) {
+            c.fail(where + ": bad array id " + std::to_string(ref.array));
+            return;
+        }
+    };
+
+    // Per-op structural and type rules.
+    for (OpId id = 0; id < loop.numOps(); ++id) {
+        const Operation &op = loop.op(id);
+        const OpInfo &info = op.info();
+        std::string where =
+            "op #" + std::to_string(id) + " (" + info.name + ")";
+
+        if (info.numSrcs >= 0 &&
+            static_cast<int>(op.srcs.size()) != info.numSrcs) {
+            c.fail(where + ": expected " + std::to_string(info.numSrcs) +
+                   " operands, got " + std::to_string(op.srcs.size()));
+            continue;
+        }
+        if (info.numSrcs < 0 && op.srcs.empty()) {
+            c.fail(where + ": variadic op needs at least one operand");
+            continue;
+        }
+
+        bool bad_src = false;
+        for (size_t i = 0; i < op.srcs.size(); ++i) {
+            ValueId src = op.srcs[i];
+            // MovSV permits a missing vector base in operand 0.
+            if (src == kNoValue && op.opcode == Opcode::MovSV && i == 0)
+                continue;
+            if (!visible(src)) {
+                c.fail(where + ": operand '" + c.vname(src) +
+                       "' is not visible in the body");
+                bad_src = true;
+            }
+        }
+        if (bad_src)
+            continue;
+
+        if (info.resultType != Type::None && op.dest == kNoValue)
+            c.fail(where + ": missing destination");
+        if (info.resultType == Type::None && op.dest != kNoValue)
+            c.fail(where + ": unexpected destination");
+        if (c.failed())
+            break;
+
+        if (info.isMemory || op.opcode == Opcode::VLoad ||
+            op.opcode == Opcode::VStore) {
+            check_ref(op.ref, where);
+        } else if (op.ref.valid()) {
+            c.fail(where + ": non-memory op carries a memory reference");
+        }
+        if (c.failed())
+            break;
+
+        auto st = [&](size_t i) { return loop.typeOf(op.srcs[i]); };
+        Type dt = op.dest != kNoValue ? loop.typeOf(op.dest)
+                                      : Type::None;
+
+        switch (op.opcode) {
+          case Opcode::IConst:
+            c.check(dt == Type::I64, where + ": dest must be i64");
+            break;
+          case Opcode::FConst:
+            c.check(dt == Type::F64, where + ": dest must be f64");
+            break;
+          case Opcode::IMov: case Opcode::INeg:
+            c.check(dt == Type::I64 && st(0) == Type::I64,
+                    where + ": i64 unary type mismatch");
+            break;
+          case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
+          case Opcode::IDiv: case Opcode::IMin: case Opcode::IMax:
+          case Opcode::IAnd: case Opcode::IOr: case Opcode::IXor:
+          case Opcode::IShl: case Opcode::IShr:
+            c.check(dt == Type::I64 && st(0) == Type::I64 &&
+                    st(1) == Type::I64,
+                    where + ": i64 binary type mismatch");
+            break;
+          case Opcode::FMov: case Opcode::FNeg: case Opcode::FAbs:
+            c.check(dt == Type::F64 && st(0) == Type::F64,
+                    where + ": f64 unary type mismatch");
+            break;
+          case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+          case Opcode::FDiv: case Opcode::FMin: case Opcode::FMax:
+            c.check(dt == Type::F64 && st(0) == Type::F64 &&
+                    st(1) == Type::F64,
+                    where + ": f64 binary type mismatch");
+            break;
+          case Opcode::FMulAdd:
+            c.check(dt == Type::F64 && st(0) == Type::F64 &&
+                    st(1) == Type::F64 && st(2) == Type::F64,
+                    where + ": f64 fma type mismatch");
+            break;
+          case Opcode::Load:
+            c.check(dt == arrays[op.ref.array].elemType,
+                    where + ": load type != array element type");
+            break;
+          case Opcode::Store:
+            c.check(st(0) == arrays[op.ref.array].elemType,
+                    where + ": store type != array element type");
+            break;
+          case Opcode::VLoad:
+            c.check(dt == vectorType(arrays[op.ref.array].elemType),
+                    where + ": vload type mismatch");
+            break;
+          case Opcode::VStore:
+            c.check(st(0) == vectorType(arrays[op.ref.array].elemType),
+                    where + ": vstore type mismatch");
+            break;
+          case Opcode::VIAdd: case Opcode::VISub: case Opcode::VIMul:
+          case Opcode::VIDiv: case Opcode::VIMin: case Opcode::VIMax:
+          case Opcode::VIAnd: case Opcode::VIOr: case Opcode::VIXor:
+          case Opcode::VIShl: case Opcode::VIShr:
+            c.check(dt == Type::VI64 && st(0) == Type::VI64 &&
+                    st(1) == Type::VI64,
+                    where + ": vi64 binary type mismatch");
+            break;
+          case Opcode::VINeg:
+            c.check(dt == Type::VI64 && st(0) == Type::VI64,
+                    where + ": vi64 unary type mismatch");
+            break;
+          case Opcode::VFAdd: case Opcode::VFSub: case Opcode::VFMul:
+          case Opcode::VFDiv: case Opcode::VFMin: case Opcode::VFMax:
+            c.check(dt == Type::VF64 && st(0) == Type::VF64 &&
+                    st(1) == Type::VF64,
+                    where + ": vf64 binary type mismatch");
+            break;
+          case Opcode::VFNeg: case Opcode::VFAbs:
+            c.check(dt == Type::VF64 && st(0) == Type::VF64,
+                    where + ": vf64 unary type mismatch");
+            break;
+          case Opcode::VFMulAdd:
+            c.check(dt == Type::VF64 && st(0) == Type::VF64 &&
+                    st(1) == Type::VF64 && st(2) == Type::VF64,
+                    where + ": vf64 fma type mismatch");
+            break;
+          case Opcode::VMerge:
+            c.check(isVectorType(dt) && st(0) == dt && st(1) == dt,
+                    where + ": vmerge type mismatch");
+            c.check(op.lane >= 0, where + ": negative merge shift");
+            break;
+          case Opcode::VSplat:
+            c.check(isScalarType(st(0)) && dt == vectorType(st(0)),
+                    where + ": vsplat type mismatch");
+            break;
+          case Opcode::MovSV:
+            c.check(isVectorType(dt), where + ": movsv dest not vector");
+            if (op.srcs[0] != kNoValue)
+                c.check(st(0) == dt, where + ": movsv base type");
+            c.check(isScalarType(st(1)) && vectorType(st(1)) == dt,
+                    where + ": movsv element type");
+            c.check(op.lane >= 0, where + ": negative lane");
+            break;
+          case Opcode::MovVS:
+            c.check(isVectorType(st(0)) && dt == elementType(st(0)),
+                    where + ": movvs type mismatch");
+            c.check(op.lane >= 0, where + ": negative lane");
+            break;
+          case Opcode::XferStoreS:
+            c.check(isScalarType(st(0)) && dt == Type::Chan,
+                    where + ": xfer.stores type mismatch");
+            break;
+          case Opcode::XferLoadV:
+            c.check(isVectorType(dt), where + ": xfer.loadv dest");
+            for (size_t i = 0; i < op.srcs.size(); ++i) {
+                c.check(st(i) == Type::Chan,
+                        where + ": xfer.loadv operand not a channel");
+            }
+            break;
+          case Opcode::XferStoreV:
+            c.check(isVectorType(st(0)) && dt == Type::Chan,
+                    where + ": xfer.storev type mismatch");
+            break;
+          case Opcode::XferLoadS:
+            c.check(st(0) == Type::Chan && isScalarType(dt),
+                    where + ": xfer.loads type mismatch");
+            c.check(op.lane >= 0, where + ": negative lane");
+            break;
+          case Opcode::VPack:
+            c.check(isVectorType(dt), where + ": vpack dest");
+            for (size_t i = 0; i < op.srcs.size(); ++i) {
+                c.check(isScalarType(st(i)) && vectorType(st(i)) == dt,
+                        where + ": vpack operand type");
+            }
+            break;
+          case Opcode::VPick:
+            c.check(isVectorType(st(0)) && dt == elementType(st(0)),
+                    where + ": vpick type mismatch");
+            c.check(op.lane >= 0, where + ": negative lane");
+            break;
+          case Opcode::ICmpLt:
+            c.check(dt == Type::I64 && st(0) == Type::I64 &&
+                    st(1) == Type::I64,
+                    where + ": icmplt type mismatch");
+            break;
+          case Opcode::FCmpLt:
+            c.check(dt == Type::I64 && st(0) == Type::F64 &&
+                    st(1) == Type::F64,
+                    where + ": fcmplt type mismatch");
+            break;
+          case Opcode::ExitIf:
+            c.check(st(0) == Type::I64,
+                    where + ": exitif condition must be i64");
+            break;
+          case Opcode::Br: case Opcode::Nop:
+            break;
+          default:
+            c.fail(where + ": unhandled opcode in verifier");
+            break;
+        }
+        if (c.failed())
+            break;
+    }
+    if (c.failed())
+        return c.error();
+
+    // Channel discipline: Chan only flows XferStore* -> XferLoad*.
+    DefUse du(loop);
+    for (ValueId v = 0; v < nvals; ++v) {
+        if (loop.typeOf(v) != Type::Chan)
+            continue;
+        OpId def = du.defOp(v);
+        if (def == kNoOp ||
+            (loop.op(def).opcode != Opcode::XferStoreS &&
+             loop.op(def).opcode != Opcode::XferStoreV)) {
+            c.fail("channel '" + c.vname(v) +
+                   "' not produced by a transfer store");
+        }
+        for (OpId use : du.uses(v)) {
+            Opcode uo = loop.op(use).opcode;
+            if (uo != Opcode::XferLoadV && uo != Opcode::XferLoadS)
+                c.fail("channel '" + c.vname(v) +
+                       "' consumed by a non-transfer op");
+        }
+    }
+    if (c.failed())
+        return c.error();
+
+    // Carried values.
+    for (const CarriedValue &cv : loop.carried) {
+        if (!valid_id(cv.update) || !visible(cv.update)) {
+            c.fail("carried '" + c.vname(cv.in) +
+                   "' has an invisible update '" + c.vname(cv.update) +
+                   "'");
+            continue;
+        }
+        DefKind ik = valid_id(cv.init)
+                         ? defKind[static_cast<size_t>(cv.init)]
+                         : DefKind::Undef;
+        if (ik != DefKind::LiveIn && ik != DefKind::PreLoad &&
+            ik != DefKind::ReduceInitV) {
+            c.fail("carried '" + c.vname(cv.in) +
+                   "' init '" + c.vname(cv.init) +
+                   "' is not a live-in or preload");
+            continue;
+        }
+        if (loop.typeOf(cv.in) != loop.typeOf(cv.update) ||
+            loop.typeOf(cv.in) != loop.typeOf(cv.init)) {
+            c.fail("carried '" + c.vname(cv.in) + "' type mismatch");
+        }
+        if (loop.typeOf(cv.in) == Type::Chan)
+            c.fail("carried values may not be channels");
+    }
+    if (c.failed())
+        return c.error();
+
+    // Live-ins and live-outs.
+    for (ValueId v : loop.liveIns) {
+        if (loop.typeOf(v) == Type::Chan)
+            c.fail("live-in '" + c.vname(v) + "' may not be a channel");
+    }
+    for (ValueId v : loop.liveOuts) {
+        bool post_reduce =
+            valid_id(v) && defKind[static_cast<size_t>(v)] ==
+                               DefKind::PostReduceV;
+        if (!visible(v) && !post_reduce)
+            c.fail("live-out '" + c.vname(v) + "' is not visible");
+        else if (loop.typeOf(v) == Type::Chan)
+            c.fail("live-out '" + c.vname(v) + "' may not be a channel");
+    }
+    if (c.failed())
+        return c.error();
+
+    // Preloads and poststores.
+    for (const PreLoad &pl : loop.preloads) {
+        check_ref(pl.ref, "preload");
+        if (c.failed())
+            break;
+        Type want = pl.vector
+                        ? vectorType(arrays[pl.ref.array].elemType)
+                        : arrays[pl.ref.array].elemType;
+        c.check(loop.typeOf(pl.dest) == want, "preload type mismatch");
+        // A preload destination must seed some carried value.
+        bool used = false;
+        for (const CarriedValue &cv : loop.carried)
+            used = used || cv.init == pl.dest;
+        c.check(used, "preload '" + c.vname(pl.dest) +
+                          "' seeds no carried value");
+    }
+    for (const PostStore &ps : loop.poststores) {
+        check_ref(ps.ref, "poststore");
+        if (c.failed())
+            break;
+        if (!visible(ps.src) &&
+            (!valid_id(ps.src) ||
+             defKind[static_cast<size_t>(ps.src)] == DefKind::Undef)) {
+            c.fail("poststore source '" + c.vname(ps.src) +
+                   "' is undefined");
+        }
+    }
+    if (c.failed())
+        return c.error();
+
+    // Splat-ins broadcast scalar live-ins.
+    for (const SplatIn &si : loop.splatIns) {
+        DefKind sk = valid_id(si.scalar)
+                         ? defKind[static_cast<size_t>(si.scalar)]
+                         : DefKind::Undef;
+        if (sk != DefKind::LiveIn) {
+            c.fail("splat-in source '" + c.vname(si.scalar) +
+                   "' is not a live-in");
+            continue;
+        }
+        if (loop.typeOf(si.vec) != vectorType(loop.typeOf(si.scalar)))
+            c.fail("splat-in '" + c.vname(si.vec) + "' type mismatch");
+    }
+    if (c.failed())
+        return c.error();
+
+    // Reduction machinery.
+    for (const ReduceInit &ri : loop.reduceInits) {
+        DefKind sk = valid_id(ri.scalar)
+                         ? defKind[static_cast<size_t>(ri.scalar)]
+                         : DefKind::Undef;
+        if (sk != DefKind::LiveIn) {
+            c.fail("reduce-init source '" + c.vname(ri.scalar) +
+                   "' is not a live-in");
+            continue;
+        }
+        if (loop.typeOf(ri.vec) != vectorType(loop.typeOf(ri.scalar)))
+            c.fail("reduce-init '" + c.vname(ri.vec) +
+                   "' type mismatch");
+        bool used = false;
+        for (const CarriedValue &cv : loop.carried)
+            used = used || cv.init == ri.vec;
+        c.check(used, "reduce-init '" + c.vname(ri.vec) +
+                          "' seeds no carried value");
+    }
+    for (const PostReduce &pr : loop.postReduces) {
+        if (!valid_id(pr.srcVec) || !visible(pr.srcVec)) {
+            c.fail("post-reduce source '" + c.vname(pr.srcVec) +
+                   "' is not visible");
+            continue;
+        }
+        if (!isVectorType(loop.typeOf(pr.srcVec)))
+            c.fail("post-reduce source '" + c.vname(pr.srcVec) +
+                   "' is not a vector");
+        else if (loop.typeOf(pr.dest) !=
+                 elementType(loop.typeOf(pr.srcVec)))
+            c.fail("post-reduce '" + c.vname(pr.dest) +
+                   "' type mismatch");
+        // The destination must stay out of the body.
+        DefUse du2(loop);
+        if (du2.hasUses(pr.dest))
+            c.fail("post-reduce '" + c.vname(pr.dest) +
+                   "' consumed inside the body");
+    }
+    if (c.failed())
+        return c.error();
+
+    // Early-exit discipline: vector stores could write unintended
+    // lanes past the exit, so they may not coexist with ExitIf.
+    if (loop.hasEarlyExit()) {
+        for (OpId id = 0; id < loop.numOps(); ++id) {
+            if (loop.op(id).opcode == Opcode::VStore)
+                c.fail("vector store in an early-exit loop");
+        }
+    }
+    if (!loop.liveOutLanes.empty()) {
+        if (loop.liveOutLanes.size() != loop.liveOuts.size())
+            c.fail("liveOutLanes size mismatch");
+        for (const auto &lanes : loop.liveOutLanes) {
+            if (static_cast<int>(lanes.size()) != loop.coverage) {
+                c.fail("liveOutLanes entry has wrong lane count");
+                continue;
+            }
+            for (ValueId v : lanes) {
+                if (!valid_id(v) || !visible(v))
+                    c.fail("liveOutLanes references invisible value");
+            }
+        }
+    }
+    if (!loop.carriedUpdateLanes.empty()) {
+        if (loop.carriedUpdateLanes.size() != loop.carried.size())
+            c.fail("carriedUpdateLanes size mismatch");
+        for (const auto &lanes : loop.carriedUpdateLanes) {
+            if (static_cast<int>(lanes.size()) != loop.coverage) {
+                c.fail("carriedUpdateLanes entry has wrong lane "
+                       "count");
+                continue;
+            }
+            for (ValueId v : lanes) {
+                if (!valid_id(v) || !visible(v))
+                    c.fail("carriedUpdateLanes references invisible "
+                           "value");
+            }
+        }
+    }
+    if (c.failed())
+        return c.error();
+
+    c.check(loop.coverage >= 1, "coverage must be positive");
+    return c.error();
+}
+
+void
+verifyLoopOrDie(const ArrayTable &arrays, const Loop &loop)
+{
+    std::string err = verifyLoop(arrays, loop);
+    if (!err.empty())
+        SV_FATAL("IR verification failed: %s", err.c_str());
+}
+
+} // namespace selvec

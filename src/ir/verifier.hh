@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural and type checking for Loops. Every pass output in the test
+ * suite is run through the verifier; transformations verify their own
+ * results in debug-heavy paths.
+ */
+
+#ifndef SELVEC_IR_VERIFIER_HH
+#define SELVEC_IR_VERIFIER_HH
+
+#include <string>
+
+#include "ir/loop.hh"
+
+namespace selvec
+{
+
+/**
+ * Check a loop for structural validity. Returns an empty string when
+ * the loop is well-formed, otherwise a description of the first
+ * problem found. Verified properties include:
+ *
+ *  - single assignment: each value defined by at most one of
+ *    {body op, live-in, carried-in, preload};
+ *  - every operand visible (defined by a body op, live-in,
+ *    or carried-in);
+ *  - per-opcode operand counts and type rules;
+ *  - memory opcodes carry valid references, others carry none;
+ *  - carried values have visible updates and externally defined inits;
+ *  - live-outs are visible values;
+ *  - channel tokens (Type::Chan) only flow from XferStore* to
+ *    XferLoad* operations.
+ */
+std::string verifyLoop(const ArrayTable &arrays, const Loop &loop);
+
+/** Verify and fatal() with the diagnostic if the loop is malformed. */
+void verifyLoopOrDie(const ArrayTable &arrays, const Loop &loop);
+
+} // namespace selvec
+
+#endif // SELVEC_IR_VERIFIER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LIR: the textual form of the SelVec loop IR.
+ *
+ * LIR plays the role SUIF + the SUIF-to-Trimaran translator play in the
+ * paper's toolchain: it is how loop kernels enter the backend. The
+ * synthetic workload suites, the tests and the examples are all written
+ * in it, and every transformation result can be printed back to it (the
+ * writer emits parseable text, and parse(write(m)) == m structurally).
+ *
+ * Grammar (line oriented; '#' starts a comment):
+ *
+ *   module    := (arraydecl | loopdecl)*
+ *   arraydecl := "array" NAME TYPE SIZE ["align" N] ["synthesized"]
+ *   loopdecl  := "loop" NAME ["cover" N] "{" item* "}"
+ *   item      := "livein" NAME TYPE
+ *              | "carried" NAME TYPE "init" NAME "update" NAME
+ *              | "liveout" NAME
+ *              | "preload" NAME ("load"|"vload") REF
+ *              | "poststore" REF "=" NAME ["lane" N]
+ *              | "body" "{" stmt* "}"
+ *   stmt      := NAME "=" ("load"|"vload") REF
+ *              | ("store"|"vstore") REF "=" NAME
+ *              | NAME "=" "iconst" INT | NAME "=" "fconst" FLOAT
+ *              | NAME "=" OPCODE OPERAND* [attr]
+ *              | "br" | "nop"
+ *   attr      := "lane" N | "shift" N
+ *   REF       := NAME "[" subscript "]"
+ *   subscript := [INT] "i" [("+"|"-") INT] | INT     (e.g. 2i+3, i-1, 5)
+ *   OPERAND   := NAME | "_"                          ('_' = absent base)
+ *
+ * Carried declarations may reference the update value before it is
+ * defined in the body; binding is resolved after the body is parsed.
+ */
+
+#ifndef SELVEC_LIR_LIR_HH
+#define SELVEC_LIR_LIR_HH
+
+#include <string>
+
+#include "ir/loop.hh"
+
+namespace selvec
+{
+
+/** Result of parsing LIR text. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error;      ///< "line N: message" when !ok
+    Module module;
+};
+
+/** Parse a module (arrays plus loops) from LIR text. */
+ParseResult parseLir(const std::string &text);
+
+/** Parse, fatal()-ing on error: for embedded workload sources. */
+Module parseLirOrDie(const std::string &text);
+
+/** Emit a whole module as LIR text. */
+std::string writeLir(const Module &module);
+
+/** Emit one loop (without array declarations). */
+std::string writeLoop(const Loop &loop, const ArrayTable &arrays);
+
+} // namespace selvec
+
+#endif // SELVEC_LIR_LIR_HH

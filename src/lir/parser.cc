@@ -1,0 +1,945 @@
+#include "lir/lir.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/** A whitespace-split token stream for one line. */
+struct Line
+{
+    int number = 0;
+    std::vector<std::string> tokens;
+    size_t pos = 0;
+
+    bool done() const { return pos >= tokens.size(); }
+
+    const std::string &
+    peek() const
+    {
+        static const std::string empty;
+        return done() ? empty : tokens[pos];
+    }
+
+    std::string
+    next()
+    {
+        SV_ASSERT(!done(), "token stream exhausted");
+        return tokens[pos++];
+    }
+};
+
+/** Split text into token lines; handles comments and brace spacing. */
+std::vector<Line>
+tokenize(const std::string &text)
+{
+    std::vector<Line> lines;
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        Line line;
+        line.number = number;
+        std::string cur;
+        auto flush = [&]() {
+            if (!cur.empty()) {
+                line.tokens.push_back(cur);
+                cur.clear();
+            }
+        };
+        for (size_t i = 0; i < raw.size(); ++i) {
+            char ch = raw[i];
+            if (ch == '#')
+                break;
+            if (std::isspace(static_cast<unsigned char>(ch))) {
+                flush();
+            } else if (ch == '{' || ch == '}' || ch == '[' ||
+                       ch == ']' || ch == '=' || ch == '+' ||
+                       ch == ',') {
+                flush();
+                line.tokens.push_back(std::string(1, ch));
+            } else if (ch == '-') {
+                // '-' may begin a negative literal or act as a
+                // subscript operator; keep it attached to a following
+                // digit, else emit it alone.
+                bool digit_next =
+                    i + 1 < raw.size() &&
+                    std::isdigit(static_cast<unsigned char>(raw[i + 1]));
+                if (digit_next && cur.empty()) {
+                    cur.push_back(ch);
+                } else {
+                    flush();
+                    line.tokens.push_back("-");
+                }
+            } else {
+                cur.push_back(ch);
+            }
+        }
+        flush();
+        if (!line.tokens.empty())
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+bool
+isInteger(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t start = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (start == s.size())
+        return false;
+    for (size_t i = start; i < s.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+    }
+    return true;
+}
+
+/** Parser state for one module. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : lines(tokenize(text)) {}
+
+    ParseResult
+    run()
+    {
+        while (!atEnd() && ok()) {
+            const std::string &kw = cur().peek();
+            if (kw == "array") {
+                parseArray();
+            } else if (kw == "loop") {
+                parseLoop();
+            } else {
+                fail("expected 'array' or 'loop', got '" + kw + "'");
+            }
+        }
+        ParseResult pr;
+        pr.ok = ok();
+        pr.error = error;
+        if (pr.ok) {
+            for (const Loop &l : module.loops) {
+                std::string verr = verifyLoop(module.arrays, l);
+                if (!verr.empty()) {
+                    pr.ok = false;
+                    pr.error = "verifier: " + verr;
+                    break;
+                }
+            }
+        }
+        if (pr.ok)
+            pr.module = std::move(module);
+        return pr;
+    }
+
+  private:
+    bool atEnd() const { return lineIdx >= lines.size(); }
+    bool ok() const { return error.empty(); }
+
+    Line &
+    cur()
+    {
+        SV_ASSERT(!atEnd(), "read past end of input");
+        return lines[lineIdx];
+    }
+
+    void
+    advance()
+    {
+        ++lineIdx;
+    }
+
+    void
+    fail(const std::string &msg)
+    {
+        if (error.empty()) {
+            int number = atEnd() ? -1 : cur().number;
+            error = "line " + std::to_string(number) + ": " + msg;
+        }
+    }
+
+    std::string
+    expectToken(const char *what)
+    {
+        if (atEnd() || cur().done()) {
+            fail(std::string("expected ") + what);
+            return "";
+        }
+        return cur().next();
+    }
+
+    bool
+    expectExact(const std::string &tok)
+    {
+        std::string got = expectToken(tok.c_str());
+        if (ok() && got != tok) {
+            fail("expected '" + tok + "', got '" + got + "'");
+            return false;
+        }
+        return ok();
+    }
+
+    int64_t
+    expectInt(const char *what)
+    {
+        std::string tok = expectToken(what);
+        if (!ok())
+            return 0;
+        if (!isInteger(tok)) {
+            fail(std::string("expected integer ") + what + ", got '" +
+                 tok + "'");
+            return 0;
+        }
+        return std::strtoll(tok.c_str(), nullptr, 10);
+    }
+
+    Type
+    expectType()
+    {
+        std::string tok = expectToken("type");
+        if (!ok())
+            return Type::None;
+        Type t = typeFromName(tok);
+        if (t == Type::None)
+            fail("unknown type '" + tok + "'");
+        return t;
+    }
+
+    void
+    endLine()
+    {
+        if (ok() && !cur().done())
+            fail("trailing tokens starting at '" + cur().peek() + "'");
+        advance();
+    }
+
+    void
+    parseArray()
+    {
+        Line &line = cur();
+        line.next();   // "array"
+        ArrayInfo info;
+        info.name = expectToken("array name");
+        Type t = expectType();
+        info.elemType = t;
+        info.size = expectInt("array size");
+        while (ok() && !line.done()) {
+            std::string attr = line.next();
+            if (attr == "align") {
+                info.baseAlign = expectInt("alignment");
+            } else if (attr == "synthesized") {
+                info.synthesized = true;
+            } else {
+                fail("unknown array attribute '" + attr + "'");
+            }
+        }
+        if (ok()) {
+            if (module.arrays.find(info.name) != kNoArray)
+                fail("duplicate array '" + info.name + "'");
+            else
+                module.arrays.add(std::move(info));
+        }
+        endLine();
+    }
+
+    /** Pending carried declarations: update names seen before defs. */
+    struct PendingCarried
+    {
+        ValueId in;
+        std::string updateName;
+    };
+
+    /** Live-out names resolved after the body. */
+    std::vector<std::string> pendingLiveOuts;
+    std::vector<std::vector<std::string>> pendingLiveOutLanes;
+    std::vector<PendingCarried> pendingCarried;
+
+    Loop *loop = nullptr;
+
+    ValueId
+    lookupValue(const std::string &name)
+    {
+        ValueId v = loop->findValue(name);
+        if (v == kNoValue)
+            fail("unknown value '" + name + "'");
+        return v;
+    }
+
+    ValueId
+    defineValue(const std::string &name, Type t)
+    {
+        if (loop->findValue(name) != kNoValue) {
+            fail("value '" + name + "' already defined");
+            return kNoValue;
+        }
+        return loop->addValue(t, name);
+    }
+
+    std::optional<AffineRef>
+    parseRef()
+    {
+        std::string arr_name = expectToken("array name");
+        if (!ok())
+            return std::nullopt;
+        ArrayId arr = module.arrays.find(arr_name);
+        if (arr == kNoArray) {
+            fail("unknown array '" + arr_name + "'");
+            return std::nullopt;
+        }
+        if (!expectExact("["))
+            return std::nullopt;
+
+        AffineRef ref;
+        ref.array = arr;
+
+        // Forms: [c] | [i] | [ci] | [i +- c] | [ci +- c]
+        std::string tok = expectToken("subscript");
+        if (!ok())
+            return std::nullopt;
+        auto parse_index_term = [&](const std::string &t) -> bool {
+            // "i" or "<int>i"
+            if (t == "i") {
+                ref.scale = 1;
+                return true;
+            }
+            if (t.size() > 1 && t.back() == 'i' &&
+                isInteger(t.substr(0, t.size() - 1))) {
+                ref.scale =
+                    std::strtoll(t.substr(0, t.size() - 1).c_str(),
+                                 nullptr, 10);
+                return true;
+            }
+            return false;
+        };
+        if (parse_index_term(tok)) {
+            const std::string &sep = cur().peek();
+            if (sep == "+" || sep == "-") {
+                bool negative = sep == "-";
+                cur().next();
+                int64_t off = expectInt("subscript offset");
+                ref.offset = negative ? -off : off;
+            }
+        } else if (isInteger(tok)) {
+            ref.scale = 0;
+            ref.offset = std::strtoll(tok.c_str(), nullptr, 10);
+        } else {
+            fail("bad subscript '" + tok + "'");
+            return std::nullopt;
+        }
+        if (!expectExact("]"))
+            return std::nullopt;
+        return ref;
+    }
+
+    void
+    parseLoop()
+    {
+        Line &header = cur();
+        header.next();   // "loop"
+        Loop l;
+        l.name = expectToken("loop name");
+        if (ok() && header.peek() == "cover") {
+            header.next();
+            l.coverage = static_cast<int>(expectInt("coverage"));
+        }
+        if (!expectExact("{"))
+            return;
+        endLine();
+
+        module.loops.push_back(std::move(l));
+        loop = &module.loops.back();
+        pendingLiveOuts.clear();
+        pendingCarried.clear();
+
+        bool closed = false;
+        while (ok() && !atEnd()) {
+            const std::string &kw = cur().peek();
+            if (kw == "}") {
+                cur().next();
+                endLine();
+                closed = true;
+                break;
+            } else if (kw == "livein") {
+                parseLiveIn();
+            } else if (kw == "carried") {
+                parseCarried();
+            } else if (kw == "liveout") {
+                cur().next();
+                pendingLiveOuts.push_back(expectToken("value name"));
+                std::vector<std::string> lanes;
+                if (cur().peek() == "lanes") {
+                    cur().next();
+                    while (ok() && !cur().done())
+                        lanes.push_back(cur().next());
+                }
+                pendingLiveOutLanes.push_back(std::move(lanes));
+                endLine();
+            } else if (kw == "preload") {
+                parsePreload();
+            } else if (kw == "splatin") {
+                parseSplatIn();
+            } else if (kw == "poststore") {
+                parsePostStore();
+            } else if (kw == "reduceinit") {
+                parseReduceInit();
+            } else if (kw == "postreduce") {
+                parsePostReduce();
+            } else if (kw == "carriedlanes") {
+                cur().next();
+                PendingCarriedLanes pcl;
+                pcl.inName = expectToken("carried-in name");
+                while (ok() && !cur().done())
+                    pcl.laneNames.push_back(cur().next());
+                if (ok())
+                    pendingCarriedLanes.push_back(std::move(pcl));
+                endLine();
+            } else if (kw == "body") {
+                parseBody();
+            } else {
+                fail("unexpected '" + kw + "' in loop");
+            }
+        }
+        if (ok() && !closed)
+            fail("unterminated loop '" + loop->name + "'");
+        if (!ok())
+            return;
+
+        // Resolve deferred poststores (sources are body values; the
+        // statements may appear before or after the body block).
+        for (const PendingPostStore &ps : pendingPostStores) {
+            ValueId src = loop->findValue(ps.srcName);
+            if (src == kNoValue) {
+                fail("poststore source '" + ps.srcName +
+                     "' never defined");
+                return;
+            }
+            loop->poststores.push_back(PostStore{src, ps.lane, ps.ref});
+        }
+        pendingPostStores.clear();
+
+        // Resolve deferred post-reduces (their accumulators are body
+        // values).
+        for (const PendingPostReduce &pp : pendingPostReduces) {
+            ValueId src = loop->findValue(pp.srcName);
+            if (src == kNoValue) {
+                fail("post-reduce accumulator '" + pp.srcName +
+                     "' never defined");
+                return;
+            }
+            ValueId dest = defineValue(pp.destName,
+                                       elementType(loop->typeOf(src)));
+            if (!ok())
+                return;
+            ValueId chain = kNoValue;
+            if (!pp.chainName.empty()) {
+                chain = loop->findValue(pp.chainName);
+                if (chain == kNoValue) {
+                    chain = loop->addValue(loop->typeOf(dest),
+                                           pp.chainName);
+                }
+            }
+            loop->postReduces.push_back(
+                PostReduce{dest, src, pp.op, chain});
+        }
+        pendingPostReduces.clear();
+
+        // Resolve carried lane tables (ordered like the carried
+        // declarations themselves).
+        for (const PendingCarriedLanes &pcl : pendingCarriedLanes) {
+            ValueId in = loop->findValue(pcl.inName);
+            if (in == kNoValue || loop->carriedIndexOfIn(in) < 0) {
+                fail("carriedlanes for unknown carried '" +
+                     pcl.inName + "'");
+                return;
+            }
+            std::vector<ValueId> lanes;
+            for (const std::string &lane : pcl.laneNames) {
+                ValueId lv = loop->findValue(lane);
+                if (lv == kNoValue) {
+                    fail("carried lane '" + lane + "' never defined");
+                    return;
+                }
+                lanes.push_back(lv);
+            }
+            loop->carriedUpdateLanes.push_back(std::move(lanes));
+        }
+        pendingCarriedLanes.clear();
+
+        // Resolve deferred bindings.
+        for (const PendingCarried &pc : pendingCarried) {
+            ValueId upd = loop->findValue(pc.updateName);
+            if (upd == kNoValue) {
+                fail("carried update '" + pc.updateName +
+                     "' never defined");
+                return;
+            }
+            int idx = loop->carriedIndexOfIn(pc.in);
+            SV_ASSERT(idx >= 0, "lost carried record");
+            loop->carried[static_cast<size_t>(idx)].update = upd;
+        }
+        for (size_t i = 0; i < pendingLiveOuts.size(); ++i) {
+            ValueId v = loop->findValue(pendingLiveOuts[i]);
+            if (v == kNoValue) {
+                fail("live-out '" + pendingLiveOuts[i] +
+                     "' never defined");
+                return;
+            }
+            loop->liveOuts.push_back(v);
+            if (!pendingLiveOutLanes[i].empty()) {
+                std::vector<ValueId> lanes;
+                for (const std::string &lane :
+                     pendingLiveOutLanes[i]) {
+                    ValueId lv = loop->findValue(lane);
+                    if (lv == kNoValue) {
+                        fail("live-out lane '" + lane +
+                             "' never defined");
+                        return;
+                    }
+                    lanes.push_back(lv);
+                }
+                loop->liveOutLanes.push_back(std::move(lanes));
+            }
+        }
+    }
+
+    void
+    parseLiveIn()
+    {
+        cur().next();
+        std::string name = expectToken("value name");
+        Type t = expectType();
+        if (ok()) {
+            ValueId v = defineValue(name, t);
+            if (ok())
+                loop->liveIns.push_back(v);
+        }
+        endLine();
+    }
+
+    void
+    parseCarried()
+    {
+        cur().next();
+        std::string name = expectToken("value name");
+        Type t = expectType();
+        if (!expectExact("init"))
+            return;
+        std::string init_name = expectToken("init value");
+        if (!expectExact("update"))
+            return;
+        std::string update_name = expectToken("update value");
+        if (!ok())
+            return;
+        ValueId init = lookupValue(init_name);
+        if (!ok())
+            return;
+        ValueId in = defineValue(name, t);
+        if (!ok())
+            return;
+        loop->carried.push_back(CarriedValue{in, kNoValue, init});
+        pendingCarried.push_back(PendingCarried{in, update_name});
+        endLine();
+    }
+
+    void
+    parsePreload()
+    {
+        cur().next();
+        std::string name = expectToken("value name");
+        std::string kind = expectToken("load or vload");
+        if (ok() && kind != "load" && kind != "vload") {
+            fail("preload must use load/vload");
+            return;
+        }
+        auto ref = parseRef();
+        if (!ok() || !ref)
+            return;
+        Type elem = module.arrays[ref->array].elemType;
+        bool vector = kind == "vload";
+        ValueId dest =
+            defineValue(name, vector ? vectorType(elem) : elem);
+        if (ok())
+            loop->preloads.push_back(PreLoad{dest, *ref, vector});
+        endLine();
+    }
+
+    void
+    parseSplatIn()
+    {
+        cur().next();
+        std::string vec_name = expectToken("vector name");
+        std::string scalar_name = expectToken("scalar live-in");
+        if (!ok())
+            return;
+        ValueId scalar = lookupValue(scalar_name);
+        if (!ok())
+            return;
+        ValueId vec =
+            defineValue(vec_name, vectorType(loop->typeOf(scalar)));
+        if (ok())
+            loop->splatIns.push_back(SplatIn{vec, scalar});
+        endLine();
+    }
+
+    void
+    parsePostStore()
+    {
+        cur().next();
+        auto ref = parseRef();
+        if (!ok() || !ref)
+            return;
+        if (!expectExact("="))
+            return;
+        std::string src_name = expectToken("source value");
+        int lane = 0;
+        if (ok() && cur().peek() == "lane") {
+            cur().next();
+            lane = static_cast<int>(expectInt("lane"));
+        }
+        if (!ok())
+            return;
+        // Source may be defined later in the file order; poststores
+        // conceptually follow the body, so require prior definition
+        // only if the body was already parsed. Defer instead.
+        pendingPostStores.push_back(
+            PendingPostStore{src_name, lane, *ref});
+        endLine();
+    }
+
+    struct PendingPostStore
+    {
+        std::string srcName;
+        int lane;
+        AffineRef ref;
+    };
+    std::vector<PendingPostStore> pendingPostStores;
+
+    void
+    parseReduceInit()
+    {
+        cur().next();
+        std::string vec_name = expectToken("vector name");
+        std::string scalar_name = expectToken("scalar live-in");
+        std::string op_name = expectToken("reduction opcode");
+        if (!ok())
+            return;
+        ValueId scalar = lookupValue(scalar_name);
+        if (!ok())
+            return;
+        Opcode op = opcodeFromName(op_name.c_str());
+        if (op == Opcode::NumOpcodes) {
+            fail("unknown opcode '" + op_name + "'");
+            return;
+        }
+        ValueId vec =
+            defineValue(vec_name, vectorType(loop->typeOf(scalar)));
+        if (ok())
+            loop->reduceInits.push_back(ReduceInit{vec, scalar, op});
+        endLine();
+    }
+
+    struct PendingCarriedLanes
+    {
+        std::string inName;
+        std::vector<std::string> laneNames;
+    };
+    std::vector<PendingCarriedLanes> pendingCarriedLanes;
+
+    struct PendingPostReduce
+    {
+        std::string destName;
+        std::string srcName;
+        std::string chainName;
+        Opcode op;
+    };
+    std::vector<PendingPostReduce> pendingPostReduces;
+
+    void
+    parsePostReduce()
+    {
+        cur().next();
+        PendingPostReduce pending;
+        pending.destName = expectToken("destination");
+        if (!expectExact("="))
+            return;
+        pending.srcName = expectToken("accumulator");
+        std::string op_name = expectToken("reduction opcode");
+        if (!ok())
+            return;
+        pending.op = opcodeFromName(op_name.c_str());
+        if (pending.op == Opcode::NumOpcodes) {
+            fail("unknown opcode '" + op_name + "'");
+            return;
+        }
+        if (cur().peek() == "chain") {
+            cur().next();
+            pending.chainName = expectToken("chain value");
+        }
+        if (ok())
+            pendingPostReduces.push_back(std::move(pending));
+        endLine();
+    }
+
+    /** Infer the element type behind a channel value. */
+    Type
+    channelElemType(ValueId chan)
+    {
+        for (const Operation &op : loop->ops) {
+            if (op.dest != chan)
+                continue;
+            if (op.opcode == Opcode::XferStoreS)
+                return loop->typeOf(op.srcs[0]);
+            if (op.opcode == Opcode::XferStoreV)
+                return elementType(loop->typeOf(op.srcs[0]));
+        }
+        fail("channel has no producing transfer store");
+        return Type::F64;
+    }
+
+    void
+    parseBody()
+    {
+        cur().next();
+        if (!expectExact("{"))
+            return;
+        endLine();
+        while (ok() && !atEnd()) {
+            if (cur().peek() == "}") {
+                cur().next();
+                endLine();
+                return;
+            }
+            parseStmt();
+        }
+        fail("unterminated body");
+    }
+
+    void
+    parseStmt()
+    {
+        Line &line = cur();
+        std::string first = line.next();
+
+        if (first == "exitif" && line.peek() != "=") {
+            std::string cond_name = expectToken("exit condition");
+            if (!ok())
+                return;
+            ValueId cond = lookupValue(cond_name);
+            if (!ok())
+                return;
+            Operation op;
+            op.opcode = Opcode::ExitIf;
+            op.srcs.push_back(cond);
+            loop->addOp(std::move(op));
+            endLine();
+            return;
+        }
+        // "br"/"nop" alone are control statements; followed by '='
+        // they are ordinary value names.
+        if ((first == "br" || first == "nop") && line.done()) {
+            Operation op;
+            op.opcode = first == "br" ? Opcode::Br : Opcode::Nop;
+            loop->addOp(std::move(op));
+            endLine();
+            return;
+        }
+        if (first == "store" || first == "vstore") {
+            auto ref = parseRef();
+            if (!ok() || !ref)
+                return;
+            if (!expectExact("="))
+                return;
+            std::string src_name = expectToken("source value");
+            if (!ok())
+                return;
+            ValueId src = lookupValue(src_name);
+            if (!ok())
+                return;
+            Operation op;
+            op.opcode =
+                first == "store" ? Opcode::Store : Opcode::VStore;
+            op.srcs.push_back(src);
+            op.ref = *ref;
+            loop->addOp(std::move(op));
+            endLine();
+            return;
+        }
+
+        // NAME = ...
+        std::string dest_name = first;
+        if (!expectExact("="))
+            return;
+        std::string opc_name = expectToken("opcode");
+        if (!ok())
+            return;
+
+        if (opc_name == "load" || opc_name == "vload") {
+            auto ref = parseRef();
+            if (!ok() || !ref)
+                return;
+            Type elem = module.arrays[ref->array].elemType;
+            bool vector = opc_name == "vload";
+            ValueId dest = defineValue(
+                dest_name, vector ? vectorType(elem) : elem);
+            if (!ok())
+                return;
+            Operation op;
+            op.opcode = vector ? Opcode::VLoad : Opcode::Load;
+            op.dest = dest;
+            op.ref = *ref;
+            loop->addOp(std::move(op));
+            endLine();
+            return;
+        }
+        if (opc_name == "iconst" || opc_name == "fconst") {
+            std::string lit = expectToken("literal");
+            if (!ok())
+                return;
+            Operation op;
+            if (opc_name == "iconst") {
+                if (!isInteger(lit)) {
+                    fail("bad integer literal '" + lit + "'");
+                    return;
+                }
+                op.opcode = Opcode::IConst;
+                op.iimm = std::strtoll(lit.c_str(), nullptr, 10);
+                op.dest = defineValue(dest_name, Type::I64);
+            } else {
+                char *end = nullptr;
+                op.fimm = std::strtod(lit.c_str(), &end);
+                if (end == lit.c_str() || *end != '\0') {
+                    fail("bad float literal '" + lit + "'");
+                    return;
+                }
+                op.opcode = Opcode::FConst;
+                op.dest = defineValue(dest_name, Type::F64);
+            }
+            if (!ok())
+                return;
+            loop->addOp(std::move(op));
+            endLine();
+            return;
+        }
+
+        Opcode opcode = opcodeFromName(opc_name.c_str());
+        if (opcode == Opcode::NumOpcodes) {
+            fail("unknown opcode '" + opc_name + "'");
+            return;
+        }
+        const OpInfo &info = opInfo(opcode);
+        if (info.isMemory) {
+            fail("memory opcode '" + opc_name +
+                 "' needs load/store syntax");
+            return;
+        }
+
+        Operation op;
+        op.opcode = opcode;
+        // Operands until an attribute keyword or end of line.
+        while (ok() && !line.done() && line.peek() != "lane" &&
+               line.peek() != "shift") {
+            std::string tok = line.next();
+            if (tok == "_") {
+                op.srcs.push_back(kNoValue);
+            } else {
+                ValueId v = lookupValue(tok);
+                if (!ok())
+                    return;
+                op.srcs.push_back(v);
+            }
+        }
+        if (ok() && !line.done()) {
+            std::string attr = line.next();
+            op.lane = static_cast<int>(expectInt(attr.c_str()));
+        }
+        if (!ok())
+            return;
+        if (info.numSrcs >= 0 &&
+            static_cast<int>(op.srcs.size()) != info.numSrcs) {
+            fail("opcode '" + opc_name + "' expects " +
+                 std::to_string(info.numSrcs) + " operands");
+            return;
+        }
+
+        // Infer the destination type.
+        Type t = info.resultType;
+        auto src_type = [&](size_t i) {
+            return loop->typeOf(op.srcs[i]);
+        };
+        switch (opcode) {
+          case Opcode::VMerge:
+            t = src_type(0);
+            break;
+          case Opcode::VSplat:
+            t = vectorType(src_type(0));
+            break;
+          case Opcode::MovVS:
+            t = elementType(src_type(0));
+            break;
+          case Opcode::MovSV:
+            t = vectorType(src_type(1));
+            break;
+          case Opcode::XferLoadV:
+            t = vectorType(channelElemType(op.srcs[0]));
+            break;
+          case Opcode::XferLoadS:
+            t = channelElemType(op.srcs[0]);
+            break;
+          case Opcode::VPack:
+            t = vectorType(src_type(0));
+            break;
+          case Opcode::VPick:
+            t = elementType(src_type(0));
+            break;
+          default:
+            break;
+        }
+        if (!ok())
+            return;
+        if (t != Type::None) {
+            op.dest = defineValue(dest_name, t);
+            if (!ok())
+                return;
+        }
+        loop->addOp(std::move(op));
+        endLine();
+    }
+
+    std::vector<Line> lines;
+    size_t lineIdx = 0;
+    std::string error;
+    Module module;
+};
+
+} // anonymous namespace
+
+ParseResult
+parseLir(const std::string &text)
+{
+    Parser parser(text);
+    return parser.run();
+}
+
+Module
+parseLirOrDie(const std::string &text)
+{
+    ParseResult pr = parseLir(text);
+    if (!pr.ok)
+        SV_FATAL("LIR parse failed: %s", pr.error.c_str());
+    return std::move(pr.module);
+}
+
+} // namespace selvec

@@ -1,0 +1,196 @@
+#include "lir/lir.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+void
+writeRef(std::ostream &out, const AffineRef &ref,
+         const ArrayTable &arrays)
+{
+    out << arrays[ref.array].name << "[";
+    if (ref.scale == 0) {
+        out << ref.offset;
+    } else {
+        if (ref.scale != 1)
+            out << ref.scale;
+        out << "i";
+        if (ref.offset > 0)
+            out << " + " << ref.offset;
+        else if (ref.offset < 0)
+            out << " - " << -ref.offset;
+    }
+    out << "]";
+}
+
+/** Opcodes whose lane/shift attribute is semantically meaningful. */
+bool
+wantsLaneAttr(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovSV: case Opcode::MovVS:
+      case Opcode::XferLoadS: case Opcode::VMerge:
+      case Opcode::VPick:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+writeOp(std::ostream &out, const Operation &op, const Loop &loop,
+        const ArrayTable &arrays)
+{
+    auto name = [&](ValueId v) -> std::string {
+        if (v == kNoValue)
+            return "_";
+        return loop.valueInfo(v).name;
+    };
+
+    out << "        ";
+    switch (op.opcode) {
+      case Opcode::Br:
+      case Opcode::Nop:
+        out << opName(op.opcode);
+        break;
+      case Opcode::ExitIf:
+        out << "exitif " << name(op.srcs[0]);
+        break;
+      case Opcode::Store:
+      case Opcode::VStore:
+        out << opName(op.opcode) << " ";
+        writeRef(out, op.ref, arrays);
+        out << " = " << name(op.srcs[0]);
+        break;
+      case Opcode::Load:
+      case Opcode::VLoad:
+        out << name(op.dest) << " = " << opName(op.opcode) << " ";
+        writeRef(out, op.ref, arrays);
+        break;
+      case Opcode::IConst:
+        out << name(op.dest) << " = iconst " << op.iimm;
+        break;
+      case Opcode::FConst:
+        out << name(op.dest) << " = fconst " << op.fimm;
+        break;
+      default:
+        if (op.dest != kNoValue)
+            out << name(op.dest) << " = ";
+        out << opName(op.opcode);
+        for (ValueId src : op.srcs)
+            out << " " << name(src);
+        if (wantsLaneAttr(op.opcode)) {
+            out << (op.opcode == Opcode::VMerge ? " shift " : " lane ")
+                << op.lane;
+        }
+        break;
+    }
+    out << "\n";
+}
+
+} // anonymous namespace
+
+std::string
+writeLoop(const Loop &loop, const ArrayTable &arrays)
+{
+    std::ostringstream out;
+    out << "loop " << loop.name;
+    if (loop.coverage != 1)
+        out << " cover " << loop.coverage;
+    out << " {\n";
+    for (ValueId v : loop.liveIns) {
+        out << "    livein " << loop.valueInfo(v).name << " "
+            << typeName(loop.typeOf(v)) << "\n";
+    }
+    for (const SplatIn &si : loop.splatIns) {
+        out << "    splatin " << loop.valueInfo(si.vec).name << " "
+            << loop.valueInfo(si.scalar).name << "\n";
+    }
+    // Preloads precede carried declarations: a carried init may be a
+    // preload destination.
+    for (const PreLoad &pl : loop.preloads) {
+        out << "    preload " << loop.valueInfo(pl.dest).name << " "
+            << (pl.vector ? "vload " : "load ");
+        writeRef(out, pl.ref, arrays);
+        out << "\n";
+    }
+    for (const ReduceInit &ri : loop.reduceInits) {
+        out << "    reduceinit " << loop.valueInfo(ri.vec).name << " "
+            << loop.valueInfo(ri.scalar).name << " " << opName(ri.op)
+            << "\n";
+    }
+    for (const CarriedValue &cv : loop.carried) {
+        out << "    carried " << loop.valueInfo(cv.in).name << " "
+            << typeName(loop.typeOf(cv.in)) << " init "
+            << loop.valueInfo(cv.init).name << " update "
+            << loop.valueInfo(cv.update).name << "\n";
+    }
+    out << "    body {\n";
+    for (const Operation &op : loop.ops)
+        writeOp(out, op, loop, arrays);
+    out << "    }\n";
+    for (const PostStore &ps : loop.poststores) {
+        out << "    poststore ";
+        writeRef(out, ps.ref, arrays);
+        out << " = " << loop.valueInfo(ps.src).name;
+        if (ps.lane != 0)
+            out << " lane " << ps.lane;
+        out << "\n";
+    }
+    for (const PostReduce &pr : loop.postReduces) {
+        out << "    postreduce " << loop.valueInfo(pr.dest).name
+            << " = " << loop.valueInfo(pr.srcVec).name << " "
+            << opName(pr.op);
+        if (pr.chainIn != kNoValue)
+            out << " chain " << loop.valueInfo(pr.chainIn).name;
+        out << "\n";
+    }
+    for (size_t i = 0; i < loop.liveOuts.size(); ++i) {
+        out << "    liveout " << loop.valueInfo(loop.liveOuts[i]).name;
+        if (i < loop.liveOutLanes.size() &&
+            !loop.liveOutLanes[i].empty()) {
+            out << " lanes";
+            for (ValueId lane : loop.liveOutLanes[i])
+                out << " " << loop.valueInfo(lane).name;
+        }
+        out << "\n";
+    }
+    for (size_t c = 0; c < loop.carriedUpdateLanes.size(); ++c) {
+        out << "    carriedlanes "
+            << loop.valueInfo(loop.carried[c].in).name;
+        for (ValueId lane : loop.carriedUpdateLanes[c])
+            out << " " << loop.valueInfo(lane).name;
+        out << "\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+writeLir(const Module &module)
+{
+    std::ostringstream out;
+    for (ArrayId a = 0; a < module.arrays.size(); ++a) {
+        const ArrayInfo &info = module.arrays[a];
+        out << "array " << info.name << " " << typeName(info.elemType)
+            << " " << info.size;
+        if (info.baseAlign != 2)
+            out << " align " << info.baseAlign;
+        if (info.synthesized)
+            out << " synthesized";
+        out << "\n";
+    }
+    for (const Loop &loop : module.loops) {
+        out << "\n";
+        out << writeLoop(loop, module.arrays);
+    }
+    return out.str();
+}
+
+} // namespace selvec

@@ -1,0 +1,161 @@
+#include "machine/binpack.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+ReservationBins::ReservationBins(const Machine &m)
+    : machine(m), bins(static_cast<size_t>(m.totalUnits()), 0)
+{
+}
+
+void
+ReservationBins::reserve(Opcode op, std::vector<Placement> &ledger)
+{
+    for (const Reservation &res : machine.reservations(op)) {
+        int first = machine.firstUnit(res.kind);
+        int count = machine.unitCount(res.kind);
+        SV_ASSERT(count > 0, "opcode %s reserves absent resource %s",
+                  opName(op), resKindName(res.kind));
+
+        // Evaluate every alternative unit: minimize the resulting
+        // high-water mark, break ties on the sum of squared weights
+        // (Figure 2 lines 50-66). Only the candidate bin changes, so
+        // the global maximum and squared sum are computed once and
+        // adjusted per alternative.
+        int64_t global_high = 0;
+        int64_t global_cost = 0;
+        for (int64_t w : bins) {
+            global_high = std::max(global_high, w);
+            global_cost += w * w;
+        }
+
+        int best = -1;
+        int64_t best_high = INT64_MAX;
+        int64_t best_cost = INT64_MAX;
+        for (int a = first; a < first + count; ++a) {
+            int64_t w = bins[static_cast<size_t>(a)];
+            int64_t grown = w + res.cycles;
+            int64_t high = std::max(global_high, grown);
+            int64_t cost = global_cost - w * w + grown * grown;
+            if (high < best_high ||
+                (high == best_high && cost < best_cost)) {
+                best_high = high;
+                best_cost = cost;
+                best = a;
+            }
+        }
+        bins[static_cast<size_t>(best)] += res.cycles;
+        ledger.push_back(Placement{best, res.cycles});
+    }
+}
+
+std::vector<Placement>
+ReservationBins::reserve(Opcode op)
+{
+    std::vector<Placement> ledger;
+    reserve(op, ledger);
+    return ledger;
+}
+
+void
+ReservationBins::release(const std::vector<Placement> &ledger)
+{
+    for (const Placement &p : ledger) {
+        SV_ASSERT(p.unit >= 0 && p.unit < numBins(), "bad placement");
+        int64_t &w = bins[static_cast<size_t>(p.unit)];
+        w -= p.cycles;
+        SV_ASSERT(w >= 0, "bin %s released below zero",
+                  machine.unitName(p.unit).c_str());
+    }
+}
+
+void
+ReservationBins::restore(const std::vector<Placement> &ledger)
+{
+    for (const Placement &p : ledger) {
+        SV_ASSERT(p.unit >= 0 && p.unit < numBins(), "bad placement");
+        bins[static_cast<size_t>(p.unit)] += p.cycles;
+    }
+}
+
+int64_t
+ReservationBins::highWaterMark() const
+{
+    int64_t high = 0;
+    for (int64_t w : bins)
+        high = std::max(high, w);
+    return high;
+}
+
+int64_t
+ReservationBins::sumSquares() const
+{
+    int64_t cost = 0;
+    for (int64_t w : bins)
+        cost += w * w;
+    return cost;
+}
+
+int64_t
+ReservationBins::weight(int unit) const
+{
+    SV_ASSERT(unit >= 0 && unit < numBins(), "bad unit %d", unit);
+    return bins[static_cast<size_t>(unit)];
+}
+
+void
+ReservationBins::clear()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+}
+
+std::vector<int>
+packingOrder(const Machine &m, const std::vector<Opcode> &opcodes)
+{
+    // Freedom of an opcode: the smallest alternative count over the
+    // resource kinds it reserves (an op needing the only vector unit
+    // has freedom 1 even though six slots are available).
+    auto freedom = [&](Opcode op) {
+        int f = INT32_MAX;
+        for (const Reservation &r : m.reservations(op))
+            f = std::min(f, m.unitCount(r.kind));
+        return f == INT32_MAX ? 0 : f;
+    };
+    // Within equal freedom, place long reservations first (classic
+    // longest-processing-time bin packing): a late multi-cycle divide
+    // landing on an already-balanced pair of units strands cycles
+    // that single-cycle fillers could have absorbed.
+    auto weight = [&](Opcode op) {
+        int total = 0;
+        for (const Reservation &r : m.reservations(op))
+            total += r.cycles;
+        return total;
+    };
+
+    std::vector<int> order(opcodes.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        Opcode oa = opcodes[static_cast<size_t>(a)];
+        Opcode ob = opcodes[static_cast<size_t>(b)];
+        if (freedom(oa) != freedom(ob))
+            return freedom(oa) < freedom(ob);
+        return weight(oa) > weight(ob);
+    });
+    return order;
+}
+
+int64_t
+packedHighWater(const Machine &m, const std::vector<Opcode> &opcodes)
+{
+    ReservationBins bins(m);
+    for (int idx : packingOrder(m, opcodes))
+        bins.reserve(opcodes[static_cast<size_t>(idx)]);
+    return bins.highWaterMark();
+}
+
+} // namespace selvec

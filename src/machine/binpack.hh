@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Modulo-reservation bin-packing (Figure 2, lines 33-70 of the paper).
+ *
+ * A bin is associated with every concrete resource instance of the
+ * machine; its weight is the number of cycles the unit is reserved per
+ * kernel iteration. Placing an operation reserves, for each entry of
+ * its reservation list, the alternative unit that (1) minimizes the
+ * resulting high-water mark and (2) breaks ties by minimizing the sum
+ * of squared bin weights — the balancing refinement of section 3.2
+ * that keeps incremental repartitioning estimates accurate.
+ *
+ * The high-water mark of a fully packed loop is the
+ * resource-constrained minimum initiation interval (ResMII).
+ *
+ * Placements are recorded so a reservation can later be released
+ * exactly (the checkpoint/release/reserve dance of TEST-REPARTITION).
+ */
+
+#ifndef SELVEC_MACHINE_BINPACK_HH
+#define SELVEC_MACHINE_BINPACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+/** One unit reservation, remembered so it can be undone. */
+struct Placement
+{
+    int unit;       ///< concrete bin index
+    int cycles;     ///< reserved cycles
+};
+
+/**
+ * The set of resource bins for one machine. Weights are cycles per
+ * kernel iteration.
+ */
+class ReservationBins
+{
+  public:
+    explicit ReservationBins(const Machine &m);
+
+    /**
+     * RESERVE-LEAST-USED for every entry of `op`'s reservation list.
+     * Returns the placements performed (append them to your ledger so
+     * they can be released later).
+     */
+    std::vector<Placement> reserve(Opcode op);
+
+    /** Reserve and append placements to an existing ledger. */
+    void reserve(Opcode op, std::vector<Placement> &ledger);
+
+    /** Undo previously recorded placements. */
+    void release(const std::vector<Placement> &ledger);
+
+    /**
+     * Re-apply placements verbatim (no least-used search): used to
+     * restore a checkpointed state after a trial repartition.
+     */
+    void restore(const std::vector<Placement> &ledger);
+
+    /** HIGH-WATER-MARK: weight of the most heavily used resource. */
+    int64_t highWaterMark() const;
+
+    /** Sum of squared bin weights (the balancing tiebreak metric). */
+    int64_t sumSquares() const;
+
+    /** Weight of one concrete unit. */
+    int64_t weight(int unit) const;
+
+    /** Reset every bin to zero. */
+    void clear();
+
+    int numBins() const { return static_cast<int>(bins.size()); }
+
+    const Machine &machineRef() const { return machine; }
+
+  private:
+    const Machine &machine;
+    std::vector<int64_t> bins;
+};
+
+/**
+ * The paper's packing order: operations with the fewest scheduling
+ * alternatives are placed first. Returns indices into `opcodes` in
+ * packing order (stable for equal freedom).
+ */
+std::vector<int> packingOrder(const Machine &m,
+                              const std::vector<Opcode> &opcodes);
+
+/**
+ * Pack a bag of opcodes from scratch and return the high-water mark
+ * (the ResMII if the bag is a lowered loop body).
+ */
+int64_t packedHighWater(const Machine &m,
+                        const std::vector<Opcode> &opcodes);
+
+} // namespace selvec
+
+#endif // SELVEC_MACHINE_BINPACK_HH

@@ -1,0 +1,246 @@
+#include "machine/machine.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+const char *
+resKindName(ResKind kind)
+{
+    switch (kind) {
+      case ResKind::Slot:         return "Slot";
+      case ResKind::IntUnit:      return "IntUnit";
+      case ResKind::FpUnit:       return "FpUnit";
+      case ResKind::MemUnit:      return "MemUnit";
+      case ResKind::BranchUnit:   return "BranchUnit";
+      case ResKind::VecUnit:      return "VecUnit";
+      case ResKind::VecMergeUnit: return "VecMergeUnit";
+      case ResKind::VecIssue:     return "VecIssue";
+      default:                    return "?";
+    }
+}
+
+int
+Machine::totalUnits() const
+{
+    int total = 0;
+    for (int i = 0; i < kNumResKinds; ++i)
+        total += counts[i];
+    return total;
+}
+
+int
+Machine::firstUnit(ResKind kind) const
+{
+    int idx = 0;
+    for (int i = 0; i < static_cast<int>(kind); ++i)
+        idx += counts[i];
+    return idx;
+}
+
+std::string
+Machine::unitName(int unit) const
+{
+    int idx = unit;
+    for (int i = 0; i < kNumResKinds; ++i) {
+        if (idx < counts[i]) {
+            return std::string(resKindName(static_cast<ResKind>(i))) +
+                   std::to_string(idx);
+        }
+        idx -= counts[i];
+    }
+    return "Unit?" + std::to_string(unit);
+}
+
+void
+Machine::validate() const
+{
+    SV_ASSERT(vectorLength >= 2, "machine '%s': vector length %d < 2",
+              name.c_str(), vectorLength);
+    for (int i = 0; i < kNumResKinds; ++i) {
+        SV_ASSERT(counts[i] >= 0, "machine '%s': negative unit count",
+                  name.c_str());
+    }
+    for (int c = 0; c < kNumOpClasses; ++c) {
+        const ClassDesc &desc = classes[c];
+        SV_ASSERT(desc.latency >= 1,
+                  "machine '%s': class %s has latency %d",
+                  name.c_str(),
+                  opClassName(static_cast<OpClass>(c)), desc.latency);
+        for (const Reservation &r : desc.reservations) {
+            SV_ASSERT(r.cycles >= 1,
+                      "machine '%s': zero-cycle reservation",
+                      name.c_str());
+            SV_ASSERT(unitCount(r.kind) > 0,
+                      "machine '%s': class %s reserves absent "
+                      "resource %s",
+                      name.c_str(),
+                      opClassName(static_cast<OpClass>(c)),
+                      resKindName(r.kind));
+        }
+    }
+}
+
+namespace
+{
+
+void
+setClass(Machine &m, OpClass cls, std::vector<Reservation> res,
+         int latency)
+{
+    ClassDesc &desc = m.classes[static_cast<int>(cls)];
+    desc.reservations = std::move(res);
+    desc.latency = latency;
+}
+
+} // anonymous namespace
+
+Machine
+paperMachine()
+{
+    Machine m;
+    m.name = "paper-table1";
+    m.vectorLength = 2;
+    m.transfer = TransferModel::ThroughMemory;
+    m.alignment = AlignPolicy::AssumeMisaligned;
+
+    m.counts[static_cast<int>(ResKind::Slot)] = 6;
+    m.counts[static_cast<int>(ResKind::IntUnit)] = 4;
+    m.counts[static_cast<int>(ResKind::FpUnit)] = 2;
+    m.counts[static_cast<int>(ResKind::MemUnit)] = 2;
+    m.counts[static_cast<int>(ResKind::BranchUnit)] = 1;
+    m.counts[static_cast<int>(ResKind::VecUnit)] = 1;
+    m.counts[static_cast<int>(ResKind::VecMergeUnit)] = 1;
+    m.counts[static_cast<int>(ResKind::VecIssue)] = 0;
+
+    using R = Reservation;
+    const ResKind S = ResKind::Slot;
+
+    // Divides occupy their unit for several cycles (partially
+    // pipelined divider: a new divide may start every kDivReserve
+    // cycles). This is the multi-cycle reservation path of the
+    // partitioner's bin-packing (Figure 2 line 55).
+    constexpr int kDivReserve = 4;
+
+    setClass(m, OpClass::IntAlu,
+             {R{S, 1}, R{ResKind::IntUnit, 1}}, 1);
+    setClass(m, OpClass::IntMul,
+             {R{S, 1}, R{ResKind::IntUnit, 1}}, 3);
+    setClass(m, OpClass::IntDiv,
+             {R{S, 1}, R{ResKind::IntUnit, kDivReserve}}, 36);
+    setClass(m, OpClass::FpAlu,
+             {R{S, 1}, R{ResKind::FpUnit, 1}}, 4);
+    setClass(m, OpClass::FpMul,
+             {R{S, 1}, R{ResKind::FpUnit, 1}}, 4);
+    setClass(m, OpClass::FpDiv,
+             {R{S, 1}, R{ResKind::FpUnit, kDivReserve}}, 32);
+    setClass(m, OpClass::MemLoad,
+             {R{S, 1}, R{ResKind::MemUnit, 1}}, 3);
+    setClass(m, OpClass::MemStore,
+             {R{S, 1}, R{ResKind::MemUnit, 1}}, 1);
+    // Vector arithmetic shares one int/fp unit; latencies match the
+    // scalar counterparts (paper section 4).
+    setClass(m, OpClass::VecIntAlu,
+             {R{S, 1}, R{ResKind::VecUnit, 1}}, 1);
+    setClass(m, OpClass::VecIntMul,
+             {R{S, 1}, R{ResKind::VecUnit, 1}}, 3);
+    setClass(m, OpClass::VecIntDiv,
+             {R{S, 1}, R{ResKind::VecUnit, kDivReserve}}, 36);
+    setClass(m, OpClass::VecFpAlu,
+             {R{S, 1}, R{ResKind::VecUnit, 1}}, 4);
+    setClass(m, OpClass::VecFpMul,
+             {R{S, 1}, R{ResKind::VecUnit, 1}}, 4);
+    setClass(m, OpClass::VecFpDiv,
+             {R{S, 1}, R{ResKind::VecUnit, kDivReserve}}, 32);
+    // Vector memory operations execute on the scalar load/store units
+    // (the resource contention the paper calls out explicitly).
+    setClass(m, OpClass::VecMemLoad,
+             {R{S, 1}, R{ResKind::MemUnit, 1}}, 3);
+    setClass(m, OpClass::VecMemStore,
+             {R{S, 1}, R{ResKind::MemUnit, 1}}, 1);
+    setClass(m, OpClass::VecMergeCls,
+             {R{S, 1}, R{ResKind::VecMergeUnit, 1}}, 1);
+    setClass(m, OpClass::BranchCls,
+             {R{S, 1}, R{ResKind::BranchUnit, 1}}, 1);
+    setClass(m, OpClass::Misc, {R{S, 1}}, 1);
+
+    m.validate();
+    return m;
+}
+
+Machine
+toyMachine()
+{
+    Machine m;
+    m.name = "figure1-toy";
+    m.vectorLength = 2;
+    m.transfer = TransferModel::Free;
+    m.alignment = AlignPolicy::AssumeAligned;
+    m.invocationOverhead = 0;
+    m.loopOverhead = false;
+
+    m.counts[static_cast<int>(ResKind::Slot)] = 3;
+    m.counts[static_cast<int>(ResKind::VecIssue)] = 1;
+
+    using R = Reservation;
+    const ResKind S = ResKind::Slot;
+    const ResKind V = ResKind::VecIssue;
+
+    // Three issue slots are the only scalar resources; one vector
+    // instruction (of any kind, including memory) may issue per cycle.
+    // All latencies are one cycle, as in the paper's Figure 1.
+    for (int c = 0; c < kNumOpClasses; ++c)
+        setClass(m, static_cast<OpClass>(c), {R{S, 1}}, 1);
+    for (OpClass c : {OpClass::VecIntAlu, OpClass::VecIntMul,
+                      OpClass::VecIntDiv, OpClass::VecFpAlu,
+                      OpClass::VecFpMul, OpClass::VecFpDiv,
+                      OpClass::VecMemLoad, OpClass::VecMemStore,
+                      OpClass::VecMergeCls}) {
+        setClass(m, c, {R{S, 1}, R{V, 1}}, 1);
+    }
+    // Free scalar<->vector communication occupies nothing.
+    setClass(m, OpClass::XferFree, {}, 1);
+
+    m.validate();
+    return m;
+}
+
+Machine
+directMoveMachine()
+{
+    Machine m = paperMachine();
+    m.name = "paper-directmove";
+    m.transfer = TransferModel::DirectMove;
+    return m;
+}
+
+Machine
+wideMachine()
+{
+    Machine m = paperMachine();
+    m.name = "wide-8issue";
+    m.counts[static_cast<int>(ResKind::Slot)] = 8;
+    m.counts[static_cast<int>(ResKind::FpUnit)] = 3;
+    m.counts[static_cast<int>(ResKind::MemUnit)] = 3;
+    m.counts[static_cast<int>(ResKind::VecUnit)] = 2;
+    m.validate();
+    return m;
+}
+
+Machine
+embeddedMachine()
+{
+    Machine m = paperMachine();
+    m.name = "embedded-4issue";
+    m.counts[static_cast<int>(ResKind::Slot)] = 4;
+    m.counts[static_cast<int>(ResKind::IntUnit)] = 2;
+    m.counts[static_cast<int>(ResKind::FpUnit)] = 1;
+    m.counts[static_cast<int>(ResKind::MemUnit)] = 1;
+    m.transfer = TransferModel::DirectMove;
+    m.alignment = AlignPolicy::AssumeAligned;
+    m.validate();
+    return m;
+}
+
+} // namespace selvec

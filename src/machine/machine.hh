@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Parametric VLIW machine description.
+ *
+ * The machine exposes exactly what the paper's partitioner and modulo
+ * scheduler consume: a set of compiler-visible resources (each with a
+ * replication count), a per-operation-class reservation list (which
+ * resource kinds an operation occupies and for how many cycles), a
+ * per-class latency, the vector length, the operand-transfer model and
+ * the memory-alignment policy.
+ *
+ * Two stock configurations are provided:
+ *  - paperMachine(): the processor of the paper's Table 1 (6-issue,
+ *    4 int / 2 fp / 2 mem / 1 branch units, 1 shared int+fp vector
+ *    unit, 1 vector merge unit, VL = 2, through-memory transfers,
+ *    misaligned vector memory);
+ *  - toyMachine(): the 3-issue-slot machine of the paper's Figure 1
+ *    (3 slots as the only resources plus a 1-per-cycle vector issue
+ *    limit, unit latencies, free scalar<->vector communication).
+ */
+
+#ifndef SELVEC_MACHINE_MACHINE_HH
+#define SELVEC_MACHINE_MACHINE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/opcodes.hh"
+
+namespace selvec
+{
+
+/** Compiler-visible resource kinds. */
+enum class ResKind : uint8_t {
+    Slot,           ///< issue slot (one per instruction per cycle)
+    IntUnit,        ///< scalar integer ALU
+    FpUnit,         ///< scalar floating-point unit
+    MemUnit,        ///< load/store unit (shared by vector memory ops)
+    BranchUnit,     ///< branch unit
+    VecUnit,        ///< vector arithmetic unit (shared int/fp)
+    VecMergeUnit,   ///< vector merge/permute unit
+    VecIssue,       ///< virtual: limits vector instructions per cycle
+
+    NumKinds,
+};
+
+constexpr int kNumResKinds = static_cast<int>(ResKind::NumKinds);
+
+/** Printable name of a resource kind. */
+const char *resKindName(ResKind kind);
+
+/** One entry of a reservation list: occupy `cycles` on one unit of
+ *  `kind`. */
+struct Reservation
+{
+    ResKind kind;
+    int cycles;
+};
+
+/** Resource and latency description of one operation class. */
+struct ClassDesc
+{
+    std::vector<Reservation> reservations;
+    int latency = 1;
+};
+
+/** How operands move between the scalar and vector register files. */
+enum class TransferModel : uint8_t {
+    /**
+     * Through memory: a scalar->vector transfer is VL scalar stores
+     * feeding one vector load; vector->scalar is one vector store
+     * feeding VL scalar loads. This is the paper's evaluated machine.
+     */
+    ThroughMemory,
+    /** Direct lane moves on the vector merge unit (MovSV / MovVS). */
+    DirectMove,
+    /** Communication is free (the idealization of the paper's
+     *  Figure 1 example). */
+    Free,
+};
+
+/** Compile-time knowledge about vector memory alignment. */
+enum class AlignPolicy : uint8_t {
+    /**
+     * No alignment information: every vector memory access is compiled
+     * as misaligned (aligned access + merge with the previous
+     * iteration's data, per Eichenberger et al. / Wu et al.).
+     */
+    AssumeMisaligned,
+    /** Perfect alignment information; references at vector-aligned
+     *  offsets need no merges (the paper's Table 5 best case treats
+     *  every reference as aligned). */
+    AssumeAligned,
+};
+
+/**
+ * A machine description. Plain aggregate with helpers; construct stock
+ * machines via paperMachine()/toyMachine() or fill in a custom one (see
+ * examples/custom_machine.cc).
+ */
+class Machine
+{
+  public:
+    std::string name;
+
+    /** Number of units of each resource kind; 0 = kind not present. */
+    int counts[kNumResKinds] = {};
+
+    /** Reservations and latency per operation class. */
+    ClassDesc classes[kNumOpClasses];
+
+    int vectorLength = 2;
+
+    TransferModel transfer = TransferModel::ThroughMemory;
+    AlignPolicy alignment = AlignPolicy::AssumeMisaligned;
+
+    /**
+     * Fixed cycle cost charged once per loop invocation: loop setup,
+     * preheader/postloop operations of the misalignment scheme, and
+     * the final branch misprediction. Penalizes techniques that split
+     * one loop into many (loop distribution).
+     */
+    int invocationOverhead = 12;
+
+    /**
+     * When true (real machines), lowering adds one induction-variable
+     * update and one back-branch per kernel iteration. The Figure 1
+     * example machine omits them, as the paper's figure does.
+     */
+    bool loopOverhead = true;
+
+    /** Latency of an opcode on this machine. */
+    int
+    latency(Opcode op) const
+    {
+        return classes[static_cast<int>(opClass(op))].latency;
+    }
+
+    /** Reservation list of an opcode on this machine. */
+    const std::vector<Reservation> &
+    reservations(Opcode op) const
+    {
+        return classes[static_cast<int>(opClass(op))].reservations;
+    }
+
+    /** Total number of concrete resource instances (bins). */
+    int totalUnits() const;
+
+    /** First bin index of a resource kind. */
+    int firstUnit(ResKind kind) const;
+
+    /** Number of units of a kind. */
+    int
+    unitCount(ResKind kind) const
+    {
+        return counts[static_cast<int>(kind)];
+    }
+
+    /** Human-readable name of a concrete unit ("IntUnit2"). */
+    std::string unitName(int unit) const;
+
+    /** Sanity-check the description (positive counts for every kind
+     *  referenced by a reservation, positive latencies, VL >= 2). */
+    void validate() const;
+};
+
+/** The processor of the paper's Table 1. */
+Machine paperMachine();
+
+/** The 3-slot example machine of the paper's Figure 1. */
+Machine toyMachine();
+
+/**
+ * A variant of the paper machine with direct scalar<->vector moves on
+ * the merge unit (used by what-if studies).
+ */
+Machine directMoveMachine();
+
+/**
+ * A wider 8-issue machine (4 int, 3 fp, 3 mem, 2 vector units): the
+ * regime where scalar resources are plentiful and full vectorization
+ * has more room. Used by the machine-sweep study.
+ */
+Machine wideMachine();
+
+/**
+ * A narrow embedded-style 4-issue machine (2 int, 1 fp, 1 mem, 1
+ * vector unit, direct register moves, hardware unaligned access):
+ * the regime where the single scalar FP unit chokes and the vector
+ * unit is the relief valve.
+ */
+Machine embeddedMachine();
+
+} // namespace selvec
+
+#endif // SELVEC_MACHINE_MACHINE_HH

@@ -1,0 +1,97 @@
+#include "pipeline/checker.hh"
+
+#include <vector>
+
+#include "machine/machine.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+std::string
+validateSchedule(const Loop &lowered, const DepGraph &graph,
+                 const Machine &machine, const ModuloSchedule &schedule)
+{
+    int n = lowered.numOps();
+    auto fail = [&](const std::string &msg) {
+        return "schedule of '" + lowered.name + "': " + msg;
+    };
+
+    if (schedule.ii <= 0)
+        return fail("nonpositive II");
+    if (static_cast<int>(schedule.time.size()) != n ||
+        static_cast<int>(schedule.units.size()) != n) {
+        return fail("schedule tables sized for a different loop");
+    }
+
+    // Unit bookkeeping: kind of each concrete unit.
+    std::vector<ResKind> unit_kind(
+        static_cast<size_t>(machine.totalUnits()));
+    for (int k = 0; k < kNumResKinds; ++k) {
+        ResKind kind = static_cast<ResKind>(k);
+        int first = machine.firstUnit(kind);
+        for (int u = 0; u < machine.unitCount(kind); ++u)
+            unit_kind[static_cast<size_t>(first + u)] = kind;
+    }
+
+    // Occupancy: (row, unit) -> op.
+    std::vector<OpId> cell(
+        static_cast<size_t>(schedule.ii * machine.totalUnits()), kNoOp);
+
+    for (OpId op = 0; op < n; ++op) {
+        int64_t t = schedule.time[static_cast<size_t>(op)];
+        if (t < 0)
+            return fail("op #" + std::to_string(op) + " unscheduled");
+
+        const auto &reservations =
+            machine.reservations(lowered.op(op).opcode);
+        const auto &uses = schedule.units[static_cast<size_t>(op)];
+        if (uses.size() != reservations.size()) {
+            return fail("op #" + std::to_string(op) +
+                        " has wrong reservation count");
+        }
+        for (size_t r = 0; r < reservations.size(); ++r) {
+            const Reservation &res = reservations[r];
+            const UnitUse &use = uses[r];
+            if (use.unit < 0 || use.unit >= machine.totalUnits())
+                return fail("op #" + std::to_string(op) +
+                            " reserves a bad unit");
+            if (unit_kind[static_cast<size_t>(use.unit)] != res.kind)
+                return fail("op #" + std::to_string(op) +
+                            " reserves a unit of the wrong kind");
+            if (use.cycles != res.cycles)
+                return fail("op #" + std::to_string(op) +
+                            " reserves wrong cycle count");
+            if (use.cycles > schedule.ii)
+                return fail("op #" + std::to_string(op) +
+                            " reservation longer than the II");
+            for (int64_t c = 0; c < use.cycles; ++c) {
+                int64_t row = (t + use.start + c) % schedule.ii;
+                OpId &occupant = cell[static_cast<size_t>(
+                    row * machine.totalUnits() + use.unit)];
+                if (occupant != kNoOp && occupant != op) {
+                    return fail(
+                        "ops #" + std::to_string(occupant) + " and #" +
+                        std::to_string(op) + " collide on " +
+                        machine.unitName(use.unit) + " row " +
+                        std::to_string(row));
+                }
+                occupant = op;
+            }
+        }
+    }
+
+    for (const DepEdge &e : graph.edges()) {
+        int64_t ts = schedule.time[static_cast<size_t>(e.src)];
+        int64_t td = schedule.time[static_cast<size_t>(e.dst)];
+        if (td + schedule.ii * e.distance < ts + e.latency) {
+            return fail("dependence #" + std::to_string(e.src) + " -> #" +
+                        std::to_string(e.dst) + " (lat " +
+                        std::to_string(e.latency) + ", dist " +
+                        std::to_string(e.distance) + ") violated");
+        }
+    }
+    return "";
+}
+
+} // namespace selvec

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Independent validity checking of modulo schedules. The checker
+ * re-derives the modulo reservation table from the schedule's recorded
+ * unit assignments and re-checks every dependence edge; the test suite
+ * runs it on every schedule any technique produces.
+ */
+
+#ifndef SELVEC_PIPELINE_CHECKER_HH
+#define SELVEC_PIPELINE_CHECKER_HH
+
+#include <string>
+
+#include "analysis/depgraph.hh"
+#include "pipeline/schedule.hh"
+
+namespace selvec
+{
+
+/**
+ * Validate a schedule against its loop, dependence graph and machine.
+ * Returns "" when valid, else a description of the first violation:
+ *
+ *  - every op has a nonnegative issue time and one recorded unit per
+ *    reservation-list entry, on a unit of the right kind;
+ *  - no two ops reserve the same unit in the same kernel row;
+ *  - sched(dst) + II*distance >= sched(src) + latency on every edge.
+ */
+std::string validateSchedule(const Loop &lowered, const DepGraph &graph,
+                             const Machine &machine,
+                             const ModuloSchedule &schedule);
+
+} // namespace selvec
+
+#endif // SELVEC_PIPELINE_CHECKER_HH

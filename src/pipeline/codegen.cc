@@ -1,0 +1,86 @@
+#include "pipeline/codegen.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+PipelinedCode
+generatePipelinedCode(const Loop &lowered, const ModuloSchedule &schedule)
+{
+    PipelinedCode code;
+    code.ii = schedule.ii;
+    code.stageCount = schedule.stageCount();
+    int64_t ii = schedule.ii;
+    int64_t sc = code.stageCount;
+    SV_ASSERT(ii > 0, "unscheduled loop");
+
+    // Simulate enough overlapped iterations that a steady-state
+    // window exists, then slice the issue trace into the regions.
+    int64_t n = sc + 1;
+    int64_t length = schedule.length();
+    int64_t total = (n - 1) * ii + length + 1;
+
+    std::vector<std::vector<CodeOp>> trace(
+        static_cast<size_t>(total));
+    for (int64_t j = 0; j < n; ++j) {
+        for (OpId op = 0; op < lowered.numOps(); ++op) {
+            int64_t c = j * ii + schedule.time[static_cast<size_t>(op)];
+            trace[static_cast<size_t>(c)].push_back(CodeOp{op, j});
+        }
+    }
+
+    int64_t fill = (sc - 1) * ii;
+    for (int64_t c = 0; c < fill; ++c)
+        code.prologue.push_back(trace[static_cast<size_t>(c)]);
+
+    // Steady state: the window [fill, fill + II) with stage tags.
+    for (int64_t c = fill; c < fill + ii; ++c) {
+        std::vector<CodeOp> row;
+        for (const CodeOp &inst : trace[static_cast<size_t>(c)]) {
+            // Stage 0 = the newest in-flight iteration.
+            int64_t newest = (c - (c % ii)) / ii;
+            row.push_back(CodeOp{inst.op, newest - inst.iteration});
+        }
+        code.kernel.push_back(std::move(row));
+    }
+    SV_ASSERT(static_cast<int64_t>(code.kernel.size()) == ii,
+              "kernel slicing broken");
+
+    // Epilogue: everything after the last kernel copy, iterations
+    // renumbered from the end (0 = final iteration).
+    for (int64_t c = n * ii; c < total; ++c) {
+        std::vector<CodeOp> row;
+        for (const CodeOp &inst : trace[static_cast<size_t>(c)])
+            row.push_back(CodeOp{inst.op, (n - 1) - inst.iteration});
+        code.epilogue.push_back(std::move(row));
+    }
+    return code;
+}
+
+std::string
+formatPipelinedCode(const Loop &lowered, const PipelinedCode &code)
+{
+    std::ostringstream out;
+    auto region = [&](const char *name,
+                      const std::vector<std::vector<CodeOp>> &rows,
+                      const char *tag) {
+        out << name << " (" << rows.size() << " cycles)\n";
+        for (size_t c = 0; c < rows.size(); ++c) {
+            out << "  " << c << ":";
+            for (const CodeOp &inst : rows[c]) {
+                out << "  " << opName(lowered.op(inst.op).opcode)
+                    << "[" << tag << inst.iteration << "]";
+            }
+            out << "\n";
+        }
+    };
+    region("prologue", code.prologue, "i");
+    region("kernel", code.kernel, "s");
+    region("epilogue", code.epilogue, "-");
+    return out.str();
+}
+
+} // namespace selvec

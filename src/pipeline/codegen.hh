@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Code generation schema for modulo scheduled loops (Rau et al. [32]).
+ *
+ * A modulo schedule is an abstract mapping op -> issue time; real code
+ * consists of a prologue that fills the pipeline (stage s of iteration
+ * j issues before the steady state is reached), a kernel of II cycles
+ * executed once per remaining iteration, and an epilogue that drains
+ * the final SC-1 iterations. This module materializes those three
+ * instruction sequences, each cycle annotated with the operations
+ * issuing in it and the relative iteration they belong to.
+ *
+ * The defining identity (verified by the test suite): executing
+ * prologue + (n - SC + 1) kernel copies + epilogue issues exactly the
+ * same multiset of operations, with the same timing, as n overlapped
+ * copies of the flat schedule — for every n >= SC - 1.
+ */
+
+#ifndef SELVEC_PIPELINE_CODEGEN_HH
+#define SELVEC_PIPELINE_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hh"
+#include "pipeline/schedule.hh"
+
+namespace selvec
+{
+
+/** One operation instance inside the generated code. */
+struct CodeOp
+{
+    OpId op;
+    /**
+     * Iteration the instance belongs to, relative to the region:
+     * prologue counts from the first iteration (0, 1, ...); kernel
+     * entries give the stage (0 = newest iteration); epilogue counts
+     * back from the last iteration (0 = last, 1 = second to last...).
+     */
+    int64_t iteration;
+};
+
+struct PipelinedCode
+{
+    int64_t ii = 0;
+    int64_t stageCount = 0;
+
+    /** (stageCount-1) * II cycles filling the pipeline. */
+    std::vector<std::vector<CodeOp>> prologue;
+
+    /** II cycles executed once per iteration in steady state. */
+    std::vector<std::vector<CodeOp>> kernel;
+
+    /** Drain cycles for the final stageCount-1 iterations. */
+    std::vector<std::vector<CodeOp>> epilogue;
+
+    int64_t prologueCycles() const
+    {
+        return static_cast<int64_t>(prologue.size());
+    }
+    int64_t epilogueCycles() const
+    {
+        return static_cast<int64_t>(epilogue.size());
+    }
+};
+
+/** Materialize the prologue/kernel/epilogue of a schedule. */
+PipelinedCode generatePipelinedCode(const Loop &lowered,
+                                    const ModuloSchedule &schedule);
+
+/** Render the three regions in the Figure 1 style. */
+std::string formatPipelinedCode(const Loop &lowered,
+                                const PipelinedCode &code);
+
+} // namespace selvec
+
+#endif // SELVEC_PIPELINE_CODEGEN_HH

@@ -1,0 +1,46 @@
+#include "pipeline/lowering.hh"
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+Loop
+lowerForScheduling(const Loop &loop, const Machine &machine)
+{
+    Loop lowered = loop;
+    if (!machine.loopOverhead)
+        return lowered;
+
+    // i1 = iadd i, i  -- a self-feeding integer add standing in for
+    // the induction update (its numeric value is unobservable; memory
+    // operations use base+offset addressing off the implicit index).
+    ValueId iv0 = lowered.addValue(
+        Type::I64, lowered.freshName("__iv0"));
+    lowered.liveIns.push_back(iv0);
+    ValueId iv = lowered.addValue(Type::I64, lowered.freshName("__iv"));
+    ValueId iv1 = lowered.addValue(
+        Type::I64, lowered.freshName("__iv1"));
+
+    Operation update;
+    update.opcode = Opcode::IAdd;
+    update.dest = iv1;
+    update.srcs = {iv, iv};
+    lowered.addOp(std::move(update));
+    lowered.carried.push_back(CarriedValue{iv, iv1, iv0});
+    if (lowered.hasEarlyExit() && lowered.coverage > 1) {
+        // Early-exit lane tables stay parallel to the carried list
+        // (possibly empty before this chain); the induction chain's
+        // continuation is the same value in every lane.
+        lowered.carriedUpdateLanes.push_back(std::vector<ValueId>(
+            static_cast<size_t>(lowered.coverage), iv1));
+    }
+
+    Operation br;
+    br.opcode = Opcode::Br;
+    lowered.addOp(std::move(br));
+
+    return lowered;
+}
+
+} // namespace selvec

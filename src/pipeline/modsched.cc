@@ -1,0 +1,374 @@
+#include "pipeline/modsched.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/recmii.hh"
+#include "machine/binpack.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/**
+ * Modulo reservation table: occupancy of every concrete unit in every
+ * of the II kernel rows, with per-op records so displacement can
+ * release reservations exactly.
+ */
+class Mrt
+{
+  public:
+    Mrt(const Machine &m, int64_t ii, int num_ops)
+        : machine(m), ii(ii),
+          cells(static_cast<size_t>(ii * m.totalUnits()), kNoOp),
+          held(static_cast<size_t>(num_ops)),
+          issue(static_cast<size_t>(num_ops), 0)
+    {
+    }
+
+    /** True if op could issue at cycle t without displacement. */
+    bool
+    canPlace(Opcode opcode, int64_t t) const
+    {
+        for (const Reservation &res : machine.reservations(opcode)) {
+            if (res.cycles > ii)
+                return false;
+            if (pickUnit(res, t) < 0)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Ops that must be displaced so `opcode` can issue at t. For each
+     * blocked reservation the unit with the fewest distinct occupants
+     * is chosen as the victim unit.
+     */
+    std::vector<OpId>
+    conflicts(Opcode opcode, int64_t t) const
+    {
+        std::vector<OpId> victims;
+        for (const Reservation &res : machine.reservations(opcode)) {
+            if (pickUnit(res, t) >= 0)
+                continue;
+            int first = machine.firstUnit(res.kind);
+            int count = machine.unitCount(res.kind);
+            int best_unit = -1;
+            size_t best_victims = SIZE_MAX;
+            std::vector<OpId> best_list;
+            for (int u = first; u < first + count; ++u) {
+                std::vector<OpId> list;
+                int64_t span = std::min<int64_t>(res.cycles, ii);
+                for (int64_t c = 0; c < span; ++c) {
+                    OpId occ = at((t + c) % ii, u);
+                    if (occ != kNoOp &&
+                        std::find(list.begin(), list.end(), occ) ==
+                            list.end()) {
+                        list.push_back(occ);
+                    }
+                }
+                if (list.size() < best_victims) {
+                    best_victims = list.size();
+                    best_unit = u;
+                    best_list = std::move(list);
+                }
+            }
+            SV_ASSERT(best_unit >= 0, "reservation with no units");
+            for (OpId v : best_list) {
+                if (std::find(victims.begin(), victims.end(), v) ==
+                    victims.end()) {
+                    victims.push_back(v);
+                }
+            }
+        }
+        return victims;
+    }
+
+    /** Place op at cycle t; caller must have displaced conflicts. */
+    void
+    place(OpId op, Opcode opcode, int64_t t)
+    {
+        auto &uses = held[static_cast<size_t>(op)];
+        SV_ASSERT(uses.empty(), "op %d placed twice", op);
+        for (const Reservation &res : machine.reservations(opcode)) {
+            int unit = pickUnit(res, t);
+            SV_ASSERT(unit >= 0, "placing op %d with conflicts", op);
+            for (int64_t c = 0; c < res.cycles; ++c)
+                at((t + c) % ii, unit) = op;
+            uses.push_back(UnitUse{unit, 0, res.cycles});
+        }
+        issue[static_cast<size_t>(op)] = t;
+    }
+
+    /** Release every reservation held by op. */
+    void
+    remove(OpId op)
+    {
+        auto &uses = held[static_cast<size_t>(op)];
+        int64_t t = issue[static_cast<size_t>(op)];
+        for (const UnitUse &use : uses) {
+            for (int64_t c = 0; c < use.cycles; ++c) {
+                OpId &cell = at((t + c) % ii, use.unit);
+                SV_ASSERT(cell == op, "MRT cell not held by op %d", op);
+                cell = kNoOp;
+            }
+        }
+        uses.clear();
+    }
+
+    const std::vector<UnitUse> &
+    uses(OpId op) const
+    {
+        return held[static_cast<size_t>(op)];
+    }
+
+    /** Occupied cells in one kernel row (a row-balance metric). */
+    int
+    rowFullness(int64_t t) const
+    {
+        int64_t row = t % ii;
+        int used = 0;
+        for (int u = 0; u < machine.totalUnits(); ++u)
+            used += at(row, u) != kNoOp ? 1 : 0;
+        return used;
+    }
+
+  private:
+    OpId &
+    at(int64_t row, int unit)
+    {
+        return cells[static_cast<size_t>(row * machine.totalUnits() +
+                                         unit)];
+    }
+
+    OpId
+    at(int64_t row, int unit) const
+    {
+        return cells[static_cast<size_t>(row * machine.totalUnits() +
+                                         unit)];
+    }
+
+    /** Least-loaded free unit for a reservation at cycle t, or -1. */
+    int
+    pickUnit(const Reservation &res, int64_t t) const
+    {
+        int first = machine.firstUnit(res.kind);
+        int count = machine.unitCount(res.kind);
+        if (res.cycles > ii)
+            return -1;
+        for (int u = first; u < first + count; ++u) {
+            bool free = true;
+            for (int64_t c = 0; c < res.cycles && free; ++c)
+                free = at((t + c) % ii, u) == kNoOp;
+            if (free)
+                return u;
+        }
+        return -1;
+    }
+
+    const Machine &machine;
+    int64_t ii;
+    std::vector<OpId> cells;
+    std::vector<std::vector<UnitUse>> held;
+    std::vector<int64_t> issue;
+};
+
+/**
+ * Height-based priority: the longest latency path from each op to any
+ * sink under the candidate II (edges weigh latency - II*distance).
+ */
+std::vector<int64_t>
+computeHeights(const DepGraph &graph, int64_t ii)
+{
+    int n = graph.numOps();
+    std::vector<int64_t> height(static_cast<size_t>(n), 0);
+    // Relaxation; converges within n passes when no positive cycle
+    // exists (guaranteed for ii >= RecMII).
+    for (int pass = 0; pass < n; ++pass) {
+        bool changed = false;
+        for (const DepEdge &e : graph.edges()) {
+            int64_t h = height[static_cast<size_t>(e.dst)] + e.latency -
+                        ii * e.distance;
+            if (h > height[static_cast<size_t>(e.src)]) {
+                height[static_cast<size_t>(e.src)] = h;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return height;
+}
+
+/**
+ * One candidate-II scheduling attempt.
+ *
+ * Slot selection within the II-wide window: classic iterative modulo
+ * scheduling takes the earliest conflict-free cycle. On very tight
+ * schedules that can fill one kernel row completely while a zero-slack
+ * recurrence still needs it, so a second strategy (`balanced`) prefers
+ * the feasible cycle whose kernel row is least occupied — the same
+ * balancing instinct as the partitioner's squared-weight tiebreak. The
+ * driver tries earliest-fit first and balanced-fit on failure before
+ * giving up on an II.
+ */
+bool
+tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
+                const Machine &machine, int64_t ii, int budget,
+                bool balanced, ModuloSchedule &out)
+{
+    int n = loop.numOps();
+    std::vector<int64_t> height = computeHeights(graph, ii);
+    Mrt mrt(machine, ii, n);
+
+    std::vector<int64_t> time(static_cast<size_t>(n), -1);
+    std::vector<int64_t> prev_time(static_cast<size_t>(n), 0);
+    std::vector<bool> ever(static_cast<size_t>(n), false);
+    int unscheduled = n;
+
+    while (unscheduled > 0) {
+        if (budget-- <= 0)
+            return false;
+
+        // Highest-priority unscheduled op (height, then op order).
+        OpId op = kNoOp;
+        for (OpId cand = 0; cand < n; ++cand) {
+            if (time[static_cast<size_t>(cand)] >= 0)
+                continue;
+            if (op == kNoOp || height[static_cast<size_t>(cand)] >
+                                   height[static_cast<size_t>(op)]) {
+                op = cand;
+            }
+        }
+        SV_ASSERT(op != kNoOp, "worklist accounting broken");
+
+        // Earliest start from scheduled predecessors.
+        int64_t estart = 0;
+        for (int ei : graph.inEdges(op)) {
+            const DepEdge &e = graph.edges()[static_cast<size_t>(ei)];
+            if (e.src == op)
+                continue;
+            int64_t ts = time[static_cast<size_t>(e.src)];
+            if (ts < 0)
+                continue;
+            estart = std::max(estart,
+                              ts + e.latency - ii * e.distance);
+        }
+
+        Opcode opcode = loop.op(op).opcode;
+        int64_t slot = -1;
+        if (!balanced) {
+            for (int64_t t = estart; t < estart + ii; ++t) {
+                if (mrt.canPlace(opcode, t)) {
+                    slot = t;
+                    break;
+                }
+            }
+        } else {
+            int best_fullness = INT32_MAX;
+            for (int64_t t = estart; t < estart + ii; ++t) {
+                if (!mrt.canPlace(opcode, t))
+                    continue;
+                int fullness = mrt.rowFullness(t);
+                if (fullness < best_fullness) {
+                    best_fullness = fullness;
+                    slot = t;
+                }
+            }
+        }
+        if (slot < 0) {
+            slot = ever[static_cast<size_t>(op)]
+                       ? std::max(estart,
+                                  prev_time[static_cast<size_t>(op)] + 1)
+                       : estart;
+            for (OpId victim : mrt.conflicts(opcode, slot)) {
+                mrt.remove(victim);
+                time[static_cast<size_t>(victim)] = -1;
+                ++unscheduled;
+            }
+        }
+
+        mrt.place(op, opcode, slot);
+        time[static_cast<size_t>(op)] = slot;
+        prev_time[static_cast<size_t>(op)] = slot;
+        ever[static_cast<size_t>(op)] = true;
+        --unscheduled;
+
+        // Displace successors whose dependence constraints now break.
+        for (int ei : graph.outEdges(op)) {
+            const DepEdge &e = graph.edges()[static_cast<size_t>(ei)];
+            if (e.dst == op)
+                continue;
+            int64_t ts = time[static_cast<size_t>(e.dst)];
+            if (ts >= 0 && ts + ii * e.distance < slot + e.latency) {
+                mrt.remove(e.dst);
+                time[static_cast<size_t>(e.dst)] = -1;
+                ++unscheduled;
+            }
+        }
+    }
+
+    out.ii = ii;
+    out.time = std::move(time);
+    out.units.resize(static_cast<size_t>(n));
+    for (OpId op = 0; op < n; ++op)
+        out.units[static_cast<size_t>(op)] = mrt.uses(op);
+    return true;
+}
+
+} // anonymous namespace
+
+ScheduleResult
+moduloSchedule(const Loop &lowered, const DepGraph &graph,
+               const Machine &machine, const ScheduleOptions &options)
+{
+    ScheduleResult result;
+
+    std::vector<Opcode> opcodes;
+    opcodes.reserve(static_cast<size_t>(lowered.numOps()));
+    for (const Operation &op : lowered.ops)
+        opcodes.push_back(op.opcode);
+
+    if (opcodes.empty()) {
+        result.ok = true;
+        result.schedule.ii = 1;
+        result.resMii = result.recMii = result.mii = 1;
+        return result;
+    }
+
+    result.resMii = packedHighWater(machine, opcodes);
+    result.recMii = computeRecMii(graph);
+    result.mii = std::max({result.resMii, result.recMii,
+                           static_cast<int64_t>(1)});
+
+    // A reservation longer than the II can never fit in the MRT.
+    for (Opcode op : opcodes) {
+        for (const Reservation &res : machine.reservations(op)) {
+            result.mii = std::max(result.mii,
+                                  static_cast<int64_t>(res.cycles));
+        }
+    }
+
+    int64_t max_ii =
+        result.mii * options.maxIiFactor + options.maxIiSlack;
+    int budget = options.budgetFactor * lowered.numOps();
+
+    for (int64_t ii = result.mii; ii <= max_ii; ++ii) {
+        ++result.attempts;
+        if (tryScheduleAtIi(lowered, graph, machine, ii, budget,
+                            /*balanced=*/false, result.schedule) ||
+            tryScheduleAtIi(lowered, graph, machine, ii, budget,
+                            /*balanced=*/true, result.schedule)) {
+            result.ok = true;
+            return result;
+        }
+    }
+    result.error = "no schedule found for loop '" + lowered.name +
+                   "' up to II " + std::to_string(max_ii);
+    return result;
+}
+
+} // namespace selvec

@@ -1,0 +1,91 @@
+#include "pipeline/printer.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+std::string
+formatKernel(const Loop &lowered, const Machine &machine,
+             const ModuloSchedule &schedule)
+{
+    static_cast<void>(machine);
+    std::ostringstream out;
+    int64_t ii = schedule.ii;
+    SV_ASSERT(ii > 0, "unscheduled loop");
+
+    std::vector<std::vector<std::string>> rows(static_cast<size_t>(ii));
+    for (OpId op = 0; op < lowered.numOps(); ++op) {
+        int64_t t = schedule.time[static_cast<size_t>(op)];
+        int64_t row = t % ii;
+        int64_t stage = t / ii;
+        const Operation &o = lowered.op(op);
+        std::ostringstream cell;
+        cell << opName(o.opcode);
+        if (lowered.coverage > 1 && !o.isVector())
+            cell << "(" << o.replica + 1 << ")";
+        if (stage > 0)
+            cell << " s" << stage;
+        rows[static_cast<size_t>(row)].push_back(cell.str());
+    }
+
+    out << "kernel (II = " << ii << ", stages = "
+        << schedule.stageCount() << ")\n";
+    for (int64_t r = 0; r < ii; ++r) {
+        out << "  cycle " << r << ":";
+        for (const std::string &cell : rows[static_cast<size_t>(r)])
+            out << "  " << cell;
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatScheduleSummary(const Loop &lowered, const ModuloSchedule &schedule)
+{
+    std::ostringstream out;
+    double per_iter = static_cast<double>(schedule.ii) /
+                      static_cast<double>(lowered.coverage);
+    out << "II " << schedule.ii << " over " << lowered.coverage
+        << " original iteration(s) = " << per_iter
+        << " per iteration, " << schedule.stageCount() << " stage(s)";
+    return out.str();
+}
+
+std::string
+formatUtilization(const Loop &lowered, const Machine &machine,
+                  const ModuloSchedule &schedule)
+{
+    int64_t ii = schedule.ii;
+    SV_ASSERT(ii > 0, "unscheduled loop");
+
+    int64_t reserved[kNumResKinds] = {};
+    for (OpId op = 0; op < lowered.numOps(); ++op) {
+        for (const Reservation &res :
+             machine.reservations(lowered.op(op).opcode)) {
+            reserved[static_cast<int>(res.kind)] += res.cycles;
+        }
+    }
+
+    std::ostringstream out;
+    out << "utilization @ II " << ii << ":";
+    for (int k = 0; k < kNumResKinds; ++k) {
+        ResKind kind = static_cast<ResKind>(k);
+        int count = machine.unitCount(kind);
+        if (count == 0)
+            continue;
+        double pct = 100.0 * static_cast<double>(reserved[k]) /
+                     static_cast<double>(count * ii);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  %s %.0f%%",
+                      resKindName(kind), pct);
+        out << buf;
+    }
+    return out.str();
+}
+
+} // namespace selvec

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Human-readable rendering of modulo schedules, in the style of the
+ * paper's Figure 1: one row per kernel cycle, one column per issue
+ * slot, entries annotated with the original iteration (replica) each
+ * operation belongs to.
+ */
+
+#ifndef SELVEC_PIPELINE_PRINTER_HH
+#define SELVEC_PIPELINE_PRINTER_HH
+
+#include <string>
+
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+#include "pipeline/schedule.hh"
+
+namespace selvec
+{
+
+/**
+ * Render the kernel of a modulo schedule. Each kernel row lists the
+ * operations issuing in that cycle (modulo II), annotated "(r)" with
+ * the replica/iteration tag when the loop covers several original
+ * iterations.
+ */
+std::string formatKernel(const Loop &lowered, const Machine &machine,
+                         const ModuloSchedule &schedule);
+
+/** One-line summary: II, stage count, per-original-iteration II. */
+std::string formatScheduleSummary(const Loop &lowered,
+                                  const ModuloSchedule &schedule);
+
+/**
+ * Static utilization of each resource kind in the kernel: reserved
+ * unit-cycles divided by available unit-cycles per II. The quantity
+ * the paper's whole argument optimizes ("better utilization of both
+ * scalar and vector resources leads to greater overlap").
+ */
+std::string formatUtilization(const Loop &lowered,
+                              const Machine &machine,
+                              const ModuloSchedule &schedule);
+
+} // namespace selvec
+
+#endif // SELVEC_PIPELINE_PRINTER_HH

@@ -1,0 +1,151 @@
+#include "pipeline/regpressure.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/defuse.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+enum class File { Int, Fp, Vec, None };
+
+File
+fileOf(Type t)
+{
+    switch (t) {
+      case Type::I64:
+      case Type::Chan:
+        return File::Int;
+      case Type::F64:
+        return File::Fp;
+      case Type::VI64:
+      case Type::VF64:
+        return File::Vec;
+      default:
+        return File::None;
+    }
+}
+
+} // anonymous namespace
+
+RegPressure
+computeMaxLive(const Loop &lowered, const ModuloSchedule &schedule)
+{
+    int64_t ii = schedule.ii;
+    SV_ASSERT(ii > 0, "unscheduled loop");
+    DefUse du(lowered);
+
+    // Per register file, occupancy of each kernel row.
+    std::vector<std::vector<int>> rows(
+        3, std::vector<int>(static_cast<size_t>(ii), 0));
+    auto bucket = [&](File f, int64_t start, int64_t end) {
+        if (f == File::None)
+            return;
+        for (int64_t c = start; c < end; ++c) {
+            ++rows[static_cast<size_t>(f)]
+                  [static_cast<size_t>(c % ii)];
+        }
+    };
+
+    for (ValueId v = 0; v < lowered.numValues(); ++v) {
+        OpId def = du.defOp(v);
+        if (def == kNoOp)
+            continue;
+        int64_t start = schedule.time[static_cast<size_t>(def)];
+        int64_t end = start + 1;
+        for (OpId use : du.uses(v))
+            end = std::max(end,
+                           schedule.time[static_cast<size_t>(use)] + 1);
+        // A carried update stays live until the next iteration's
+        // carried-in consumers have read it.
+        int ci = lowered.carriedIndexOfUpdate(v);
+        if (ci >= 0) {
+            ValueId in = lowered.carried[static_cast<size_t>(ci)].in;
+            for (OpId use : du.uses(in)) {
+                end = std::max(
+                    end,
+                    schedule.time[static_cast<size_t>(use)] + ii + 1);
+            }
+            // Post-loop folds read the final accumulator.
+            for (const PostReduce &pr : lowered.postReduces)
+                if (pr.srcVec == v)
+                    end = std::max(end, start + ii + 1);
+        }
+        for (ValueId out : lowered.liveOuts)
+            if (out == v)
+                end = std::max(end, schedule.length() + 1);
+        bucket(fileOf(lowered.typeOf(v)), start, end);
+    }
+
+    RegPressure pressure;
+    auto max_of = [&](File f) {
+        int best = 0;
+        for (int c : rows[static_cast<size_t>(f)])
+            best = std::max(best, c);
+        return best;
+    };
+    pressure.scalarInt = max_of(File::Int);
+    pressure.scalarFp = max_of(File::Fp);
+    pressure.vector = max_of(File::Vec);
+
+    // Loop-invariant live-ins (and preheader-produced values) hold a
+    // register for the whole loop.
+    for (ValueId v : lowered.liveIns) {
+        switch (fileOf(lowered.typeOf(v))) {
+          case File::Int: ++pressure.scalarInt; break;
+          case File::Fp:  ++pressure.scalarFp; break;
+          case File::Vec: ++pressure.vector; break;
+          default: break;
+        }
+    }
+    for (const SplatIn &si : lowered.splatIns) {
+        static_cast<void>(si);
+        ++pressure.vector;
+    }
+    for (const PreLoad &pl : lowered.preloads) {
+        if (pl.vector)
+            ++pressure.vector;
+        else
+            ++pressure.scalarFp;
+    }
+    return pressure;
+}
+
+int64_t
+mveUnrollFactor(const Loop &lowered, const ModuloSchedule &schedule)
+{
+    int64_t ii = schedule.ii;
+    SV_ASSERT(ii > 0, "unscheduled loop");
+    DefUse du(lowered);
+
+    int64_t factor = 1;
+    for (ValueId v = 0; v < lowered.numValues(); ++v) {
+        OpId def = du.defOp(v);
+        if (def == kNoOp)
+            continue;
+        int64_t start = schedule.time[static_cast<size_t>(def)];
+        int64_t end = start + 1;
+        for (OpId use : du.uses(v))
+            end = std::max(end,
+                           schedule.time[static_cast<size_t>(use)] + 1);
+        int ci = lowered.carriedIndexOfUpdate(v);
+        if (ci >= 0) {
+            ValueId in = lowered.carried[static_cast<size_t>(ci)].in;
+            for (OpId use : du.uses(in)) {
+                end = std::max(
+                    end,
+                    schedule.time[static_cast<size_t>(use)] + ii + 1);
+            }
+        }
+        int64_t lifetime = end - start;
+        factor = std::max(factor, (lifetime + ii - 1) / ii);
+    }
+    return factor;
+}
+
+} // namespace selvec

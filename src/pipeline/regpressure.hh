@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Register pressure (MaxLive) of a modulo schedule, per register file.
+ *
+ * The paper's section 6 observes that most multimedia designs separate
+ * the scalar and vector register files, so selective vectorization can
+ * reduce spilling by spreading values across both. This analysis
+ * measures that effect: for every value the lifetime runs from its
+ * definition's issue cycle to its last consumer (one initiation
+ * interval later for loop-carried consumers), values of overlapping
+ * pipeline stages count multiply, and MaxLive is the largest number of
+ * simultaneously live values in any kernel cycle — the classic lower
+ * bound on the rotating-register requirement [30].
+ */
+
+#ifndef SELVEC_PIPELINE_REGPRESSURE_HH
+#define SELVEC_PIPELINE_REGPRESSURE_HH
+
+#include "ir/loop.hh"
+#include "pipeline/schedule.hh"
+
+namespace selvec
+{
+
+struct RegPressure
+{
+    int scalarInt = 0;   ///< I64 values (including channel tokens)
+    int scalarFp = 0;    ///< F64 values
+    int vector = 0;      ///< VI64/VF64 values
+
+    int total() const { return scalarInt + scalarFp + vector; }
+};
+
+/**
+ * MaxLive of a scheduled loop. Loop-invariant live-ins occupy one
+ * register each for the whole kernel; carried values keep the
+ * previous iteration's instance live until the carried consumers of
+ * the next iteration have read it.
+ */
+RegPressure computeMaxLive(const Loop &lowered,
+                           const ModuloSchedule &schedule);
+
+/**
+ * Modulo-variable-expansion factor: on a machine WITHOUT rotating
+ * registers the kernel must be unrolled until no value's lifetime
+ * exceeds the unrolled initiation interval, i.e. by
+ * max over values of ceil(lifetime / II) (Lam [19]; the paper notes
+ * this as the rotating-register alternative). Returns at least 1.
+ */
+int64_t mveUnrollFactor(const Loop &lowered,
+                        const ModuloSchedule &schedule);
+
+} // namespace selvec
+
+#endif // SELVEC_PIPELINE_REGPRESSURE_HH

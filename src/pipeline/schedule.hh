@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The result of modulo scheduling one loop.
+ */
+
+#ifndef SELVEC_PIPELINE_SCHEDULE_HH
+#define SELVEC_PIPELINE_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace selvec
+{
+
+/** A concrete unit reservation made by the scheduler for one op. */
+struct UnitUse
+{
+    int unit;           ///< concrete machine unit (bin index)
+    int64_t start;      ///< first reserved cycle, relative to op issue
+    int cycles;         ///< reserved cycles (rows (t+start+i) mod II)
+};
+
+/**
+ * A modulo schedule: per-op issue times within a flat schedule of
+ * `length()` cycles; the kernel repeats every `ii` cycles. An op with
+ * time t executes in stage t / ii at kernel cycle t % ii.
+ */
+struct ModuloSchedule
+{
+    int64_t ii = 0;
+    std::vector<int64_t> time;                 ///< per op, >= 0
+    std::vector<std::vector<UnitUse>> units;   ///< per op
+
+    /** Cycle of the last issue. */
+    int64_t
+    length() const
+    {
+        int64_t maxt = 0;
+        for (int64_t t : time)
+            maxt = std::max(maxt, t);
+        return maxt;
+    }
+
+    /** Number of pipeline stages. */
+    int64_t
+    stageCount() const
+    {
+        return ii == 0 ? 0 : length() / ii + 1;
+    }
+};
+
+} // namespace selvec
+
+#endif // SELVEC_PIPELINE_SCHEDULE_HH

@@ -1,0 +1,518 @@
+#include "sim/executor.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "sim/semantics.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+class Engine
+{
+  public:
+    Engine(const ArrayTable &arrays, const Loop &loop,
+           const Machine &machine, MemoryImage &mem,
+           const LiveEnv &live_ins, int64_t n_body, int64_t base,
+           const ModuloSchedule *schedule)
+        : arrays(arrays), loop(loop), machine(machine), mem(mem),
+          nBody(n_body), base(base), schedule(schedule),
+          globals(static_cast<size_t>(loop.numValues())),
+          hasGlobal(static_cast<size_t>(loop.numValues()), false)
+    {
+        static_cast<void>(arrays);
+        bindLiveIns(live_ins);
+        runPreloads();
+        runSplats();
+        runReduceInits();
+    }
+
+    RunOutput
+    run()
+    {
+        envs.assign(static_cast<size_t>(nBody),
+                    std::unordered_map<ValueId, RtVal>());
+
+        RunOutput out;
+        out.bodyIterations = nBody;
+        dynOps.fill(0);
+
+        if (schedule != nullptr)
+            out.cycles = runPipelined();
+        else
+            runSequential();
+
+        out.dynOps = dynOps;
+
+        // Early exit: observable state comes from the exiting
+        // iteration's replica, not the body's last replica.
+        if (exitOrig != INT64_MAX) {
+            out.exited = true;
+            out.exitOrig = exitOrig;
+            int64_t body = exitOrig / loop.coverage;
+            int replica =
+                static_cast<int>(exitOrig % loop.coverage);
+            if (schedule != nullptr) {
+                // The pipeline drains after the exiting body.
+                out.cycles =
+                    body * schedule->ii + completionSpan();
+            }
+            if (loop.coverage == 1) {
+                for (size_t c = 0; c < loop.carried.size(); ++c) {
+                    const CarriedValue &cv = loop.carried[c];
+                    out.carriedFinal[loop.valueInfo(cv.in).name] =
+                        readValue(body + 1, cv.in);
+                }
+                for (ValueId v : loop.liveOuts) {
+                    out.liveOuts[loop.valueInfo(v).name] =
+                        readValue(body, v);
+                }
+            } else {
+                SV_ASSERT(loop.liveOutLanes.size() ==
+                                  loop.liveOuts.size() &&
+                              loop.carriedUpdateLanes.size() ==
+                                  loop.carried.size(),
+                          "covered early-exit loop '%s' lacks lane "
+                          "tables", loop.name.c_str());
+                for (size_t c = 0; c < loop.carried.size(); ++c) {
+                    ValueId lane =
+                        loop.carriedUpdateLanes[c]
+                                               [static_cast<size_t>(
+                                                   replica)];
+                    out.carriedFinal[loop.valueInfo(
+                        loop.carried[c].in).name] =
+                        readValue(body, lane);
+                }
+                for (size_t i = 0; i < loop.liveOuts.size(); ++i) {
+                    ValueId lane =
+                        loop.liveOutLanes[i][static_cast<size_t>(
+                            replica)];
+                    out.liveOuts[loop.valueInfo(loop.liveOuts[i])
+                                     .name] = readValue(body, lane);
+                }
+            }
+            return out;
+        }
+
+        // Continuation state for every carried value.
+        for (const CarriedValue &cv : loop.carried) {
+            out.carriedFinal[loop.valueInfo(cv.in).name] =
+                readValue(nBody, cv.in);
+        }
+
+        // Post-loop reduction folds: combine the accumulator lanes
+        // left to right with the scalar semantics of the opcode. The
+        // fold also provides continuation state under its own name.
+        for (const PostReduce &pr : loop.postReduces) {
+            RtVal acc = finalAccumulator(pr.srcVec);
+            RtVal folded = foldLanes(pr.op, acc);
+            ValueId chain = pr.chainIn != kNoValue ? pr.chainIn
+                                                   : pr.dest;
+            out.carriedFinal[loop.valueInfo(chain).name] = folded;
+            setGlobal(pr.dest, std::move(folded));
+        }
+
+        // Draining poststores (final partial chunks of misaligned
+        // vector stores).
+        if (nBody > 0) {
+            for (const PostStore &ps : loop.poststores) {
+                RtVal v = readValue(nBody - 1, ps.src);
+                int64_t idx = ps.ref.elementAt(base + nBody);
+                int lane = ps.lane;
+                SV_ASSERT(lane >= 0 && lane < std::max(v.lanes(), 1),
+                          "poststore lane %d out of range", lane);
+                if (v.floatData)
+                    mem.storeF(ps.ref.array, idx, v.laneF(lane));
+                else
+                    mem.storeI(ps.ref.array, idx, v.laneI(lane));
+            }
+        }
+
+        for (ValueId v : loop.liveOuts) {
+            const std::string &name = loop.valueInfo(v).name;
+            if (nBody > 0) {
+                out.liveOuts[name] = readValue(nBody - 1, v);
+            } else if (hasGlobal[static_cast<size_t>(v)]) {
+                out.liveOuts[name] = globals[static_cast<size_t>(v)];
+            } else if (loop.carriedIndexOfIn(v) >= 0) {
+                out.liveOuts[name] = readValue(0, v);
+            }
+            // Body-defined live-outs are undefined after zero
+            // iterations and intentionally absent.
+        }
+        return out;
+    }
+
+  private:
+    void
+    bindLiveIns(const LiveEnv &live_ins)
+    {
+        for (ValueId v : loop.liveIns) {
+            const std::string &name = loop.valueInfo(v).name;
+            auto it = live_ins.find(name);
+            if (it != live_ins.end()) {
+                setGlobal(v, it->second);
+                continue;
+            }
+            if (name.rfind("__", 0) == 0) {
+                // Lowering-internal values default to zero.
+                Type t = loop.typeOf(v);
+                setGlobal(v, t == Type::F64 ? RtVal::scalarF(0.0)
+                                            : RtVal::scalarI(0));
+                continue;
+            }
+            SV_FATAL("loop '%s': live-in '%s' unbound",
+                     loop.name.c_str(), name.c_str());
+        }
+    }
+
+    void
+    runPreloads()
+    {
+        for (const PreLoad &pl : loop.preloads) {
+            Operation ld;
+            ld.opcode = pl.vector ? Opcode::VLoad : Opcode::Load;
+            ld.ref = pl.ref;
+            RtVal v = evalOp(ld, {}, base, machine.vectorLength, mem);
+            setGlobal(pl.dest, std::move(v));
+        }
+    }
+
+    void
+    runSplats()
+    {
+        for (const SplatIn &si : loop.splatIns) {
+            SV_ASSERT(hasGlobal[static_cast<size_t>(si.scalar)],
+                      "splat of unbound live-in");
+            const RtVal &s = globals[static_cast<size_t>(si.scalar)];
+            int vl = machine.vectorLength;
+            RtVal v;
+            if (s.floatData) {
+                v = RtVal::vectorF(std::vector<double>(
+                    static_cast<size_t>(vl), s.laneF(0)));
+            } else {
+                v = RtVal::vectorI(std::vector<int64_t>(
+                    static_cast<size_t>(vl), s.laneI(0)));
+            }
+            setGlobal(si.vec, std::move(v));
+        }
+    }
+
+    /** Identity element of an associative reduction opcode. */
+    static RtVal
+    identityOf(Opcode op, bool float_data)
+    {
+        switch (op) {
+          case Opcode::FAdd: return RtVal::scalarF(0.0);
+          case Opcode::FMul: return RtVal::scalarF(1.0);
+          case Opcode::FMin:
+            return RtVal::scalarF(
+                std::numeric_limits<double>::infinity());
+          case Opcode::FMax:
+            return RtVal::scalarF(
+                -std::numeric_limits<double>::infinity());
+          case Opcode::IAdd: return RtVal::scalarI(0);
+          case Opcode::IMul: return RtVal::scalarI(1);
+          case Opcode::IMin: return RtVal::scalarI(INT64_MAX);
+          case Opcode::IMax: return RtVal::scalarI(INT64_MIN);
+          default:
+            SV_PANIC("no identity for %s (float=%d)", opName(op),
+                     static_cast<int>(float_data));
+        }
+    }
+
+    void
+    runReduceInits()
+    {
+        for (const ReduceInit &ri : loop.reduceInits) {
+            SV_ASSERT(hasGlobal[static_cast<size_t>(ri.scalar)],
+                      "reduce-init of unbound live-in");
+            const RtVal &s = globals[static_cast<size_t>(ri.scalar)];
+            RtVal ident = identityOf(ri.op, s.floatData);
+            int vl = machine.vectorLength;
+            RtVal v;
+            if (s.floatData) {
+                std::vector<double> lanes(static_cast<size_t>(vl),
+                                          ident.laneF(0));
+                lanes[0] = s.laneF(0);
+                v = RtVal::vectorF(std::move(lanes));
+            } else {
+                std::vector<int64_t> lanes(static_cast<size_t>(vl),
+                                           ident.laneI(0));
+                lanes[0] = s.laneI(0);
+                v = RtVal::vectorI(std::move(lanes));
+            }
+            setGlobal(ri.vec, std::move(v));
+        }
+    }
+
+    /** Last value of a reduction accumulator (its carried record's
+     *  continuation reading, so zero-iteration runs fold the init). */
+    RtVal
+    finalAccumulator(ValueId src_vec)
+    {
+        for (const CarriedValue &cv : loop.carried) {
+            if (cv.update == src_vec)
+                return readValue(nBody, cv.in);
+        }
+        SV_ASSERT(nBody > 0, "post-reduce of a non-carried vector "
+                  "after zero iterations");
+        return readValue(nBody - 1, src_vec);
+    }
+
+    RtVal
+    foldLanes(Opcode op, const RtVal &acc)
+    {
+        Operation fold;
+        fold.opcode = op;
+        fold.srcs = {0, 1};
+        RtVal result = acc.floatData ? RtVal::scalarF(acc.laneF(0))
+                                     : RtVal::scalarI(acc.laneI(0));
+        for (int l = 1; l < acc.lanes(); ++l) {
+            RtVal lane = acc.floatData ? RtVal::scalarF(acc.laneF(l))
+                                       : RtVal::scalarI(acc.laneI(l));
+            result = evalOp(fold, {result, lane}, 0,
+                            machine.vectorLength, mem);
+        }
+        return result;
+    }
+
+    void
+    setGlobal(ValueId v, RtVal val)
+    {
+        globals[static_cast<size_t>(v)] = std::move(val);
+        hasGlobal[static_cast<size_t>(v)] = true;
+    }
+
+    /**
+     * Value of `v` as read during body iteration j. j == nBody is
+     * allowed for carried-in values (the continuation reading).
+     */
+    RtVal
+    readValue(int64_t j, ValueId v)
+    {
+        if (hasGlobal[static_cast<size_t>(v)])
+            return globals[static_cast<size_t>(v)];
+
+        int ci = loop.carriedIndexOfIn(v);
+        if (ci >= 0) {
+            const CarriedValue &cv =
+                loop.carried[static_cast<size_t>(ci)];
+            if (j == 0) {
+                SV_ASSERT(hasGlobal[static_cast<size_t>(cv.init)],
+                          "carried init '%s' unbound",
+                          loop.valueInfo(cv.init).name.c_str());
+                return globals[static_cast<size_t>(cv.init)];
+            }
+            return readValue(j - 1, cv.update);
+        }
+
+        SV_ASSERT(j >= 0 && j < nBody, "reading body value '%s' at "
+                  "iteration %lld", loop.valueInfo(v).name.c_str(),
+                  static_cast<long long>(j));
+        auto &env = envs[static_cast<size_t>(j)];
+        auto it = env.find(v);
+        SV_ASSERT(it != env.end(),
+                  "iteration %lld reads '%s' before it is produced",
+                  static_cast<long long>(j),
+                  loop.valueInfo(v).name.c_str());
+        return it->second;
+    }
+
+    /** Source-space iteration index of an op instance. */
+    int64_t
+    origOf(int64_t j, OpId id) const
+    {
+        return j * loop.coverage + loop.op(id).replica;
+    }
+
+    /**
+     * Execute one op instance. In pipelined mode `cycle` is the issue
+     * cycle: every register operand's producer must have COMPLETED
+     * (issue + latency <= cycle) — the executor checks latencies
+     * independently of the schedule checker. Sequential mode passes
+     * cycle = -1 (no timing).
+     *
+     * Early exits: an ExitIf whose condition is nonzero records the
+     * earliest exiting iteration; stores of later iterations are
+     * suppressed (the dependence edges guarantee the deciding exits
+     * have resolved before any suppressible store issues).
+     */
+    void
+    executeOp(int64_t j, OpId id, int64_t cycle)
+    {
+        const Operation &op = loop.op(id);
+        if (op.isStore() && origOf(j, id) > exitOrig)
+            return;   // speculative store past the exit
+        std::vector<RtVal> operands;
+        operands.reserve(op.srcs.size());
+        for (ValueId s : op.srcs) {
+            if (s == kNoValue) {
+                operands.push_back(RtVal{});
+                continue;
+            }
+            if (cycle >= 0) {
+                int64_t ready = readyTime(j, s);
+                SV_ASSERT(ready <= cycle,
+                          "op #%d of iteration %lld reads '%s' at "
+                          "cycle %lld but it completes at %lld",
+                          id, static_cast<long long>(j),
+                          loop.valueInfo(s).name.c_str(),
+                          static_cast<long long>(cycle),
+                          static_cast<long long>(ready));
+            }
+            operands.push_back(readValue(j, s));
+        }
+        ++dynOps[static_cast<size_t>(opClass(op.opcode))];
+        if (op.opcode == Opcode::ExitIf) {
+            if (operands[0].laneI(0) != 0)
+                exitOrig = std::min(exitOrig, origOf(j, id));
+            return;
+        }
+        RtVal result =
+            evalOp(op, operands, base + j, machine.vectorLength, mem);
+        if (op.dest != kNoValue)
+            envs[static_cast<size_t>(j)][op.dest] = std::move(result);
+    }
+
+    /**
+     * Completion cycle of the value read as `v` in iteration j
+     * (pipelined mode). Externally defined values (live-ins, splats,
+     * preloads, initial carried state) are ready before cycle 0.
+     */
+    int64_t
+    readyTime(int64_t j, ValueId v)
+    {
+        if (hasGlobal[static_cast<size_t>(v)])
+            return 0;
+        int ci = loop.carriedIndexOfIn(v);
+        if (ci >= 0) {
+            if (j == 0)
+                return 0;
+            return readyTime(j - 1,
+                             loop.carried[static_cast<size_t>(ci)]
+                                 .update);
+        }
+        OpId def = defOf(v);
+        SV_ASSERT(def != kNoOp, "ready time of undefined value");
+        return j * schedule->ii +
+               schedule->time[static_cast<size_t>(def)] +
+               machine.latency(loop.op(def).opcode);
+    }
+
+    /** Cached defining op per value (kNoOp for external defs). */
+    OpId
+    defOf(ValueId v)
+    {
+        if (defCache.empty()) {
+            defCache.assign(static_cast<size_t>(loop.numValues()),
+                            kNoOp);
+            for (OpId id = 0; id < loop.numOps(); ++id) {
+                if (loop.op(id).dest != kNoValue)
+                    defCache[static_cast<size_t>(loop.op(id).dest)] =
+                        id;
+            }
+        }
+        return defCache[static_cast<size_t>(v)];
+    }
+
+    void
+    runSequential()
+    {
+        for (int64_t j = 0; j < nBody; ++j) {
+            for (OpId id = 0; id < loop.numOps(); ++id)
+                executeOp(j, id, -1);
+        }
+    }
+
+    /** Issue-to-completion span of one overlapped body. */
+    int64_t
+    completionSpan() const
+    {
+        int64_t span = 0;
+        for (OpId op = 0; op < loop.numOps(); ++op) {
+            span = std::max(span,
+                            schedule->time[static_cast<size_t>(op)] +
+                                machine.latency(loop.op(op).opcode));
+        }
+        return span;
+    }
+
+    int64_t
+    runPipelined()
+    {
+        SV_ASSERT(static_cast<int>(schedule->time.size()) ==
+                      loop.numOps(),
+                  "schedule sized for a different loop");
+        struct Event
+        {
+            int64_t cycle;
+            int64_t j;
+            OpId op;
+        };
+        std::vector<Event> events;
+        events.reserve(
+            static_cast<size_t>(nBody * loop.numOps()));
+        for (int64_t j = 0; j < nBody; ++j) {
+            for (OpId id = 0; id < loop.numOps(); ++id) {
+                events.push_back(Event{
+                    j * schedule->ii +
+                        schedule->time[static_cast<size_t>(id)],
+                    j, id});
+            }
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const Event &a, const Event &b) {
+                      if (a.cycle != b.cycle)
+                          return a.cycle < b.cycle;
+                      if (a.j != b.j)
+                          return a.j < b.j;
+                      return a.op < b.op;
+                  });
+
+        int64_t completion = 0;
+        for (const Event &e : events) {
+            executeOp(e.j, e.op, e.cycle);
+            int64_t done =
+                e.cycle + machine.latency(loop.op(e.op).opcode);
+            completion = std::max(completion, done);
+        }
+        return completion;
+    }
+
+    const ArrayTable &arrays;
+    const Loop &loop;
+    const Machine &machine;
+    MemoryImage &mem;
+    int64_t nBody;
+    int64_t base;
+    const ModuloSchedule *schedule;
+
+    std::vector<RtVal> globals;
+    std::vector<bool> hasGlobal;
+    std::vector<std::unordered_map<ValueId, RtVal>> envs;
+    std::vector<OpId> defCache;
+    int64_t exitOrig = INT64_MAX;
+    std::array<int64_t, kNumOpClasses> dynOps{};
+};
+
+} // anonymous namespace
+
+RunOutput
+executeLoop(const ArrayTable &arrays, const Loop &loop,
+            const Machine &machine, MemoryImage &mem,
+            const LiveEnv &live_ins, int64_t n_body, int64_t base,
+            const ModuloSchedule *schedule)
+{
+    SV_ASSERT(n_body >= 0, "negative iteration count");
+    Engine engine(arrays, loop, machine, mem, live_ins, n_body, base,
+                  schedule);
+    return engine.run();
+}
+
+} // namespace selvec

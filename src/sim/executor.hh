@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The loop execution engine.
+ *
+ * One engine executes loops in two modes sharing all operand semantics:
+ *
+ *  - sequential (reference): body operations run in program order,
+ *    iteration by iteration — the correctness oracle;
+ *  - pipelined: operations run in global schedule order (operation at
+ *    kernel time t of body iteration j executes at cycle j*II + t),
+ *    exactly as the software pipeline issues them, with per-iteration
+ *    register instances standing in for rotating registers. The engine
+ *    asserts every operand has been produced when read and reports the
+ *    completion cycle of the whole pipeline (prologue + kernel +
+ *    epilogue), which is the quantity the evaluation measures.
+ *
+ * Live values enter and leave by name so the driver can chain a main
+ * loop into its cleanup loop and across distributed loop sequences.
+ */
+
+#ifndef SELVEC_SIM_EXECUTOR_HH
+#define SELVEC_SIM_EXECUTOR_HH
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "machine/machine.hh"
+#include "pipeline/schedule.hh"
+#include "sim/memimage.hh"
+#include "sim/rtval.hh"
+
+namespace selvec
+{
+
+/** Values passed into / out of a loop, keyed by value name. */
+using LiveEnv = std::map<std::string, RtVal>;
+
+struct RunOutput
+{
+    int64_t bodyIterations = 0;
+
+    /** Completion cycle of the last operation (pipelined mode only). */
+    int64_t cycles = 0;
+
+    /** Live-out values by name. */
+    LiveEnv liveOuts;
+
+    /** For each carried value (by carried-in name): what the next
+     *  iteration would have read — the continuation state a cleanup
+     *  loop resumes from. */
+    LiveEnv carriedFinal;
+
+    /** Dynamic operation counts per operation class (suppressed
+     *  speculative stores are not counted). */
+    std::array<int64_t, kNumOpClasses> dynOps{};
+
+    /** Total executed operations. */
+    int64_t
+    totalDynOps() const
+    {
+        int64_t total = 0;
+        for (int64_t c : dynOps)
+            total += c;
+        return total;
+    }
+
+    /** True when an ExitIf fired. */
+    bool exited = false;
+
+    /** Source-space index (within this loop's coverage space) of the
+     *  iteration whose exit fired. */
+    int64_t exitOrig = 0;
+};
+
+/**
+ * Execute `loop` for `n_body` body iterations.
+ *
+ * @param loop the loop (any coverage)
+ * @param machine supplies vector length and latencies
+ * @param mem simulated memory, updated in place
+ * @param live_ins bindings for every live-in (names starting with
+ *        "__" default to zero when unbound)
+ * @param n_body number of body iterations to run
+ * @param base iteration-index offset: references evaluate at
+ *        base + j (a cleanup loop continuing after J covered
+ *        iterations passes base = J * coverage of the main loop)
+ * @param schedule nullptr for sequential reference execution, or the
+ *        loop's modulo schedule for pipelined execution
+ */
+RunOutput executeLoop(const ArrayTable &arrays, const Loop &loop,
+                      const Machine &machine, MemoryImage &mem,
+                      const LiveEnv &live_ins, int64_t n_body,
+                      int64_t base = 0,
+                      const ModuloSchedule *schedule = nullptr);
+
+} // namespace selvec
+
+#endif // SELVEC_SIM_EXECUTOR_HH

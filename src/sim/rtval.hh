@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Runtime values for the simulator: typed scalars, vectors of lanes,
+ * and transfer-channel payloads.
+ */
+
+#ifndef SELVEC_SIM_RTVAL_HH
+#define SELVEC_SIM_RTVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace selvec
+{
+
+/**
+ * A simulated register value. Scalars use lane 0; vectors hold the
+ * machine's VL lanes; channel tokens wrap the payload of the transfer
+ * store that produced them (one lane for XferStoreS, VL for
+ * XferStoreV).
+ */
+struct RtVal
+{
+    Type type = Type::None;
+
+    /** True when lanes carry doubles (fv), else int64 (iv). */
+    bool floatData = false;
+
+    std::vector<int64_t> iv;
+    std::vector<double> fv;
+
+    int
+    lanes() const
+    {
+        return static_cast<int>(floatData ? fv.size() : iv.size());
+    }
+
+    static RtVal
+    scalarF(double v)
+    {
+        RtVal r;
+        r.type = Type::F64;
+        r.floatData = true;
+        r.fv = {v};
+        return r;
+    }
+
+    static RtVal
+    scalarI(int64_t v)
+    {
+        RtVal r;
+        r.type = Type::I64;
+        r.floatData = false;
+        r.iv = {v};
+        return r;
+    }
+
+    static RtVal
+    vectorF(std::vector<double> lanes)
+    {
+        RtVal r;
+        r.type = Type::VF64;
+        r.floatData = true;
+        r.fv = std::move(lanes);
+        return r;
+    }
+
+    static RtVal
+    vectorI(std::vector<int64_t> lanes)
+    {
+        RtVal r;
+        r.type = Type::VI64;
+        r.floatData = false;
+        r.iv = std::move(lanes);
+        return r;
+    }
+
+    double laneF(int l) const { return fv[static_cast<size_t>(l)]; }
+    int64_t laneI(int l) const { return iv[static_cast<size_t>(l)]; }
+
+    /**
+     * Bitwise equality: representations are compared, so -0.0 differs
+     * from 0.0 and identical NaN-producing computations still match.
+     */
+    bool operator==(const RtVal &o) const;
+
+    std::string str() const;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_SIM_RTVAL_HH

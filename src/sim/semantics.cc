@@ -1,0 +1,326 @@
+#include "sim/semantics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+int64_t
+safeIDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a / b;
+}
+
+namespace
+{
+
+int64_t
+ibin(Opcode op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case Opcode::IAdd: case Opcode::VIAdd: return a + b;
+      case Opcode::ISub: case Opcode::VISub: return a - b;
+      case Opcode::IMul: case Opcode::VIMul: return a * b;
+      case Opcode::IDiv: case Opcode::VIDiv: return safeIDiv(a, b);
+      case Opcode::IMin: case Opcode::VIMin: return std::min(a, b);
+      case Opcode::IMax: case Opcode::VIMax: return std::max(a, b);
+      case Opcode::IAnd: case Opcode::VIAnd: return a & b;
+      case Opcode::IOr:  case Opcode::VIOr:  return a | b;
+      case Opcode::IXor: case Opcode::VIXor: return a ^ b;
+      case Opcode::IShl: case Opcode::VIShl:
+        return a << (b & 63);
+      case Opcode::IShr: case Opcode::VIShr:
+        return a >> (b & 63);
+      default:
+        SV_PANIC("not an integer binary op: %s", opName(op));
+    }
+}
+
+double
+fbin(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::FAdd: case Opcode::VFAdd: return a + b;
+      case Opcode::FSub: case Opcode::VFSub: return a - b;
+      case Opcode::FMul: case Opcode::VFMul: return a * b;
+      case Opcode::FDiv: case Opcode::VFDiv: return a / b;
+      case Opcode::FMin: case Opcode::VFMin: return std::fmin(a, b);
+      case Opcode::FMax: case Opcode::VFMax: return std::fmax(a, b);
+      default:
+        SV_PANIC("not an fp binary op: %s", opName(op));
+    }
+}
+
+} // anonymous namespace
+
+RtVal
+evalOp(const Operation &op, const std::vector<RtVal> &operands,
+       int64_t iter, int vl, MemoryImage &mem)
+{
+    auto src = [&](size_t i) -> const RtVal & {
+        SV_ASSERT(i < operands.size(), "missing operand %zu of %s", i,
+                  opName(op.opcode));
+        return operands[i];
+    };
+    auto elem_base = [&]() { return op.ref.elementAt(iter); };
+
+    switch (op.opcode) {
+      case Opcode::IConst:
+        return RtVal::scalarI(op.iimm);
+      case Opcode::FConst:
+        return RtVal::scalarF(op.fimm);
+      case Opcode::IMov:
+        return RtVal::scalarI(src(0).laneI(0));
+      case Opcode::FMov:
+        return RtVal::scalarF(src(0).laneF(0));
+      case Opcode::INeg:
+        return RtVal::scalarI(-src(0).laneI(0));
+      case Opcode::FNeg:
+        return RtVal::scalarF(-src(0).laneF(0));
+      case Opcode::FAbs:
+        return RtVal::scalarF(std::fabs(src(0).laneF(0)));
+
+      case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
+      case Opcode::IDiv: case Opcode::IMin: case Opcode::IMax:
+      case Opcode::IAnd: case Opcode::IOr: case Opcode::IXor:
+      case Opcode::IShl: case Opcode::IShr:
+        return RtVal::scalarI(
+            ibin(op.opcode, src(0).laneI(0), src(1).laneI(0)));
+
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FMin: case Opcode::FMax:
+        return RtVal::scalarF(
+            fbin(op.opcode, src(0).laneF(0), src(1).laneF(0)));
+
+      case Opcode::FMulAdd:
+        return RtVal::scalarF(src(0).laneF(0) * src(1).laneF(0) +
+                              src(2).laneF(0));
+
+      case Opcode::Load: {
+        Type t = mem.arrays()[op.ref.array].elemType;
+        if (t == Type::F64)
+            return RtVal::scalarF(mem.loadF(op.ref.array, elem_base()));
+        return RtVal::scalarI(mem.loadI(op.ref.array, elem_base()));
+      }
+      case Opcode::Store: {
+        Type t = mem.arrays()[op.ref.array].elemType;
+        if (t == Type::F64)
+            mem.storeF(op.ref.array, elem_base(), src(0).laneF(0));
+        else
+            mem.storeI(op.ref.array, elem_base(), src(0).laneI(0));
+        return RtVal{};
+      }
+      case Opcode::VLoad: {
+        Type t = mem.arrays()[op.ref.array].elemType;
+        int64_t base = elem_base();
+        if (t == Type::F64) {
+            std::vector<double> lanes;
+            for (int l = 0; l < vl; ++l)
+                lanes.push_back(mem.loadF(op.ref.array, base + l));
+            return RtVal::vectorF(std::move(lanes));
+        }
+        std::vector<int64_t> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(mem.loadI(op.ref.array, base + l));
+        return RtVal::vectorI(std::move(lanes));
+      }
+      case Opcode::VStore: {
+        const RtVal &v = src(0);
+        int64_t base = elem_base();
+        for (int l = 0; l < vl; ++l) {
+            if (v.floatData)
+                mem.storeF(op.ref.array, base + l, v.laneF(l));
+            else
+                mem.storeI(op.ref.array, base + l, v.laneI(l));
+        }
+        return RtVal{};
+      }
+
+      case Opcode::VIAdd: case Opcode::VISub: case Opcode::VIMul:
+      case Opcode::VIDiv: case Opcode::VIMin: case Opcode::VIMax:
+      case Opcode::VIAnd: case Opcode::VIOr: case Opcode::VIXor:
+      case Opcode::VIShl: case Opcode::VIShr: {
+        std::vector<int64_t> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(
+                ibin(op.opcode, src(0).laneI(l), src(1).laneI(l)));
+        return RtVal::vectorI(std::move(lanes));
+      }
+      case Opcode::VINeg: {
+        std::vector<int64_t> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(-src(0).laneI(l));
+        return RtVal::vectorI(std::move(lanes));
+      }
+      case Opcode::VFAdd: case Opcode::VFSub: case Opcode::VFMul:
+      case Opcode::VFDiv: case Opcode::VFMin: case Opcode::VFMax: {
+        std::vector<double> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(
+                fbin(op.opcode, src(0).laneF(l), src(1).laneF(l)));
+        return RtVal::vectorF(std::move(lanes));
+      }
+      case Opcode::VFNeg: {
+        std::vector<double> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(-src(0).laneF(l));
+        return RtVal::vectorF(std::move(lanes));
+      }
+      case Opcode::VFAbs: {
+        std::vector<double> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(std::fabs(src(0).laneF(l)));
+        return RtVal::vectorF(std::move(lanes));
+      }
+      case Opcode::VFMulAdd: {
+        std::vector<double> lanes;
+        for (int l = 0; l < vl; ++l)
+            lanes.push_back(src(0).laneF(l) * src(1).laneF(l) +
+                            src(2).laneF(l));
+        return RtVal::vectorF(std::move(lanes));
+      }
+
+      case Opcode::VMerge: {
+        // Window of VL lanes from concat(src0, src1) starting at
+        // op.lane (0 <= lane <= VL).
+        const RtVal &a = src(0);
+        const RtVal &b = src(1);
+        SV_ASSERT(op.lane >= 0 && op.lane <= vl,
+                  "vmerge shift %d out of range", op.lane);
+        if (a.floatData) {
+            std::vector<double> lanes;
+            for (int l = 0; l < vl; ++l) {
+                int idx = op.lane + l;
+                lanes.push_back(idx < vl ? a.laneF(idx)
+                                         : b.laneF(idx - vl));
+            }
+            return RtVal::vectorF(std::move(lanes));
+        }
+        std::vector<int64_t> lanes;
+        for (int l = 0; l < vl; ++l) {
+            int idx = op.lane + l;
+            lanes.push_back(idx < vl ? a.laneI(idx)
+                                     : b.laneI(idx - vl));
+        }
+        return RtVal::vectorI(std::move(lanes));
+      }
+
+      case Opcode::VSplat: {
+        const RtVal &s = src(0);
+        if (s.floatData)
+            return RtVal::vectorF(
+                std::vector<double>(static_cast<size_t>(vl),
+                                    s.laneF(0)));
+        return RtVal::vectorI(
+            std::vector<int64_t>(static_cast<size_t>(vl), s.laneI(0)));
+      }
+
+      case Opcode::MovSV: {
+        RtVal v;
+        if (op.srcs[0] != kNoValue) {
+            v = src(0);
+        } else {
+            const RtVal &s = src(1);
+            if (s.floatData)
+                v = RtVal::vectorF(std::vector<double>(
+                    static_cast<size_t>(vl), 0.0));
+            else
+                v = RtVal::vectorI(std::vector<int64_t>(
+                    static_cast<size_t>(vl), 0));
+        }
+        SV_ASSERT(op.lane >= 0 && op.lane < vl, "movsv lane %d",
+                  op.lane);
+        if (v.floatData)
+            v.fv[static_cast<size_t>(op.lane)] = src(1).laneF(0);
+        else
+            v.iv[static_cast<size_t>(op.lane)] = src(1).laneI(0);
+        return v;
+      }
+      case Opcode::MovVS:
+      case Opcode::VPick: {
+        const RtVal &v = src(0);
+        SV_ASSERT(op.lane >= 0 && op.lane < vl, "lane %d out of range",
+                  op.lane);
+        if (v.floatData)
+            return RtVal::scalarF(v.laneF(op.lane));
+        return RtVal::scalarI(v.laneI(op.lane));
+      }
+
+      case Opcode::XferStoreS: {
+        RtVal chan = src(0);
+        chan.type = Type::Chan;
+        return chan;
+      }
+      case Opcode::XferStoreV: {
+        RtVal chan = src(0);
+        chan.type = Type::Chan;
+        return chan;
+      }
+      case Opcode::XferLoadV: {
+        bool fdata = src(0).floatData;
+        if (fdata) {
+            std::vector<double> lanes;
+            for (size_t i = 0; i < operands.size(); ++i)
+                lanes.push_back(src(i).laneF(0));
+            SV_ASSERT(static_cast<int>(lanes.size()) == vl,
+                      "xfer.loadv gathers %zu lanes", lanes.size());
+            return RtVal::vectorF(std::move(lanes));
+        }
+        std::vector<int64_t> lanes;
+        for (size_t i = 0; i < operands.size(); ++i)
+            lanes.push_back(src(i).laneI(0));
+        return RtVal::vectorI(std::move(lanes));
+      }
+      case Opcode::XferLoadS: {
+        const RtVal &chan = src(0);
+        // The channel wraps either a scalar (lane-tagged stores) or a
+        // whole vector; extract the requested lane.
+        int lane = chan.lanes() > 1 ? op.lane : 0;
+        if (chan.floatData)
+            return RtVal::scalarF(chan.laneF(lane));
+        return RtVal::scalarI(chan.laneI(lane));
+      }
+
+      case Opcode::VPack: {
+        bool fdata = src(0).floatData;
+        if (fdata) {
+            std::vector<double> lanes;
+            for (size_t i = 0; i < operands.size(); ++i)
+                lanes.push_back(src(i).laneF(0));
+            return RtVal::vectorF(std::move(lanes));
+        }
+        std::vector<int64_t> lanes;
+        for (size_t i = 0; i < operands.size(); ++i)
+            lanes.push_back(src(i).laneI(0));
+        return RtVal::vectorI(std::move(lanes));
+      }
+
+      case Opcode::ICmpLt:
+        return RtVal::scalarI(src(0).laneI(0) < src(1).laneI(0) ? 1
+                                                                : 0);
+      case Opcode::FCmpLt:
+        return RtVal::scalarI(src(0).laneF(0) < src(1).laneF(0) ? 1
+                                                                : 0);
+
+      case Opcode::ExitIf:
+        // The exit decision is the executor's business; as a pure
+        // operation it produces nothing.
+        return RtVal{};
+
+      case Opcode::Br:
+      case Opcode::Nop:
+        return RtVal{};
+
+      default:
+        SV_PANIC("evalOp: unhandled opcode %s", opName(op.opcode));
+    }
+}
+
+} // namespace selvec

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Functional semantics of every IR opcode: one evaluation function
+ * shared by the sequential reference interpreter and the pipelined
+ * executor, so the two can never diverge on what an operation *means* —
+ * only on when it runs.
+ */
+
+#ifndef SELVEC_SIM_SEMANTICS_HH
+#define SELVEC_SIM_SEMANTICS_HH
+
+#include "ir/loop.hh"
+#include "sim/memimage.hh"
+#include "sim/rtval.hh"
+
+namespace selvec
+{
+
+/**
+ * Evaluate one operation.
+ *
+ * @param op the operation
+ * @param operands runtime values of op.srcs (entries for kNoValue
+ *        operands are ignored)
+ * @param iter absolute iteration index for memory-reference evaluation
+ * @param vl the machine's vector length
+ * @param mem simulated memory (read and written)
+ * @return the produced value (type None for stores/branches)
+ */
+RtVal evalOp(const Operation &op, const std::vector<RtVal> &operands,
+             int64_t iter, int vl, MemoryImage &mem);
+
+/** Integer division semantics (x/0 and INT_MIN/-1 defined as 0). */
+int64_t safeIDiv(int64_t a, int64_t b);
+
+} // namespace selvec
+
+#endif // SELVEC_SIM_SEMANTICS_HH

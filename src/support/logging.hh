@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting primitives in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a SelVec bug.
+ * fatal()  — the input (loop, machine description, workload) is invalid;
+ *            this is the caller's fault.
+ * warn()   — something is suspicious but the computation can continue.
+ *
+ * All three accept printf-style format strings. panic() aborts so a core
+ * dump / debugger session is possible; fatal() exits with status 1.
+ */
+
+#ifndef SELVEC_SUPPORT_LOGGING_HH
+#define SELVEC_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace selvec
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace selvec
+
+#define SV_PANIC(...) \
+    ::selvec::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define SV_FATAL(...) \
+    ::selvec::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define SV_WARN(...) \
+    ::selvec::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define SV_ASSERT(cond, ...)                                        \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            ::selvec::panicImpl(__FILE__, __LINE__, __VA_ARGS__);   \
+        }                                                           \
+    } while (0)
+
+#endif // SELVEC_SUPPORT_LOGGING_HH

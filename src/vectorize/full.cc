@@ -1,0 +1,20 @@
+#include "vectorize/full.hh"
+
+#include "analysis/depgraph.hh"
+#include "core/transform.hh"
+
+namespace selvec
+{
+
+Loop
+fullVectorize(const Loop &loop, const ArrayTable &arrays,
+              const Machine &machine)
+{
+    DepGraph graph(arrays, loop, machine);
+    VectOptions options;
+    options.neighborGuard = true;
+    VectAnalysis va = analyzeVectorizable(loop, graph, machine, options);
+    return transformLoop(loop, arrays, va, va.vectorizable, machine);
+}
+
+} // namespace selvec

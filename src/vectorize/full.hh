@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Full vectorization (the paper's second comparison point): every
+ * data-parallel operation is vectorized in place — the loop is NOT
+ * distributed — and scalar operations are unrolled by the vector
+ * length to match the vector work output. Communication operations
+ * are inserted wherever operands cross, guarded by the section 4.1
+ * rule (an operation is only vectorized when it has at least one
+ * vectorizable dataflow neighbor).
+ */
+
+#ifndef SELVEC_VECTORIZE_FULL_HH
+#define SELVEC_VECTORIZE_FULL_HH
+
+#include "analysis/vectorizable.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+/**
+ * Fully vectorize a loop in place. With nothing vectorizable this
+ * degenerates to the unrolled baseline. The result covers VL original
+ * iterations per body execution.
+ */
+Loop fullVectorize(const Loop &loop, const ArrayTable &arrays,
+                   const Machine &machine);
+
+} // namespace selvec
+
+#endif // SELVEC_VECTORIZE_FULL_HH

@@ -1,0 +1,314 @@
+#include "vectorize/traditional.hh"
+
+#include <algorithm>
+
+#include "analysis/depgraph.hh"
+#include "core/transform.hh"
+#include "ir/defuse.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/** One fused run of same-kind components. */
+struct Group
+{
+    bool vectorKind = false;
+    std::vector<OpId> ops;      ///< in original program order
+};
+
+/** Builds one distributed sub-loop from a group of original ops. */
+class SubLoopBuilder
+{
+  public:
+    SubLoopBuilder(const Loop &src, ArrayTable &arrays,
+                   const std::vector<ArrayId> &expansion_array,
+                   const DefUse &du, std::string name)
+        : src(src), arrays(arrays), expansionArray(expansion_array),
+          du(du),
+          valueMap(static_cast<size_t>(src.numValues()), kNoValue),
+          inGroup(static_cast<size_t>(src.numOps()), false)
+    {
+        sub.name = std::move(name);
+        sub.coverage = 1;
+    }
+
+    Loop
+    build(const Group &group, const std::vector<bool> &crossing,
+          const std::vector<int> &def_group, int group_index)
+    {
+        for (OpId op : group.ops)
+            inGroup[static_cast<size_t>(op)] = true;
+
+        for (OpId id : group.ops) {
+            const Operation &op = src.op(id);
+            Operation n;
+            n.opcode = op.opcode;
+            n.ref = op.ref;
+            n.lane = op.lane;
+            n.iimm = op.iimm;
+            n.fimm = op.fimm;
+            n.origin = id;
+            for (ValueId s : op.srcs)
+                n.srcs.push_back(s == kNoValue ? kNoValue : readValue(s));
+            if (op.dest != kNoValue) {
+                ValueId nv = sub.addValue(src.typeOf(op.dest),
+                                          src.valueInfo(op.dest).name);
+                valueMap[static_cast<size_t>(op.dest)] = nv;
+                n.dest = nv;
+            }
+            sub.addOp(std::move(n));
+        }
+
+        // Expansion stores for values other groups consume.
+        for (OpId id : group.ops) {
+            ValueId v = src.op(id).dest;
+            if (v == kNoValue || !crossing[static_cast<size_t>(v)])
+                continue;
+            SV_ASSERT(def_group[static_cast<size_t>(v)] == group_index,
+                      "crossing bookkeeping broken");
+            Operation st;
+            st.opcode = Opcode::Store;
+            st.srcs = {valueMap[static_cast<size_t>(v)]};
+            st.ref = AffineRef{
+                expansionArray[static_cast<size_t>(v)], 1, 0};
+            sub.addOp(std::move(st));
+        }
+
+        // Carried records whose update lives in this group.
+        for (const CarriedValue &cv : src.carried) {
+            OpId def = du.defOp(cv.update);
+            if (def == kNoOp || !inGroup[static_cast<size_t>(def)])
+                continue;
+            ValueId in = valueMap[static_cast<size_t>(cv.in)];
+            if (in == kNoValue)
+                continue;   // recurrence value unused here
+            sub.carried.push_back(CarriedValue{
+                in, valueMap[static_cast<size_t>(cv.update)],
+                liveInFor(cv.init)});
+        }
+
+        // Live-outs defined (or carried) in this group.
+        for (ValueId lo : src.liveOuts) {
+            OpId def = du.defOp(lo);
+            if (def != kNoOp && inGroup[static_cast<size_t>(def)]) {
+                sub.liveOuts.push_back(
+                    valueMap[static_cast<size_t>(lo)]);
+                continue;
+            }
+            int ci = src.carriedIndexOfIn(lo);
+            if (ci >= 0) {
+                OpId upd = du.defOp(
+                    src.carried[static_cast<size_t>(ci)].update);
+                if (upd != kNoOp && inGroup[static_cast<size_t>(upd)] &&
+                    valueMap[static_cast<size_t>(lo)] != kNoValue) {
+                    sub.liveOuts.push_back(
+                        valueMap[static_cast<size_t>(lo)]);
+                }
+            }
+        }
+
+        verifyLoopOrDie(arrays, sub);
+        return std::move(sub);
+    }
+
+  private:
+    ValueId
+    liveInFor(ValueId v)
+    {
+        ValueId &mapped = valueMap[static_cast<size_t>(v)];
+        if (mapped == kNoValue) {
+            mapped = sub.addValue(src.typeOf(v),
+                                  src.valueInfo(v).name);
+            sub.liveIns.push_back(mapped);
+        }
+        return mapped;
+    }
+
+    ValueId
+    readValue(ValueId v)
+    {
+        ValueId mapped = valueMap[static_cast<size_t>(v)];
+        if (mapped != kNoValue)
+            return mapped;
+
+        if (src.isLiveIn(v))
+            return liveInFor(v);
+
+        int ci = src.carriedIndexOfIn(v);
+        if (ci >= 0) {
+            // The bailout in traditionalVectorize guarantees the
+            // update definition shares this group.
+            ValueId nv = sub.addValue(src.typeOf(v),
+                                      src.valueInfo(v).name);
+            valueMap[static_cast<size_t>(v)] = nv;
+            return nv;
+        }
+
+        // Defined in another (earlier) group: reload the expanded
+        // temporary, once per group.
+        OpId def = du.defOp(v);
+        SV_ASSERT(def != kNoOp && !inGroup[static_cast<size_t>(def)],
+                  "value '%s' has no reachable definition",
+                  src.valueInfo(v).name.c_str());
+        ArrayId temp = expansionArray[static_cast<size_t>(v)];
+        SV_ASSERT(temp != kNoArray, "value '%s' was not expanded",
+                  src.valueInfo(v).name.c_str());
+        ValueId nv = sub.addValue(src.typeOf(v),
+                                  src.valueInfo(v).name);
+        Operation ld;
+        ld.opcode = Opcode::Load;
+        ld.dest = nv;
+        ld.ref = AffineRef{temp, 1, 0};
+        sub.addOp(std::move(ld));
+        valueMap[static_cast<size_t>(v)] = nv;
+        return nv;
+    }
+
+    const Loop &src;
+    ArrayTable &arrays;
+    const std::vector<ArrayId> &expansionArray;
+    const DefUse &du;
+    Loop sub;
+    std::vector<ValueId> valueMap;
+    std::vector<bool> inGroup;
+};
+
+DistributedLoops
+undistributed(const Loop &loop)
+{
+    DistributedLoops result;
+    result.distributed = false;
+    result.scalarLoopCount = 1;
+    result.loops.push_back(DistLoop{loop, loop, false});
+    return result;
+}
+
+} // anonymous namespace
+
+DistributedLoops
+traditionalVectorize(const Loop &loop, ArrayTable &arrays,
+                     const Machine &machine, int64_t expansion_size)
+{
+    DepGraph graph(arrays, loop, machine);
+    VectOptions vo;
+    vo.neighborGuard = true;
+    VectAnalysis va = analyzeVectorizable(loop, graph, machine, vo);
+    DefUse du(loop);
+
+    if (!va.anyVectorizable)
+        return undistributed(loop);
+
+    // Distribution cannot split an early-exit loop (every distributed
+    // loop would need the exit decision of every other).
+    if (loop.hasEarlyExit())
+        return undistributed(loop);
+
+    // Bail out when loop-carried register state escapes its own
+    // recurrence component (distribution would need shifted expansion).
+    for (const CarriedValue &cv : loop.carried) {
+        OpId upd = du.defOp(cv.update);
+        int upd_scc = upd == kNoOp
+                          ? -1
+                          : va.sccs.sccOf[static_cast<size_t>(upd)];
+        for (OpId use : du.uses(cv.in)) {
+            if (va.sccs.sccOf[static_cast<size_t>(use)] != upd_scc)
+                return undistributed(loop);
+        }
+    }
+
+    // Kind of each component, then maximal same-kind runs (fusion).
+    std::vector<bool> scc_vector(
+        static_cast<size_t>(va.sccs.numSccs()), true);
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        if (!va.vectorizable[static_cast<size_t>(op)]) {
+            scc_vector[static_cast<size_t>(
+                va.sccs.sccOf[static_cast<size_t>(op)])] = false;
+        }
+    }
+
+    std::vector<Group> groups;
+    for (int scc : va.sccs.topoOrder) {
+        bool kind = scc_vector[static_cast<size_t>(scc)];
+        if (groups.empty() || groups.back().vectorKind != kind) {
+            groups.push_back(Group{kind, {}});
+        }
+        for (int m : va.sccs.members[static_cast<size_t>(scc)])
+            groups.back().ops.push_back(m);
+    }
+    for (Group &g : groups)
+        std::sort(g.ops.begin(), g.ops.end());
+
+    if (groups.size() == 1 && !groups.front().vectorKind)
+        return undistributed(loop);
+
+    // Values crossing group boundaries get scalar-expansion arrays.
+    std::vector<int> def_group(static_cast<size_t>(loop.numValues()),
+                               -1);
+    std::vector<int> op_group(static_cast<size_t>(loop.numOps()), -1);
+    for (size_t g = 0; g < groups.size(); ++g) {
+        for (OpId op : groups[g].ops) {
+            op_group[static_cast<size_t>(op)] = static_cast<int>(g);
+            ValueId d = loop.op(op).dest;
+            if (d != kNoValue)
+                def_group[static_cast<size_t>(d)] =
+                    static_cast<int>(g);
+        }
+    }
+    std::vector<bool> crossing(static_cast<size_t>(loop.numValues()),
+                               false);
+    std::vector<ArrayId> expansion_array(
+        static_cast<size_t>(loop.numValues()), kNoArray);
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        for (ValueId s : loop.op(op).srcs) {
+            if (s == kNoValue)
+                continue;
+            int dg = def_group[static_cast<size_t>(s)];
+            if (dg >= 0 && dg != op_group[static_cast<size_t>(op)])
+                crossing[static_cast<size_t>(s)] = true;
+        }
+    }
+    for (ValueId v = 0; v < loop.numValues(); ++v) {
+        if (!crossing[static_cast<size_t>(v)])
+            continue;
+        ArrayInfo info;
+        info.name = loop.name + ".ex." + loop.valueInfo(v).name;
+        info.elemType = loop.typeOf(v);
+        info.size = expansion_size;
+        info.synthesized = true;
+        expansion_array[static_cast<size_t>(v)] = arrays.add(info);
+    }
+
+    DistributedLoops result;
+    result.distributed = groups.size() > 1;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        SubLoopBuilder builder(
+            loop, arrays, expansion_array, du,
+            loop.name + ".d" + std::to_string(g));
+        Loop sub = builder.build(groups[g], crossing, def_group,
+                                 static_cast<int>(g));
+
+        DistLoop dist;
+        dist.cleanup = sub;
+        dist.vectorized = groups[g].vectorKind;
+        if (groups[g].vectorKind) {
+            DepGraph sub_graph(arrays, sub, machine);
+            VectAnalysis sub_va =
+                analyzeVectorizable(sub, sub_graph, machine);
+            dist.main = transformLoop(sub, arrays, sub_va,
+                                      sub_va.vectorizable, machine);
+            ++result.vectorLoopCount;
+        } else {
+            dist.main = std::move(sub);
+            ++result.scalarLoopCount;
+        }
+        result.loops.push_back(std::move(dist));
+    }
+    return result;
+}
+
+} // namespace selvec

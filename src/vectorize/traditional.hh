@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The traditional vectorizer (the paper's first comparison point):
+ * Allen-Kennedy loop distribution [6, 39].
+ *
+ * The dependence graph's strongly connected components are sorted
+ * topologically; components in which every operation is vectorizable
+ * become vector loops, the rest scalar loops. Values flowing between
+ * distributed loops are scalar-expanded: the producing loop stores the
+ * value into a synthesized temporary array and every consuming loop
+ * reloads it (this also realizes the paper's observation that strided
+ * operands must be aggregated into contiguous memory before vector
+ * loops can consume them — the machine has no scatter/gather).
+ * Maximal runs of same-kind components are fused into one loop,
+ * mitigating distribution overhead as the paper's implementation does
+ * with loop fusion [9].
+ *
+ * Loops whose loop-carried register state is consumed outside its own
+ * recurrence cannot be distributed cleanly; the vectorizer bails out
+ * and returns the loop unchanged (vectorization simply does not apply,
+ * as in a traditional compiler).
+ */
+
+#ifndef SELVEC_VECTORIZE_TRADITIONAL_HH
+#define SELVEC_VECTORIZE_TRADITIONAL_HH
+
+#include <vector>
+
+#include "analysis/vectorizable.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+
+/** One distributed loop plus its scalar form (the cleanup source for
+ *  trip counts that do not divide the vector length). */
+struct DistLoop
+{
+    Loop main;      ///< vectorized (coverage VL) or scalar (coverage 1)
+    Loop cleanup;   ///< scalar form of the same computation
+    bool vectorized = false;
+};
+
+struct DistributedLoops
+{
+    /** The distributed loops in execution order. */
+    std::vector<DistLoop> loops;
+
+    /** True when distribution happened (false: single original
+     *  loop returned unchanged). */
+    bool distributed = false;
+
+    int vectorLoopCount = 0;
+    int scalarLoopCount = 0;
+};
+
+/**
+ * Distribute and vectorize one loop.
+ *
+ * @param arrays extended in place with scalar-expansion temporaries
+ * @param expansion_size element count of each synthesized temporary
+ *        (must be >= any trip count the result will run)
+ */
+DistributedLoops traditionalVectorize(const Loop &loop,
+                                      ArrayTable &arrays,
+                                      const Machine &machine,
+                                      int64_t expansion_size);
+
+} // namespace selvec
+
+#endif // SELVEC_VECTORIZE_TRADITIONAL_HH

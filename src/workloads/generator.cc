@@ -1,0 +1,247 @@
+#include "workloads/generator.hh"
+
+#include <vector>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/** Binary/unary opcode pools by type. */
+const Opcode kFpBinary[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul,
+                            Opcode::FMin, Opcode::FMax};
+const Opcode kIntBinary[] = {Opcode::IAdd, Opcode::ISub, Opcode::IMul,
+                             Opcode::IAnd, Opcode::IOr, Opcode::IXor,
+                             Opcode::IMin, Opcode::IMax};
+const Opcode kFpUnary[] = {Opcode::FNeg, Opcode::FAbs};
+const Opcode kIntUnary[] = {Opcode::INeg};
+
+template <size_t N>
+Opcode
+pick(Rng &rng, const Opcode (&pool)[N])
+{
+    return pool[static_cast<size_t>(rng.range(0, N - 1))];
+}
+
+} // anonymous namespace
+
+GeneratedLoop
+generateLoop(Rng &rng, const GeneratorOptions &options)
+{
+    GeneratedLoop result;
+    LoopBuilder b(result.module.arrays, "gen");
+
+    // Arrays: half f64, half i64, sized for the worst stride.
+    std::vector<ArrayId> farrays, iarrays;
+    int64_t size = options.maxTrip * 3 + 32;
+    for (int i = 0; i < options.numArrays; ++i) {
+        bool is_int = i % 2 == 1;
+        ArrayId a = b.array((is_int ? "GI" : "GF") + std::to_string(i),
+                            is_int ? Type::I64 : Type::F64, size);
+        (is_int ? iarrays : farrays).push_back(a);
+    }
+    if (iarrays.empty())
+        iarrays.push_back(b.array("GI", Type::I64, size));
+
+    // A couple of live-in scalars.
+    std::vector<ValueId> fvals, ivals;
+    ValueId c0 = b.liveIn("c0", Type::F64);
+    ValueId c1 = b.liveIn("c1", Type::F64);
+    ValueId k0 = b.liveIn("k0", Type::I64);
+    fvals.push_back(c0);
+    fvals.push_back(c1);
+    ivals.push_back(k0);
+    result.liveIns["c0"] = RtVal::scalarF(0.75);
+    result.liveIns["c1"] = RtVal::scalarF(-1.25);
+    result.liveIns["k0"] = RtVal::scalarI(37);
+
+    auto random_ref = [&](const std::vector<ArrayId> &arrays) {
+        ArrayId arr =
+            arrays[static_cast<size_t>(rng.range(
+                0, static_cast<int64_t>(arrays.size()) - 1))];
+        int64_t scale =
+            rng.chance(options.stridedProb) ? rng.range(2, 3) : 1;
+        int64_t offset = rng.range(0, 8);
+        return AffineRef{arr, scale, offset};
+    };
+
+    auto pick_val = [&](std::vector<ValueId> &pool) {
+        return pool[static_cast<size_t>(
+            rng.range(0, static_cast<int64_t>(pool.size()) - 1))];
+    };
+
+    std::vector<bool> consumed;   // per-value: used at least once
+    auto mark_used = [&](ValueId v) {
+        if (static_cast<size_t>(v) >= consumed.size())
+            consumed.resize(static_cast<size_t>(v) + 1, false);
+        consumed[static_cast<size_t>(v)] = true;
+    };
+    auto track_def = [&](ValueId v) {
+        if (static_cast<size_t>(v) >= consumed.size())
+            consumed.resize(static_cast<size_t>(v) + 1, false);
+    };
+
+    // Optional reductions, seeded up front.
+    struct Reduction
+    {
+        ValueId in;
+        bool isInt;
+    };
+    std::vector<Reduction> reductions;
+    if (rng.chance(options.reductionProb)) {
+        ValueId init = b.liveIn("acc0", Type::F64);
+        result.liveIns["acc0"] = RtVal::scalarF(1.0);
+        ValueId in = b.carriedIn("acc", Type::F64, init);
+        reductions.push_back(Reduction{in, false});
+    }
+    if (rng.chance(options.reductionProb / 2)) {
+        ValueId init = b.liveIn("iacc0", Type::I64);
+        result.liveIns["iacc0"] = RtVal::scalarI(5);
+        ValueId in = b.carriedIn("iacc", Type::I64, init);
+        reductions.push_back(Reduction{in, true});
+    }
+
+    int num_ops = static_cast<int>(
+        rng.range(options.minOps, options.maxOps));
+    int stores_emitted = 0;
+
+    for (int n = 0; n < num_ops; ++n) {
+        double roll = rng.unit();
+        if (roll < options.loadProb) {
+            bool is_int = rng.chance(options.intProb);
+            const auto &arrays = is_int ? iarrays : farrays;
+            if (arrays.empty())
+                continue;
+            AffineRef ref = random_ref(arrays);
+            ValueId v = b.load(ref.array, ref.scale, ref.offset);
+            track_def(v);
+            (is_int ? ivals : fvals).push_back(v);
+        } else if (roll < options.loadProb + options.storeProb) {
+            bool is_int = rng.chance(options.intProb);
+            auto &pool = is_int ? ivals : fvals;
+            const auto &arrays = is_int ? iarrays : farrays;
+            if (arrays.empty())
+                continue;
+            AffineRef ref = random_ref(arrays);
+            ValueId src = pick_val(pool);
+            b.store(ref.array, ref.scale, ref.offset, src);
+            mark_used(src);
+            ++stores_emitted;
+        } else {
+            bool is_int = rng.chance(options.intProb);
+            auto &pool = is_int ? ivals : fvals;
+            ValueId v;
+            double shape = rng.unit();
+            if (shape < 0.10) {
+                // Constants and moves keep the odd corners of the
+                // opcode table in play.
+                std::string konst =
+                    b.loop().freshName("konst" + std::to_string(n));
+                if (is_int) {
+                    v = rng.chance(0.5)
+                            ? b.iconst(rng.range(-64, 64), konst)
+                            : b.emit(Opcode::IMov, {pick_val(pool)});
+                } else {
+                    v = rng.chance(0.5)
+                            ? b.fconst(
+                                  static_cast<double>(
+                                      rng.range(-64, 64)) /
+                                      8.0,
+                                  konst)
+                            : b.emit(Opcode::FMov, {pick_val(pool)});
+                }
+            } else if (!is_int && shape < 0.20) {
+                ValueId s0 = pick_val(pool);
+                ValueId s1 = pick_val(pool);
+                ValueId s2 = pick_val(pool);
+                v = b.emit(Opcode::FMulAdd, {s0, s1, s2});
+                mark_used(s0);
+                mark_used(s1);
+                mark_used(s2);
+            } else if (shape < 0.36) {
+                ValueId s = pick_val(pool);
+                v = b.emit(is_int ? pick(rng, kIntUnary)
+                                  : pick(rng, kFpUnary),
+                           {s});
+                mark_used(s);
+            } else {
+                ValueId s0 = pick_val(pool);
+                ValueId s1 = pick_val(pool);
+                Opcode opcode;
+                if (rng.chance(options.divProb))
+                    opcode = is_int ? Opcode::IDiv : Opcode::FDiv;
+                else
+                    opcode = is_int ? pick(rng, kIntBinary)
+                                    : pick(rng, kFpBinary);
+                v = b.emit(opcode, {s0, s1});
+                mark_used(s0);
+                mark_used(s1);
+            }
+            track_def(v);
+            pool.push_back(v);
+        }
+    }
+
+    // Close the reduction chains.
+    for (const Reduction &red : reductions) {
+        auto &pool = red.isInt ? ivals : fvals;
+        ValueId x = pick_val(pool);
+        mark_used(x);
+        ValueId upd = b.emit(red.isInt ? Opcode::IAdd : Opcode::FAdd,
+                             {red.in, x});
+        track_def(upd);
+        mark_used(red.in);
+        b.bindUpdate(red.in, upd);
+        b.liveOut(upd);
+        mark_used(upd);
+    }
+
+    // Optionally end with a data-dependent early exit (compares two
+    // values so the trigger point depends on the memory pattern).
+    if (rng.chance(options.exitProb)) {
+        ValueId lhs, rhs;
+        if (rng.chance(0.5) && ivals.size() >= 2) {
+            lhs = pick_val(ivals);
+            rhs = pick_val(ivals);
+            ValueId cond = b.emit(Opcode::ICmpLt, {lhs, rhs});
+            mark_used(lhs);
+            mark_used(rhs);
+            mark_used(cond);
+            b.emit(Opcode::ExitIf, {cond});
+        } else {
+            lhs = pick_val(fvals);
+            rhs = pick_val(fvals);
+            ValueId cond = b.emit(Opcode::FCmpLt, {lhs, rhs});
+            mark_used(lhs);
+            mark_used(rhs);
+            mark_used(cond);
+            b.emit(Opcode::ExitIf, {cond});
+        }
+    }
+
+    // Make every dangling computed value observable, and guarantee at
+    // least one memory side effect or live-out exists.
+    int live_outs = static_cast<int>(reductions.size());
+    for (ValueId v = 0; v < b.loop().numValues(); ++v) {
+        if (static_cast<size_t>(v) < consumed.size() &&
+            !consumed[static_cast<size_t>(v)] &&
+            !b.loop().isLiveIn(v) &&
+            b.loop().carriedIndexOfIn(v) < 0) {
+            b.liveOut(v);
+            ++live_outs;
+        }
+    }
+    if (stores_emitted == 0 && live_outs == 0) {
+        ValueId v = pick_val(fvals);
+        b.store(farrays.front(), 1, 0, v);
+    }
+
+    result.module.loops.push_back(b.take());
+    return result;
+}
+
+} // namespace selvec

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * 104.hydro2d analog: astrophysical hydrodynamics. Flux and advection
+ * updates are simple, memory-balanced and fully data parallel, so
+ * every technique lands near the baseline; the equation-of-state loop
+ * divides by density, and the unpipelined divider bounds every
+ * schedule the same way. The paper measures 0.94/1.00/1.03 — hydro2d
+ * is the suite where there is little for anyone to win.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array RO f64 34000
+array MX f64 34000
+array MY f64 34000
+array EN f64 34000
+array PR f64 34000
+array FX f64 34000
+array FY f64 34000
+
+# Advection flux: memory-balanced elementwise update.
+loop hydro2d_flux {
+    livein dt f64
+    body {
+        m0 = load MX[i + 131]
+        me = load MX[i + 132]
+        n0 = load MY[i + 131]
+        nn = load MY[i + 261]
+        dmx = fsub me m0
+        dmy = fsub nn n0
+        dm = fadd dmx dmy
+        fx = fmul dm dt
+        store FX[i + 131] = fx
+    }
+}
+
+# Ghost-cell fill along the column direction (strided copies).
+loop hydro2d_bc {
+    body {
+        r = load RO[130i + 1]
+        m = load MX[130i + 1]
+        store RO[130i] = r
+        store MX[130i] = m
+    }
+}
+
+# Equation of state: pressure from energy and density (divides).
+loop hydro2d_eos {
+    livein gm1 f64
+    body {
+        e = load EN[i]
+        r = load RO[i]
+        mx = load MX[i]
+        m2 = fmul mx mx
+        ke = fdiv m2 r
+        ei = fsub e ke
+        p = fmul ei gm1
+        store PR[i] = p
+    }
+}
+
+# Conservative update from fluxes.
+loop hydro2d_update {
+    livein dt f64
+    body {
+        r0 = load RO[i + 131]
+        fw = load FX[i + 130]
+        fe = load FX[i + 131]
+        dx = fsub fe fw
+        dd = fmul dx dt
+        r1 = fsub r0 dd
+        store RO[i + 131] = r1
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeHydro2d()
+{
+    Suite suite;
+    suite.name = "104.hydro2d";
+    suite.description =
+        "hydrodynamics: memory-balanced fluxes + divide-bound EOS";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop flux;
+    flux.loopIndex = 0;
+    flux.tripCount = 160;
+    flux.invocations = 400;
+    flux.liveIns["dt"] = RtVal::scalarF(0.002);
+    suite.loops.push_back(flux);
+
+    WorkloadLoop bc;
+    bc.loopIndex = 1;
+    bc.tripCount = 128;
+    bc.invocations = 450;
+    suite.loops.push_back(bc);
+
+    WorkloadLoop eos;
+    eos.loopIndex = 2;
+    eos.tripCount = 160;
+    eos.invocations = 300;
+    eos.liveIns["gm1"] = RtVal::scalarF(0.4);
+    suite.loops.push_back(eos);
+
+    WorkloadLoop update;
+    update.loopIndex = 3;
+    update.tripCount = 160;
+    update.invocations = 400;
+    update.liveIns["dt"] = RtVal::scalarF(0.002);
+    suite.loops.push_back(update);
+
+    return suite;
+}
+
+} // namespace selvec

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * 172.mgrid analog: multigrid V-cycles. The residual and smoother
+ * loops are wide 27-point stencils (FP-dense, fully data parallel);
+ * the inter-grid transfer (interpolation) writes the fine grid at
+ * stride 2, which the machine's vector units cannot address — the
+ * traditional vectorizer must stage those values through contiguous
+ * memory, which is where its large slowdown (0.53x in the paper)
+ * comes from.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array UG f64 70000
+array RG f64 70000
+array UF f64 70000
+array RNEW f64 70000
+
+# Residual: r = v - A*u over a 27-point stencil (collapsed weights).
+loop mgrid_resid {
+    livein c0 f64
+    livein c1 f64
+    livein c2 f64
+    body {
+        u0 = load UG[i + 261]
+        ue = load UG[i + 262]
+        uw = load UG[i + 260]
+        un = load UG[i + 391]
+        us = load UG[i + 131]
+        uu = load UG[i + 521]
+        ud = load UG[i + 1]
+        r0 = load RG[i + 261]
+        a0 = fmul u0 c0
+        f1 = fadd ue uw
+        f2 = fadd un us
+        f3 = fadd uu ud
+        f12 = fadd f1 f2
+        face = fadd f12 f3
+        a1 = fmul face c1
+        e1 = fadd ue un
+        e2 = fadd uw us
+        e12 = fadd e1 e2
+        a2 = fmul e12 c2
+        s01 = fadd a0 a1
+        s012 = fadd s01 a2
+        r1 = fsub r0 s012
+        store RNEW[i + 261] = r1
+    }
+}
+
+# Smoother: u += w * r over the same stencil footprint.
+loop mgrid_psinv {
+    livein w0 f64
+    livein w1 f64
+    body {
+        u0 = load UG[i + 261]
+        r0 = load RNEW[i + 261]
+        re = load RNEW[i + 262]
+        rw = load RNEW[i + 260]
+        rn = load RNEW[i + 391]
+        rs = load RNEW[i + 131]
+        cen = fmul r0 w0
+        fe = fadd re rw
+        fn = fadd rn rs
+        fs = fadd fe fn
+        nb = fmul fs w1
+        upd = fadd cen nb
+        u1 = fadd u0 upd
+        store UG[i + 261] = u1
+    }
+}
+
+# Restriction: fine-to-coarse projection reads stride-2.
+loop mgrid_rprj3 {
+    livein w0 f64
+    livein w1 f64
+    body {
+        f0 = load UF[2i + 2]
+        fl = load UF[2i + 1]
+        fr = load UF[2i + 3]
+        cen = fmul f0 w0
+        nb = fadd fl fr
+        nbw = fmul nb w1
+        c = fadd cen nbw
+        store RG[i + 131] = c
+    }
+}
+
+# Face exchange (comm3): column-strided reads averaged into a
+# contiguous halo buffer.
+loop mgrid_comm3 {
+    livein half f64
+    body {
+        q = load UG[130i + 1]
+        r = load UG[130i + 2]
+        s = fadd q r
+        t = fmul s half
+        store RG[i] = t
+    }
+}
+
+# Residual norm: FP-dense stencil energy accumulated sequentially.
+loop mgrid_norm {
+    livein n0 f64
+    livein w0 f64
+    livein w1 f64
+    carried n f64 init n0 update n1
+    body {
+        r0 = load RNEW[i + 131]
+        re = load RNEW[i + 132]
+        rw = load RNEW[i + 130]
+        rn = load RNEW[i + 261]
+        rs = load RNEW[i + 1]
+        cen = fmul r0 w0
+        nbs = fadd re rw
+        nbt = fadd rn rs
+        nb = fadd nbs nbt
+        nbw = fmul nb w1
+        e = fadd cen nbw
+        e2 = fmul e e
+        n1 = fadd n e2
+    }
+    liveout n1
+}
+
+# Interpolation: coarse-to-fine prolongation writes stride-2.
+loop mgrid_interp {
+    livein half f64
+    body {
+        z0 = load UG[i + 261]
+        z1 = load UG[i + 262]
+        f0 = load UF[2i + 2]
+        f1 = load UF[2i + 3]
+        g0 = fadd f0 z0
+        za = fadd z0 z1
+        zh = fmul za half
+        g1 = fadd f1 zh
+        store UF[2i + 2] = g0
+        store UF[2i + 3] = g1
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeMgrid()
+{
+    Suite suite;
+    suite.name = "172.mgrid";
+    suite.description =
+        "multigrid: 27-point stencils + stride-2 prolongation";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop resid;
+    resid.loopIndex = 0;
+    resid.tripCount = 128;
+    resid.invocations = 800;
+    resid.liveIns["c0"] = RtVal::scalarF(-8.0 / 3.0);
+    resid.liveIns["c1"] = RtVal::scalarF(0.0);
+    resid.liveIns["c2"] = RtVal::scalarF(1.0 / 6.0);
+    suite.loops.push_back(resid);
+
+    WorkloadLoop psinv;
+    psinv.loopIndex = 1;
+    psinv.tripCount = 128;
+    psinv.invocations = 500;
+    psinv.liveIns["w0"] = RtVal::scalarF(-3.0 / 8.0);
+    psinv.liveIns["w1"] = RtVal::scalarF(1.0 / 32.0);
+    suite.loops.push_back(psinv);
+
+    WorkloadLoop comm3;
+    comm3.loopIndex = 3;
+    comm3.tripCount = 128;
+    comm3.invocations = 300;
+    comm3.liveIns["half"] = RtVal::scalarF(0.5);
+    suite.loops.push_back(comm3);
+
+    WorkloadLoop norm;
+    norm.loopIndex = 4;
+    norm.tripCount = 128;
+    norm.invocations = 600;
+    norm.liveIns["n0"] = RtVal::scalarF(0.0);
+    norm.liveIns["w0"] = RtVal::scalarF(1.0);
+    norm.liveIns["w1"] = RtVal::scalarF(0.125);
+    suite.loops.push_back(norm);
+
+    WorkloadLoop rprj3;
+    rprj3.loopIndex = 2;
+    rprj3.tripCount = 128;
+    rprj3.invocations = 220;
+    rprj3.liveIns["w0"] = RtVal::scalarF(0.5);
+    rprj3.liveIns["w1"] = RtVal::scalarF(0.25);
+    suite.loops.push_back(rprj3);
+
+    WorkloadLoop interp;
+    interp.loopIndex = 5;
+    interp.tripCount = 128;
+    interp.invocations = 220;
+    interp.liveIns["half"] = RtVal::scalarF(0.5);
+    suite.loops.push_back(interp);
+
+    return suite;
+}
+
+} // namespace selvec

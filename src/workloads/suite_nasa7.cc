@@ -1,0 +1,164 @@
+/**
+ * @file
+ * 093.nasa7 analog: the NAS kernel collection (MXM, VPENTA, GMTRY,
+ * EMIT...). Column accesses of Fortran matrices appear as large
+ * constant strides in the innermost loop, so most memory operations
+ * are not vectorizable; the compute between them is. Traditional
+ * vectorization must aggregate every strided operand through memory
+ * — the paper measures a catastrophic 0.18x — while selective
+ * vectorization keeps memory scalar and offloads arithmetic
+ * judiciously.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array A f64 70000
+array B f64 70000
+array C f64 70000
+array D f64 70000
+
+# MXM-style inner product with one strided operand (matrix column).
+loop nasa7_mxm {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        a = load A[i]
+        b = load B[128i + 3]
+        t = fmul a b
+        s1 = fadd s t
+    }
+    liveout s1
+}
+
+# GMTRY-style row elimination: strided pivot/row columns feed dense
+# row math; results scatter back to strided columns.
+loop nasa7_gmtry {
+    livein piv f64
+    body {
+        r = load A[128i + 1]
+        q = load A[128i + 2]
+        c0 = load C[i]
+        c1 = load C[i + 1]
+        f = fmul r piv
+        g = fmul q piv
+        u0 = fmul f c0
+        u1 = fmul g c1
+        v0 = fadd u0 c1
+        v1 = fsub u1 c0
+        x0 = fadd v0 g
+        x1 = fadd v1 f
+        store B[128i + 1] = x0
+        store D[128i + 1] = x1
+    }
+}
+
+# BTRIX-style block solve: four strided column streams around a
+# little arithmetic (maximal aggregation pain for distribution).
+loop nasa7_btrix {
+    livein sc f64
+    body {
+        a = load A[128i + 4]
+        b = load B[128i + 4]
+        c = load C[128i + 4]
+        e = load D[i]
+        ab = fmul a b
+        ce = fmul c e
+        t = fsub ab ce
+        u = fmul t sc
+        store D[128i + 5] = u
+    }
+}
+
+# VPENTA-style recurrence sweep: carried state plus strided loads.
+loop nasa7_vpenta {
+    livein x0 f64
+    carried x f64 init x0 update x1
+    body {
+        a = load A[128i]
+        b = load B[128i]
+        d = load D[i]
+        ax = fmul a x
+        nm = fsub d ax
+        x1 = fmul nm b
+        store C[128i] = x1
+    }
+    liveout x1
+}
+
+# EMIT-style contiguous kernel: the one unit-stride hot loop.
+loop nasa7_emit {
+    livein sc f64
+    body {
+        a = load A[i]
+        b = load B[i]
+        p = fmul a sc
+        q = fmul b sc
+        u = fadd p q
+        v = fsub p q
+        pu = fmul u u
+        qv = fmul v v
+        w = fadd pu qv
+        store C[i] = w
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeNasa7()
+{
+    Suite suite;
+    suite.name = "093.nasa7";
+    suite.description =
+        "NAS kernels: strided matrix columns + recurrences + one "
+        "contiguous kernel";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop mxm;
+    mxm.loopIndex = 0;
+    mxm.tripCount = 256;
+    mxm.invocations = 150;
+    mxm.liveIns["s0"] = RtVal::scalarF(0.0);
+    suite.loops.push_back(mxm);
+
+    WorkloadLoop gmtry;
+    gmtry.loopIndex = 1;
+    gmtry.tripCount = 256;
+    gmtry.invocations = 500;
+    gmtry.liveIns["piv"] = RtVal::scalarF(0.125);
+    suite.loops.push_back(gmtry);
+
+    WorkloadLoop btrix;
+    btrix.loopIndex = 2;
+    btrix.tripCount = 256;
+    btrix.invocations = 500;
+    btrix.liveIns["sc"] = RtVal::scalarF(0.5);
+    suite.loops.push_back(btrix);
+
+    WorkloadLoop vpenta;
+    vpenta.loopIndex = 3;
+    vpenta.tripCount = 256;
+    vpenta.invocations = 100;
+    vpenta.liveIns["x0"] = RtVal::scalarF(1.0);
+    suite.loops.push_back(vpenta);
+
+    WorkloadLoop emit;
+    emit.loopIndex = 4;
+    emit.tripCount = 256;
+    emit.invocations = 100;
+    emit.liveIns["sc"] = RtVal::scalarF(0.5);
+    suite.loops.push_back(emit);
+
+    return suite;
+}
+
+} // namespace selvec

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 103.su2cor analog: quark-gluon lattice physics. Gauge-field updates
+ * multiply small complex matrices stored with interleaved real and
+ * imaginary parts (stride-2 in the innermost loop), while the
+ * propagator loops run over contiguous working vectors with dense
+ * complex arithmetic. The interleaved loops keep memory scalar (no
+ * scatter/gather); the contiguous ones are where selective
+ * vectorization earns its 1.15x.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array UG f64 70000
+array WP f64 34000
+array WQ f64 34000
+array WR f64 34000
+
+# Gauge link update: interleaved complex (stride-2 memory).
+loop su2cor_gauge {
+    livein beta f64
+    body {
+        ar = load UG[2i]
+        ai = load UG[2i + 1]
+        gr = load WP[i]
+        gi = load WQ[i]
+        pr1 = fmul ar gr
+        pr2 = fmul ai gi
+        pr = fsub pr1 pr2
+        pi1 = fmul ar gi
+        pi2 = fmul ai gr
+        pi = fadd pi1 pi2
+        sr = fmul pr beta
+        si = fmul pi beta
+        store UG[2i] = sr
+        store UG[2i + 1] = si
+    }
+}
+
+# Propagator sweep: contiguous complex arithmetic (planar layout).
+loop su2cor_prop {
+    livein kap f64
+    body {
+        pr = load WP[i]
+        pi = load WQ[i]
+        qr = load WP[i + 1]
+        qi = load WQ[i + 1]
+        m1 = fmul pr qr
+        m2 = fmul pi qi
+        re = fsub m1 m2
+        m3 = fmul pr qi
+        m4 = fmul pi qr
+        im = fadd m3 m4
+        w0 = load WR[i]
+        re2 = fmul re re
+        im2 = fmul im im
+        nr = fadd re2 im2
+        sc = fmul nr kap
+        out = fadd sc w0
+        store WR[i] = out
+    }
+}
+
+# Global action accumulation (sequential FP reduction).
+loop su2cor_action {
+    livein a0 f64
+    carried a f64 init a0 update a1
+    body {
+        w = load WR[i]
+        v = load WP[i]
+        t = fmul w v
+        a1 = fadd a t
+    }
+    liveout a1
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeSu2cor()
+{
+    Suite suite;
+    suite.name = "103.su2cor";
+    suite.description =
+        "lattice QCD: interleaved complex links + contiguous "
+        "propagators + action reduction";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop gauge;
+    gauge.loopIndex = 0;
+    gauge.tripCount = 192;
+    gauge.invocations = 250;
+    gauge.liveIns["beta"] = RtVal::scalarF(0.25);
+    suite.loops.push_back(gauge);
+
+    WorkloadLoop prop;
+    prop.loopIndex = 1;
+    prop.tripCount = 192;
+    prop.invocations = 700;
+    prop.liveIns["kap"] = RtVal::scalarF(0.135);
+    suite.loops.push_back(prop);
+
+    WorkloadLoop action;
+    action.loopIndex = 2;
+    action.tripCount = 192;
+    action.invocations = 150;
+    action.liveIns["a0"] = RtVal::scalarF(0.0);
+    suite.loops.push_back(action);
+
+    return suite;
+}
+
+} // namespace selvec

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * 171.swim analog: shallow-water equations on a grid. Three sweeps
+ * (CALC1/CALC2/CALC3-style) updating velocity, mass-flux and height
+ * fields from neighbouring points. Everything is data parallel (no
+ * reductions, no strides), so traditional vectorization produces a
+ * single vector loop and matches full vectorization; selective
+ * vectorization still wins by balancing the FP work across scalar and
+ * vector units.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array P f64 34000
+array U f64 34000
+array V f64 34000
+array CU f64 34000
+array CV f64 34000
+array Z f64 34000
+array H f64 34000
+array UNEW f64 34000
+array VNEW f64 34000
+array PNEW f64 34000
+array POLD f64 34000
+
+# CALC1: mass fluxes and height field.
+loop swim_calc1 {
+    livein half f64
+    livein quart f64
+    body {
+        p0 = load P[i + 131]
+        pw = load P[i + 130]
+        ps = load P[i + 1]
+        u0 = load U[i + 131]
+        v0 = load V[i + 131]
+        ppw = fadd p0 pw
+        hpw = fmul ppw half
+        cu1 = fmul hpw u0
+        pps = fadd p0 ps
+        hps = fmul pps half
+        cv1 = fmul hps v0
+        uu = fmul u0 u0
+        vv = fmul v0 v0
+        uv = fmul u0 v0
+        ke0 = fadd uu vv
+        ke = fadd ke0 uv
+        keq = fmul ke quart
+        h1 = fadd p0 keq
+        store CU[i + 131] = cu1
+        store CV[i + 131] = cv1
+        store H[i + 131] = h1
+    }
+}
+
+# Periodic boundary wrap for the staggered grids (column-strided).
+loop swim_bc {
+    body {
+        u = load U[130i + 2]
+        v = load V[130i + 2]
+        store U[130i] = u
+        store V[130i] = v
+    }
+}
+
+# CALC2: new velocities from flux and vorticity differences.
+loop swim_calc2 {
+    livein tdts f64
+    body {
+        u0 = load U[i + 131]
+        z0 = load Z[i + 131]
+        zn = load Z[i + 132]
+        cv0 = load CV[i + 131]
+        cve = load CV[i + 132]
+        h0 = load H[i + 131]
+        he = load H[i + 132]
+        za = fadd z0 zn
+        cva = fadd cv0 cve
+        zc = fmul za cva
+        dh = fsub he h0
+        acc = fsub zc dh
+        du = fmul acc tdts
+        u1 = fadd u0 du
+        store UNEW[i + 131] = u1
+    }
+}
+
+# CALC3: time smoothing of the height field.
+loop swim_calc3 {
+    livein alpha f64
+    body {
+        p0 = load P[i + 131]
+        pn = load PNEW[i + 131]
+        pe = load P[i + 132]
+        pw = load P[i + 130]
+        lap = fadd pe pw
+        d0 = fsub pn p0
+        sm = fmul d0 alpha
+        p1 = fadd p0 sm
+        l2 = fmul lap alpha
+        p2 = fadd p1 l2
+        store POLD[i + 131] = p2
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeSwim()
+{
+    Suite suite;
+    suite.name = "171.swim";
+    suite.description =
+        "shallow water: three fully data-parallel field sweeps";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop calc1;
+    calc1.loopIndex = 0;
+    calc1.tripCount = 192;
+    calc1.invocations = 400;
+    calc1.liveIns["half"] = RtVal::scalarF(0.5);
+    calc1.liveIns["quart"] = RtVal::scalarF(0.25);
+    suite.loops.push_back(calc1);
+
+    WorkloadLoop bc;
+    bc.loopIndex = 1;
+    bc.tripCount = 128;
+    bc.invocations = 550;
+    suite.loops.push_back(bc);
+
+    WorkloadLoop calc2;
+    calc2.loopIndex = 2;
+    calc2.tripCount = 192;
+    calc2.invocations = 400;
+    calc2.liveIns["tdts"] = RtVal::scalarF(0.01);
+    suite.loops.push_back(calc2);
+
+    WorkloadLoop calc3;
+    calc3.loopIndex = 3;
+    calc3.tripCount = 192;
+    calc3.invocations = 400;
+    calc3.liveIns["alpha"] = RtVal::scalarF(0.06);
+    suite.loops.push_back(calc3);
+
+    return suite;
+}
+
+} // namespace selvec

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * 101.tomcatv analog: thin-shell mesh generation. The hot loop is a
+ * 9-point stencil over the mesh coordinate arrays computing metric
+ * terms and residuals — long chains of floating-point arithmetic over
+ * comparatively few memory accesses, fully data parallel. A residual
+ * reduction (max-norm, sequential for floating point) and an SOR-style
+ * correction sweep follow. tomcatv is the paper's biggest selective
+ * win (1.38x): the baseline saturates the two FP units and selective
+ * vectorization offloads about half of the arithmetic to the vector
+ * unit.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+// Row offset of the linearized (i,j) mesh; the inner loop runs along
+// a row, so neighbours in j appear as +/- kRow displacements.
+const char *kSource = R"(
+array X f64 34000
+array Y f64 34000
+array AA f64 34000
+array DD f64 34000
+array RXM f64 34000
+array RYM f64 34000
+
+# Metric/residual stencil (the dominant loop nest body).
+loop tomcatv_stencil {
+    livein half f64
+    body {
+        xm = load X[i + 130]
+        xp = load X[i + 132]
+        xu = load X[i + 261]
+        xd = load X[i + 1]
+        ym = load Y[i + 130]
+        yp = load Y[i + 132]
+        yu = load Y[i + 261]
+        yd = load Y[i + 1]
+        x0 = load X[i + 131]
+        y0 = load Y[i + 131]
+        dxp = fsub xp xm
+        xx = fmul dxp half
+        dyp = fsub yp ym
+        yx = fmul dyp half
+        dxu = fsub xu xd
+        xy = fmul dxu half
+        dyu = fsub yu yd
+        yy = fmul dyu half
+        xy2 = fmul xy xy
+        yy2 = fmul yy yy
+        a = fadd xy2 yy2
+        xx2 = fmul xx xx
+        yx2 = fmul yx yx
+        b = fadd xx2 yx2
+        xxy = fmul xx xy
+        yxy = fmul yx yy
+        c = fadd xxy yxy
+        axx = fmul a xx
+        cxy = fmul c xy
+        qi = fsub axx cxy
+        byy = fmul b yy
+        cyx = fmul c yx
+        qj = fsub byy cyx
+        ri = fadd qi x0
+        rj = fadd qj y0
+        store AA[i + 131] = ri
+        store DD[i + 131] = rj
+    }
+}
+
+# Max-norm residual reduction (not reorderable in floating point).
+loop tomcatv_resid {
+    livein rx0 f64
+    livein ry0 f64
+    carried rx f64 init rx0 update rx1
+    carried ry f64 init ry0 update ry1
+    body {
+        r = load RXM[i]
+        s = load RYM[i]
+        ra = fabs r
+        sa = fabs s
+        rx1 = fmax rx ra
+        ry1 = fmax ry sa
+    }
+    liveout rx1
+    liveout ry1
+}
+
+# Boundary-condition copy along the mesh edge (column-strided).
+loop tomcatv_bc {
+    body {
+        e = load X[130i + 1]
+        f = load Y[130i + 1]
+        store X[130i] = e
+        store Y[130i] = f
+    }
+}
+
+# SOR correction sweep.
+loop tomcatv_relax {
+    livein rel f64
+    body {
+        x = load X[i + 131]
+        r = load RXM[i]
+        y = load Y[i + 131]
+        s = load RYM[i]
+        dx = fmul rel r
+        x1 = fadd x dx
+        dy = fmul rel s
+        y1 = fadd y dy
+        store X[i + 131] = x1
+        store Y[i + 131] = y1
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeTomcatv()
+{
+    Suite suite;
+    suite.name = "101.tomcatv";
+    suite.description =
+        "mesh generation: FP-dense 9-point stencils + max-norm "
+        "reductions + SOR sweep";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop stencil;
+    stencil.loopIndex = 0;
+    stencil.tripCount = 128;
+    stencil.invocations = 600;
+    stencil.liveIns["half"] = RtVal::scalarF(0.5);
+    suite.loops.push_back(stencil);
+
+    WorkloadLoop resid;
+    resid.loopIndex = 1;
+    resid.tripCount = 128;
+    resid.invocations = 200;
+    resid.liveIns["rx0"] = RtVal::scalarF(0.0);
+    resid.liveIns["ry0"] = RtVal::scalarF(0.0);
+    suite.loops.push_back(resid);
+
+    WorkloadLoop bc;
+    bc.loopIndex = 2;
+    bc.tripCount = 128;
+    bc.invocations = 350;
+    suite.loops.push_back(bc);
+
+    WorkloadLoop relax;
+    relax.loopIndex = 3;
+    relax.tripCount = 128;
+    relax.invocations = 200;
+    relax.liveIns["rel"] = RtVal::scalarF(0.3);
+    suite.loops.push_back(relax);
+
+    return suite;
+}
+
+} // namespace selvec

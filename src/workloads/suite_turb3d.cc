@@ -1,0 +1,108 @@
+/**
+ * @file
+ * 125.turb3d analog: isotropic turbulence via 3D FFTs. The hot loops
+ * are radix-2 butterfly passes with complex twiddle arithmetic —
+ * FP-dense, fully data parallel, but with *very low trip counts*
+ * (one cache line of a 64-point transform per call). Tighter kernels
+ * mean more pipeline stages, and with so few iterations the prologue
+ * and epilogue dominate: the paper measures selective vectorization
+ * *losing* here (0.95x), the only benchmark where it does.
+ */
+
+#include "lir/lir.hh"
+#include "workloads/suites.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+const char *kSource = R"(
+array XR f64 4096
+array XI f64 4096
+array YR f64 4096
+array YI f64 4096
+
+# Radix-2 DIT butterfly: deinterleaving reads (stride 2) feed the
+# twiddle arithmetic; results write two contiguous half-planes.
+loop turb3d_fft {
+    livein wr f64
+    livein wi f64
+    body {
+        ar = load XR[2i]
+        ai = load XI[2i]
+        br = load XR[2i + 1]
+        bi = load XI[2i + 1]
+        tr1 = fmul br wr
+        tr2 = fmul bi wi
+        tr = fsub tr1 tr2
+        ti1 = fmul br wi
+        ti2 = fmul bi wr
+        ti = fadd ti1 ti2
+        cr = fadd ar tr
+        ci = fadd ai ti
+        dr = fsub ar tr
+        di = fsub ai ti
+        store YR[i] = cr
+        store YI[i] = ci
+        store YR[i + 16] = dr
+        store YI[i + 16] = di
+    }
+}
+
+# Velocity nonlinear term (short convolution segment).
+loop turb3d_nonlin {
+    livein nu f64
+    body {
+        u = load XR[i]
+        v = load XI[i]
+        w = load YR[i]
+        uv = fmul u v
+        vw = fmul v w
+        wu = fmul w u
+        u2 = fmul u u
+        v2 = fmul v v
+        w2 = fmul w w
+        s1 = fadd uv vw
+        s2 = fadd s1 wu
+        q1 = fadd u2 v2
+        q2 = fadd q1 w2
+        t1 = fmul s2 nu
+        t2 = fmul q2 nu
+        d = fsub t1 t2
+        store YI[i] = d
+    }
+}
+)";
+
+} // anonymous namespace
+
+Suite
+makeTurb3d()
+{
+    Suite suite;
+    suite.name = "125.turb3d";
+    suite.description =
+        "turbulence FFTs: FP-dense butterflies at very low trip counts";
+    suite.module = parseLirOrDie(kSource);
+
+    WorkloadLoop fft;
+    fft.loopIndex = 0;
+    fft.tripCount = 4;
+    fft.invocations = 6000;
+    fft.liveIns["wr"] = RtVal::scalarF(0.92387953251128674);
+    fft.liveIns["wi"] = RtVal::scalarF(-0.38268343236508978);
+    suite.loops.push_back(fft);
+
+    WorkloadLoop nonlin;
+    nonlin.loopIndex = 1;
+    nonlin.tripCount = 4;
+    nonlin.invocations = 3000;
+    nonlin.liveIns["nu"] = RtVal::scalarF(0.01);
+    suite.loops.push_back(nonlin);
+
+    return suite;
+}
+
+} // namespace selvec

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal factory declarations for the nine SPEC-FP-analog suites.
+ * Each suite lives in its own translation unit; the public entry
+ * points are in workloads.hh.
+ */
+
+#ifndef SELVEC_WORKLOADS_SUITES_HH
+#define SELVEC_WORKLOADS_SUITES_HH
+
+#include "workloads/workloads.hh"
+
+namespace selvec
+{
+
+Suite makeNasa7();      ///< 093.nasa7 analog (strided kernels)
+Suite makeTomcatv();    ///< 101.tomcatv analog (mesh stencils)
+Suite makeSu2cor();     ///< 103.su2cor analog (complex arithmetic)
+Suite makeHydro2d();    ///< 104.hydro2d analog (divide-heavy updates)
+Suite makeTurb3d();     ///< 125.turb3d analog (short FFT butterflies)
+Suite makeWave5();      ///< 146.wave5 analog (particle/field mix)
+Suite makeSwim();       ///< 171.swim analog (shallow-water stencils)
+Suite makeMgrid();      ///< 172.mgrid analog (27-point relaxation)
+Suite makeApsi();       ///< 301.apsi analog (meteorology miscellany)
+
+} // namespace selvec
+
+#endif // SELVEC_WORKLOADS_SUITES_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the prologue/kernel/epilogue code generation schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/depgraph.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+#include "pipeline/codegen.hh"
+#include "pipeline/lowering.hh"
+#include "pipeline/modsched.hh"
+#include "workloads/generator.hh"
+
+namespace selvec
+{
+namespace
+{
+
+struct Built
+{
+    Module module;
+    Loop lowered;
+    ModuloSchedule schedule;
+    PipelinedCode code;
+};
+
+Built
+build(const char *text, const Machine &machine)
+{
+    Built b;
+    b.module = parseLirOrDie(text);
+    b.lowered = lowerForScheduling(b.module.loops[0], machine);
+    DepGraph graph(b.module.arrays, b.lowered, machine);
+    ScheduleResult sr = moduloSchedule(b.lowered, graph, machine);
+    EXPECT_TRUE(sr.ok) << sr.error;
+    b.schedule = std::move(sr.schedule);
+    b.code = generatePipelinedCode(b.lowered, b.schedule);
+    return b;
+}
+
+const char *kChain = R"(
+array A f64 256
+array B f64 256
+loop t {
+    livein c f64
+    body {
+        x = load A[i]
+        y = fmul x c
+        z = fadd y c
+        store B[i] = z
+    }
+}
+)";
+
+TEST(Codegen, RegionSizes)
+{
+    Built b = build(kChain, paperMachine());
+    EXPECT_EQ(b.code.ii, b.schedule.ii);
+    EXPECT_EQ(b.code.stageCount, b.schedule.stageCount());
+    EXPECT_EQ(b.code.prologueCycles(),
+              (b.code.stageCount - 1) * b.code.ii);
+    EXPECT_EQ(static_cast<int64_t>(b.code.kernel.size()), b.code.ii);
+}
+
+TEST(Codegen, KernelContainsEveryOpOnce)
+{
+    Built b = build(kChain, paperMachine());
+    std::map<OpId, int> seen;
+    for (const auto &row : b.code.kernel) {
+        for (const CodeOp &inst : row)
+            ++seen[inst.op];
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), b.lowered.numOps());
+    for (const auto &[op, count] : seen)
+        EXPECT_EQ(count, 1) << "op " << op;
+}
+
+TEST(Codegen, MultisetIdentity)
+{
+    // prologue + (n - SC + 1) kernels + epilogue == n full bodies.
+    Built b = build(kChain, paperMachine());
+    for (int64_t n :
+         {b.code.stageCount - 1, b.code.stageCount,
+          b.code.stageCount + 5}) {
+        std::map<OpId, int64_t> emitted;
+        for (const auto &row : b.code.prologue)
+            for (const CodeOp &inst : row)
+                ++emitted[inst.op];
+        for (const auto &row : b.code.epilogue)
+            for (const CodeOp &inst : row)
+                ++emitted[inst.op];
+        int64_t kernel_copies = n - (b.code.stageCount - 1);
+        for (const auto &row : b.code.kernel)
+            for (const CodeOp &inst : row)
+                emitted[inst.op] += kernel_copies;
+        for (OpId op = 0; op < b.lowered.numOps(); ++op)
+            EXPECT_EQ(emitted[op], n) << "op " << op << " n " << n;
+    }
+}
+
+TEST(Codegen, PrologueIterationsAscendFromZero)
+{
+    Built b = build(kChain, paperMachine());
+    for (const auto &row : b.code.prologue) {
+        for (const CodeOp &inst : row) {
+            EXPECT_GE(inst.iteration, 0);
+            EXPECT_LT(inst.iteration, b.code.stageCount - 1);
+        }
+    }
+}
+
+TEST(Codegen, KernelStagesSpanPipelineDepth)
+{
+    Built b = build(kChain, paperMachine());
+    int64_t max_stage = 0;
+    for (const auto &row : b.code.kernel) {
+        for (const CodeOp &inst : row) {
+            EXPECT_GE(inst.iteration, 0);
+            max_stage = std::max(max_stage, inst.iteration);
+        }
+    }
+    EXPECT_EQ(max_stage, b.code.stageCount - 1);
+}
+
+TEST(Codegen, SingleStageLoopHasEmptyPrologue)
+{
+    // A loop whose schedule fits inside one II needs no fill/drain.
+    Built b = build(R"(
+array A f64 256
+loop t {
+    body {
+        x = load A[i]
+        store A[i] = x
+    }
+}
+)",
+                    toyMachine());
+    if (b.code.stageCount == 1) {
+        EXPECT_EQ(b.code.prologueCycles(), 0);
+        EXPECT_EQ(b.code.epilogueCycles(), 0);
+    }
+}
+
+TEST(Codegen, FormatMentionsRegions)
+{
+    Built b = build(kChain, paperMachine());
+    std::string text = formatPipelinedCode(b.lowered, b.code);
+    EXPECT_NE(text.find("prologue"), std::string::npos);
+    EXPECT_NE(text.find("kernel"), std::string::npos);
+    EXPECT_NE(text.find("epilogue"), std::string::npos);
+    EXPECT_NE(text.find("fmul"), std::string::npos);
+}
+
+TEST(Codegen, RandomLoopsSatisfyIdentity)
+{
+    Rng rng(0xC0DE);
+    Machine machine = paperMachine();
+    for (int trial = 0; trial < 10; ++trial) {
+        GeneratedLoop g = generateLoop(rng);
+        Loop lowered = lowerForScheduling(g.loop(), machine);
+        DepGraph graph(g.module.arrays, lowered, machine);
+        ScheduleResult sr = moduloSchedule(lowered, graph, machine);
+        ASSERT_TRUE(sr.ok) << sr.error;
+        PipelinedCode code = generatePipelinedCode(lowered, sr.schedule);
+
+        int64_t n = code.stageCount + 3;
+        std::map<OpId, int64_t> emitted;
+        for (const auto &row : code.prologue)
+            for (const CodeOp &inst : row)
+                ++emitted[inst.op];
+        for (const auto &row : code.epilogue)
+            for (const CodeOp &inst : row)
+                ++emitted[inst.op];
+        for (const auto &row : code.kernel)
+            for (const CodeOp &inst : row)
+                emitted[inst.op] += n - (code.stageCount - 1);
+        for (OpId op = 0; op < lowered.numOps(); ++op)
+            ASSERT_EQ(emitted[op], n) << "trial " << trial;
+    }
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the compilation driver and the suite evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/evaluate.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace selvec
+{
+namespace
+{
+
+const char *kSaxpy = R"(
+array X f64 300
+array Y f64 300
+loop saxpy {
+    livein a f64
+    body {
+        x = load X[i]
+        y = load Y[i]
+        ax = fmul a x
+        s = fadd ax y
+        store Y[i] = s
+    }
+}
+)";
+
+TEST(Driver, CompileProducesMainAndCleanup)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    Machine mach = paperMachine();
+    for (Technique t : {Technique::ModuloOnly, Technique::Full,
+                        Technique::Selective}) {
+        ArrayTable arrays = m.arrays;
+        CompiledProgram p = compileLoop(m.loops[0], arrays, mach, t);
+        ASSERT_EQ(p.loops.size(), 1u) << techniqueName(t);
+        EXPECT_EQ(p.loops[0].coverage, 2);
+        EXPECT_EQ(p.loops[0].cleanup.coverage, 1);
+        EXPECT_GT(p.loops[0].mainSchedule.ii, 0);
+        EXPECT_GT(p.loops[0].cleanupSchedule.ii, 0);
+    }
+}
+
+TEST(Driver, TraditionalMayProduceSeveralLoops)
+{
+    Module m = parseLirOrDie(R"(
+array X f64 300
+loop t {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        x = load X[i]
+        x2 = fmul x x
+        s1 = fadd s x2
+    }
+    liveout s1
+}
+)");
+    Machine mach = paperMachine();
+    ArrayTable arrays = m.arrays;
+    CompiledProgram p =
+        compileLoop(m.loops[0], arrays, mach, Technique::Traditional);
+    EXPECT_EQ(p.loops.size(), 2u);
+}
+
+TEST(Driver, PerIterationMetricsUseCoverage)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    Machine mach = paperMachine();
+    ArrayTable arrays = m.arrays;
+    CompiledProgram p =
+        compileLoop(m.loops[0], arrays, mach, Technique::ModuloOnly);
+    EXPECT_DOUBLE_EQ(
+        p.iiPerIteration(),
+        static_cast<double>(p.loops[0].mainSchedule.ii) / 2.0);
+    EXPECT_DOUBLE_EQ(p.resMiiPerIteration(),
+                     static_cast<double>(p.loops[0].mainResMii) / 2.0);
+}
+
+TEST(Driver, RemainderRunsCleanup)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    Machine mach = paperMachine();
+    ArrayTable arrays = m.arrays;
+    CompiledProgram p =
+        compileLoop(m.loops[0], arrays, mach, Technique::Selective);
+
+    LiveEnv env;
+    env["a"] = RtVal::scalarF(1.25);
+
+    for (int64_t n : {0, 1, 2, 3, 63, 64, 65}) {
+        MemoryImage mem(arrays);
+        mem.fillPattern(11);
+        ExecResult got =
+            runCompiled(p, arrays, mach, mem, env, n);
+
+        MemoryImage ref(arrays);
+        ref.fillPattern(11);
+        runReference(m.loops[0], arrays, mach, ref, env, n);
+        EXPECT_EQ(mem.diff(ref), "") << "n=" << n;
+        if (n > 0) {
+            EXPECT_GT(got.cycles, 0);
+        }
+    }
+}
+
+TEST(Driver, ReductionChainsAcrossMainAndCleanup)
+{
+    Module m = parseLirOrDie(R"(
+array X f64 300
+loop t {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        x = load X[i]
+        s1 = fadd s x
+    }
+    liveout s1
+}
+)");
+    Machine mach = paperMachine();
+    ArrayTable arrays = m.arrays;
+    CompiledProgram p =
+        compileLoop(m.loops[0], arrays, mach, Technique::ModuloOnly);
+
+    LiveEnv env;
+    env["s0"] = RtVal::scalarF(2.0);
+    // Odd trip count: the final element flows through the cleanup.
+    MemoryImage mem(arrays);
+    mem.fillPattern(13);
+    ExecResult got = runCompiled(p, arrays, mach, mem, env, 65);
+
+    MemoryImage ref(arrays);
+    ref.fillPattern(13);
+    ExecResult want =
+        runReference(m.loops[0], arrays, mach, ref, env, 65);
+    ASSERT_TRUE(got.env.count("s1"));
+    EXPECT_EQ(got.env.at("s1"), want.env.at("s1"));
+}
+
+TEST(Driver, ResourceLimitedFlag)
+{
+    Machine mach = paperMachine();
+    {
+        Module m = parseLirOrDie(kSaxpy);
+        ArrayTable arrays = m.arrays;
+        CompiledProgram p = compileLoop(m.loops[0], arrays, mach,
+                                        Technique::ModuloOnly);
+        EXPECT_TRUE(p.resourceLimited);
+    }
+    {
+        // A long fdiv recurrence is recurrence-bound.
+        Module m = parseLirOrDie(R"(
+array X f64 300
+loop t {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        x = load X[i]
+        s1 = fdiv s x
+    }
+    liveout s1
+}
+)");
+        ArrayTable arrays = m.arrays;
+        CompiledProgram p = compileLoop(m.loops[0], arrays, mach,
+                                        Technique::ModuloOnly);
+        EXPECT_FALSE(p.resourceLimited);
+    }
+}
+
+TEST(Driver, InvocationOverheadCharged)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    Machine mach = paperMachine();
+    ArrayTable arrays = m.arrays;
+    CompiledProgram p =
+        compileLoop(m.loops[0], arrays, mach, Technique::ModuloOnly);
+    LiveEnv env;
+    env["a"] = RtVal::scalarF(1.0);
+    MemoryImage mem(arrays);
+    ExecResult r0 = runCompiled(p, arrays, mach, mem, env, 0);
+    EXPECT_EQ(r0.cycles, mach.invocationOverhead);
+}
+
+TEST(Evaluate, SuiteReportsAreConsistent)
+{
+    Suite suite = dotProductSuite();
+    Machine mach = paperMachine();
+    SuiteReport base =
+        evaluateSuite(suite, mach, Technique::ModuloOnly);
+    ASSERT_EQ(base.loops.size(), 1u);
+    EXPECT_GT(base.totalCycles, 0);
+    EXPECT_EQ(base.loops[0].weightedCycles,
+              base.loops[0].cyclesPerInvocation *
+                  base.loops[0].invocations);
+    EXPECT_EQ(base.totalCycles, base.loops[0].weightedCycles);
+    EXPECT_DOUBLE_EQ(speedupOver(base, base), 1.0);
+}
+
+TEST(Evaluate, SelectiveNeverSlowerOnDot)
+{
+    Suite suite = dotProductSuite();
+    Machine mach = paperMachine();
+    SuiteReport base =
+        evaluateSuite(suite, mach, Technique::ModuloOnly);
+    SuiteReport sel =
+        evaluateSuite(suite, mach, Technique::Selective);
+    EXPECT_GE(speedupOver(base, sel), 0.95);
+}
+
+} // anonymous namespace
+} // namespace selvec

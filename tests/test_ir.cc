@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the IR: opcode table invariants, Loop containers,
+ * the builder, def-use chains and the verifier's rejection paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/defuse.hh"
+#include "ir/verifier.hh"
+
+namespace selvec
+{
+namespace
+{
+
+// ---------------------------------------------------------------- types
+
+TEST(Types, ElementAndVectorRoundTrip)
+{
+    EXPECT_EQ(elementType(Type::VF64), Type::F64);
+    EXPECT_EQ(elementType(Type::VI64), Type::I64);
+    EXPECT_EQ(vectorType(Type::F64), Type::VF64);
+    EXPECT_EQ(vectorType(Type::I64), Type::VI64);
+    EXPECT_EQ(elementType(vectorType(Type::F64)), Type::F64);
+}
+
+TEST(Types, NamesRoundTrip)
+{
+    for (Type t : {Type::I64, Type::F64, Type::VI64, Type::VF64,
+                   Type::Chan}) {
+        EXPECT_EQ(typeFromName(typeName(t)), t);
+    }
+    EXPECT_EQ(typeFromName("bogus"), Type::None);
+}
+
+// -------------------------------------------------------------- opcodes
+
+TEST(Opcodes, VectorScalarFormsAreInverse)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        if (hasVectorForm(op)) {
+            Opcode vec = vectorOpcode(op);
+            EXPECT_TRUE(isVectorOp(vec)) << opName(op);
+            EXPECT_EQ(scalarOpcode(vec), op) << opName(op);
+        }
+    }
+}
+
+TEST(Opcodes, NamesRoundTrip)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opName(op)), op);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Opcodes, MemoryFlagsConsistent)
+{
+    EXPECT_TRUE(isMemoryOp(Opcode::Load));
+    EXPECT_TRUE(isMemoryOp(Opcode::VStore));
+    EXPECT_TRUE(isStoreOp(Opcode::VStore));
+    EXPECT_FALSE(isStoreOp(Opcode::VLoad));
+    EXPECT_FALSE(isMemoryOp(Opcode::FAdd));
+    // Transfer channels are *not* AffineRef memory even though they
+    // use memory-class resources.
+    EXPECT_FALSE(isMemoryOp(Opcode::XferStoreV));
+}
+
+TEST(Opcodes, VectorMemoryKeepsUnitClassPairing)
+{
+    EXPECT_EQ(opClass(Opcode::VLoad), OpClass::VecMemLoad);
+    EXPECT_EQ(opClass(Opcode::VStore), OpClass::VecMemStore);
+    EXPECT_EQ(opClass(Opcode::VMerge), OpClass::VecMergeCls);
+    EXPECT_EQ(opClass(Opcode::VFDiv), OpClass::VecFpDiv);
+}
+
+// ----------------------------------------------------------------- loop
+
+TEST(Loop, AddAndFindValues)
+{
+    Loop loop;
+    loop.name = "t";
+    ValueId a = loop.addValue(Type::F64, "a");
+    ValueId b = loop.addValue(Type::I64, "b");
+    EXPECT_EQ(loop.findValue("a"), a);
+    EXPECT_EQ(loop.findValue("b"), b);
+    EXPECT_EQ(loop.findValue("c"), kNoValue);
+    EXPECT_EQ(loop.typeOf(a), Type::F64);
+}
+
+TEST(Loop, FreshNameAvoidsCollisions)
+{
+    Loop loop;
+    loop.name = "t";
+    loop.addValue(Type::F64, "x");
+    loop.addValue(Type::F64, "x.1");
+    std::string fresh = loop.freshName("x");
+    EXPECT_EQ(loop.findValue(fresh), kNoValue);
+    EXPECT_NE(fresh, "x");
+    EXPECT_NE(fresh, "x.1");
+}
+
+TEST(Loop, CarriedIndexLookup)
+{
+    Loop loop;
+    loop.name = "t";
+    ValueId init = loop.addValue(Type::F64, "s0");
+    loop.liveIns.push_back(init);
+    ValueId in = loop.addValue(Type::F64, "s");
+    ValueId upd = loop.addValue(Type::F64, "s1");
+    loop.carried.push_back(CarriedValue{in, upd, init});
+    EXPECT_EQ(loop.carriedIndexOfIn(in), 0);
+    EXPECT_EQ(loop.carriedIndexOfUpdate(upd), 0);
+    EXPECT_EQ(loop.carriedIndexOfIn(upd), -1);
+}
+
+TEST(ArrayTableTest, AddFindAndDuplicateDeath)
+{
+    ArrayTable t;
+    ArrayId a = t.add(ArrayInfo{"A", Type::F64, 100, false, 2});
+    EXPECT_EQ(t.find("A"), a);
+    EXPECT_EQ(t.find("B"), kNoArray);
+    EXPECT_EQ(t[a].size, 100);
+    EXPECT_DEATH(t.add(ArrayInfo{"A", Type::F64, 1, false, 2}), "dup");
+}
+
+// -------------------------------------------------------------- builder
+
+TEST(Builder, DotProductIsWellFormed)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "dot");
+    ArrayId x = b.array("X", Type::F64, 64);
+    ArrayId y = b.array("Y", Type::F64, 64);
+    ValueId s0 = b.liveIn("s0", Type::F64);
+    ValueId s = b.carriedIn("s", Type::F64, s0);
+    ValueId xv = b.load(x, 1, 0, "x");
+    ValueId yv = b.load(y, 1, 0, "y");
+    ValueId t = b.emit(Opcode::FMul, {xv, yv}, "t");
+    ValueId s1 = b.emit(Opcode::FAdd, {s, t}, "s1");
+    b.bindUpdate(s, s1);
+    b.liveOut(s1);
+    Loop loop = b.take();
+
+    EXPECT_EQ(loop.numOps(), 4);
+    EXPECT_EQ(loop.carried.size(), 1u);
+    EXPECT_EQ(verifyLoop(arrays, loop), "");
+}
+
+TEST(Builder, ConstantsAndPolymorphicTypes)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ValueId i = b.iconst(5);
+    ValueId f = b.fconst(2.5);
+    EXPECT_EQ(b.loop().typeOf(i), Type::I64);
+    EXPECT_EQ(b.loop().typeOf(f), Type::F64);
+    ValueId v = b.emit(Opcode::VSplat, {f});
+    EXPECT_EQ(b.loop().typeOf(v), Type::VF64);
+    ValueId back = b.emit(Opcode::MovVS, {v});
+    EXPECT_EQ(b.loop().typeOf(back), Type::F64);
+}
+
+TEST(Builder, UnboundCarriedDies)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ValueId s0 = b.liveIn("s0", Type::F64);
+    b.carriedIn("s", Type::F64, s0);
+    EXPECT_DEATH(b.take(), "no bound update");
+}
+
+// --------------------------------------------------------------- defuse
+
+TEST(DefUse, DefsAndUses)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ArrayId x = b.array("X", Type::F64, 64);
+    ValueId a = b.load(x, 1, 0, "a");
+    ValueId c = b.emit(Opcode::FAdd, {a, a}, "c");
+    b.store(x, 1, 1, c);
+    Loop loop = b.take();
+
+    DefUse du(loop);
+    EXPECT_EQ(du.defOp(a), 0);
+    EXPECT_EQ(du.defOp(c), 1);
+    ASSERT_EQ(du.uses(a).size(), 2u);   // both operands of the add
+    EXPECT_EQ(du.uses(a)[0], 1);
+    ASSERT_EQ(du.uses(c).size(), 1u);
+    EXPECT_EQ(du.uses(c)[0], 2);
+}
+
+TEST(DefUse, ExternalDefsReportNoOp)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ArrayId x = b.array("X", Type::F64, 64);
+    ValueId li = b.liveIn("li", Type::F64);
+    b.store(x, 1, 0, li);
+    Loop loop = b.take();
+    DefUse du(loop);
+    EXPECT_EQ(du.defOp(li), kNoOp);
+    EXPECT_TRUE(du.hasUses(li));
+}
+
+// ------------------------------------------------------------- verifier
+
+/** Helper: a minimal valid loop to corrupt. */
+Loop
+smallLoop(ArrayTable &arrays)
+{
+    LoopBuilder b(arrays, "v");
+    ArrayId x = b.array("X", Type::F64, 64);
+    ValueId a = b.load(x, 1, 0, "a");
+    ValueId c = b.emit(Opcode::FNeg, {a}, "c");
+    b.store(x, 1, 1, c);
+    return b.take();
+}
+
+TEST(Verifier, AcceptsValidLoop)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    EXPECT_EQ(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsDoubleDefinition)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.ops[1].dest = loop.ops[0].dest;   // redefine 'a'
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsInvisibleOperand)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    ValueId ghost = loop.addValue(Type::F64, "ghost");
+    loop.ops[1].srcs[0] = ghost;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsTypeMismatch)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    ValueId i = loop.addValue(Type::I64, "i");
+    loop.liveIns.push_back(i);
+    loop.ops[1].srcs[0] = i;   // FNeg of an i64
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsWrongOperandCount)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.ops[1].srcs.push_back(loop.ops[0].dest);
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsBadArrayReference)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.ops[0].ref.array = 99;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsRefOnNonMemoryOp)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.ops[1].ref = loop.ops[0].ref;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsBadLiveOut)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.liveOuts.push_back(999);
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsChannelEscape)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ValueId li = b.liveIn("li", Type::F64);
+    ValueId chan = b.emit(Opcode::XferStoreS, {li}, "ch");
+    ValueId out = b.emit(Opcode::XferLoadS, {chan}, "o");
+    b.liveOut(out);
+    Loop loop = b.take();
+    // Channel consumed by a non-transfer op is rejected.
+    loop.ops[1].opcode = Opcode::FNeg;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsCarriedTypeMismatch)
+{
+    ArrayTable arrays;
+    LoopBuilder b(arrays, "t");
+    ArrayId x = b.array("X", Type::F64, 64);
+    ValueId s0 = b.liveIn("s0", Type::F64);
+    ValueId s = b.carriedIn("s", Type::F64, s0);
+    ValueId a = b.load(x, 1, 0, "a");
+    ValueId s1 = b.emit(Opcode::FAdd, {s, a}, "s1");
+    b.bindUpdate(s, s1);
+    b.liveOut(s1);
+    Loop loop = b.take();
+    loop.values[static_cast<size_t>(s0)].type = Type::I64;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsNegativeCoverage)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    loop.coverage = 0;
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+TEST(Verifier, RejectsSplatOfNonLiveIn)
+{
+    ArrayTable arrays;
+    Loop loop = smallLoop(arrays);
+    ValueId vec = loop.addValue(Type::VF64, "vec");
+    // Splat of a body-defined value is not a hoistable broadcast.
+    loop.splatIns.push_back(SplatIn{vec, loop.ops[0].dest});
+    EXPECT_NE(verifyLoop(arrays, loop), "");
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the machine model and the Figure 2 bin-packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/binpack.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+namespace
+{
+
+TEST(MachineModel, StockConfigsValidate)
+{
+    paperMachine().validate();
+    toyMachine().validate();
+    directMoveMachine().validate();
+}
+
+TEST(MachineModel, PaperMachineMatchesTable1)
+{
+    Machine m = paperMachine();
+    EXPECT_EQ(m.unitCount(ResKind::Slot), 6);
+    EXPECT_EQ(m.unitCount(ResKind::IntUnit), 4);
+    EXPECT_EQ(m.unitCount(ResKind::FpUnit), 2);
+    EXPECT_EQ(m.unitCount(ResKind::MemUnit), 2);
+    EXPECT_EQ(m.unitCount(ResKind::BranchUnit), 1);
+    EXPECT_EQ(m.unitCount(ResKind::VecUnit), 1);
+    EXPECT_EQ(m.unitCount(ResKind::VecMergeUnit), 1);
+    EXPECT_EQ(m.vectorLength, 2);
+
+    EXPECT_EQ(m.latency(Opcode::IAdd), 1);
+    EXPECT_EQ(m.latency(Opcode::IMul), 3);
+    EXPECT_EQ(m.latency(Opcode::IDiv), 36);
+    EXPECT_EQ(m.latency(Opcode::FAdd), 4);
+    EXPECT_EQ(m.latency(Opcode::FMul), 4);
+    EXPECT_EQ(m.latency(Opcode::FDiv), 32);
+    EXPECT_EQ(m.latency(Opcode::Load), 3);
+    EXPECT_EQ(m.latency(Opcode::Br), 1);
+    // Vector operations share their scalar counterparts' latencies.
+    EXPECT_EQ(m.latency(Opcode::VFAdd), 4);
+    EXPECT_EQ(m.latency(Opcode::VIMul), 3);
+    EXPECT_EQ(m.latency(Opcode::VLoad), 3);
+}
+
+TEST(MachineModel, UnitIndexingIsContiguous)
+{
+    Machine m = paperMachine();
+    EXPECT_EQ(m.totalUnits(), 6 + 4 + 2 + 2 + 1 + 1 + 1);
+    EXPECT_EQ(m.firstUnit(ResKind::Slot), 0);
+    EXPECT_EQ(m.firstUnit(ResKind::IntUnit), 6);
+    EXPECT_EQ(m.firstUnit(ResKind::FpUnit), 10);
+    EXPECT_EQ(m.unitName(6), "IntUnit0");
+    EXPECT_EQ(m.unitName(10), "FpUnit0");
+}
+
+TEST(MachineModel, VectorMemorySharesScalarMemUnits)
+{
+    Machine m = paperMachine();
+    auto kinds = [](const std::vector<Reservation> &rs) {
+        std::vector<ResKind> v;
+        for (const Reservation &r : rs)
+            v.push_back(r.kind);
+        return v;
+    };
+    auto scalar = kinds(m.reservations(Opcode::Load));
+    auto vec = kinds(m.reservations(Opcode::VLoad));
+    EXPECT_EQ(scalar, vec);
+}
+
+TEST(BinPack, SingleOpHighWater)
+{
+    Machine m = paperMachine();
+    ReservationBins bins(m);
+    bins.reserve(Opcode::FAdd);
+    EXPECT_EQ(bins.highWaterMark(), 1);
+}
+
+TEST(BinPack, BalancesAcrossAlternatives)
+{
+    Machine m = paperMachine();
+    ReservationBins bins(m);
+    // Four int ops spread over four int units: high water stays 1.
+    for (int i = 0; i < 4; ++i)
+        bins.reserve(Opcode::IAdd);
+    EXPECT_EQ(bins.highWaterMark(), 1);
+    bins.reserve(Opcode::IAdd);
+    EXPECT_EQ(bins.highWaterMark(), 2);
+}
+
+TEST(BinPack, MultiCycleReservation)
+{
+    Machine m = paperMachine();
+    ReservationBins bins(m);
+    bins.reserve(Opcode::FDiv);
+    // The divider holds its FP unit for several cycles.
+    EXPECT_GT(bins.highWaterMark(), 1);
+}
+
+TEST(BinPack, ReleaseRestoresExactState)
+{
+    Machine m = paperMachine();
+    ReservationBins bins(m);
+    bins.reserve(Opcode::FMul);
+    bins.reserve(Opcode::Load);
+    int64_t before_high = bins.highWaterMark();
+    int64_t before_sq = bins.sumSquares();
+
+    std::vector<Placement> ledger = bins.reserve(Opcode::FDiv);
+    EXPECT_NE(bins.sumSquares(), before_sq);
+    bins.release(ledger);
+    EXPECT_EQ(bins.highWaterMark(), before_high);
+    EXPECT_EQ(bins.sumSquares(), before_sq);
+
+    // restore() re-applies verbatim.
+    bins.restore(ledger);
+    bins.release(ledger);
+    EXPECT_EQ(bins.sumSquares(), before_sq);
+}
+
+TEST(BinPack, SquaredTiebreakBalances)
+{
+    // With two FP units, two FP ops must land on different units even
+    // though either placement has the same high-water mark.
+    Machine m = paperMachine();
+    ReservationBins bins(m);
+    bins.reserve(Opcode::FAdd);
+    bins.reserve(Opcode::FAdd);
+    int first = m.firstUnit(ResKind::FpUnit);
+    EXPECT_EQ(bins.weight(first), 1);
+    EXPECT_EQ(bins.weight(first + 1), 1);
+}
+
+TEST(BinPack, PackingOrderPutsConstrainedOpsFirst)
+{
+    Machine m = paperMachine();
+    // The vector multiply has one alternative (VecUnit); the int add
+    // has four.
+    std::vector<Opcode> ops = {Opcode::IAdd, Opcode::VFMul,
+                               Opcode::IAdd};
+    std::vector<int> order = packingOrder(m, ops);
+    EXPECT_EQ(order[0], 1);
+}
+
+TEST(BinPack, PackedHighWaterMatchesHandCount)
+{
+    Machine m = paperMachine();
+    // 6 FP ops on 2 FP units -> 3; 2 mem ops on 2 units -> 1;
+    // slots: 8 ops on 6 slots -> 2.
+    std::vector<Opcode> ops(6, Opcode::FAdd);
+    ops.push_back(Opcode::Load);
+    ops.push_back(Opcode::Store);
+    EXPECT_EQ(packedHighWater(m, ops), 3);
+}
+
+TEST(BinPack, ToyMachineVectorIssueLimit)
+{
+    Machine m = toyMachine();
+    std::vector<Opcode> ops = {Opcode::VLoad, Opcode::VLoad,
+                               Opcode::VFMul};
+    // Three vector ops, one vector issue per cycle.
+    EXPECT_EQ(packedHighWater(m, ops), 3);
+    // Three scalar ops fill one cycle of three slots.
+    std::vector<Opcode> scal = {Opcode::Load, Opcode::Load,
+                                Opcode::FMul};
+    EXPECT_EQ(packedHighWater(m, scal), 1);
+}
+
+TEST(BinPack, LongReservationsPlaceFirstWithinEqualFreedom)
+{
+    // Longest-processing-time refinement: a late 4-cycle divide on an
+    // already-balanced pair of FP units would strand cycles that
+    // single-cycle ops can absorb; placing big blocks first keeps the
+    // high-water mark at the balanced optimum.
+    Machine m = paperMachine();
+    std::vector<Opcode> bag;
+    for (int i = 0; i < 16; ++i)
+        bag.push_back(Opcode::FAdd);
+    bag.push_back(Opcode::FDiv);
+    bag.push_back(Opcode::FDiv);
+    // Total FP load: 16 + 2*4 = 24 on 2 units -> optimum 12.
+    EXPECT_EQ(packedHighWater(m, bag), 12);
+
+    std::vector<int> order = packingOrder(m, bag);
+    // Both divides come before every single-cycle FP op.
+    EXPECT_EQ(bag[static_cast<size_t>(order[0])], Opcode::FDiv);
+    EXPECT_EQ(bag[static_cast<size_t>(order[1])], Opcode::FDiv);
+}
+
+TEST(BinPack, EmptyReservationOpsAreFree)
+{
+    Machine m = toyMachine();
+    std::vector<Opcode> ops(10, Opcode::VPack);
+    EXPECT_EQ(packedHighWater(m, ops), 0);
+}
+
+} // anonymous namespace
+} // namespace selvec

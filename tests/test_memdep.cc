@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the affine memory dependence tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/memdep.hh"
+
+namespace selvec
+{
+namespace
+{
+
+MemAccess
+acc(int64_t scale, int64_t offset, int width = 1)
+{
+    return MemAccess{AffineRef{0, scale, offset}, width};
+}
+
+TEST(MemDep, SameElementEveryIteration)
+{
+    // a[i] vs a[i]: overlap only at distance 0.
+    MemDepResult r = testMemDep(acc(1, 0), acc(1, 0));
+    EXPECT_FALSE(r.independent);
+    EXPECT_FALSE(r.unknown);
+    ASSERT_EQ(r.distances.size(), 1u);
+    EXPECT_EQ(r.distances[0], 0);
+}
+
+TEST(MemDep, ConstantOffsetDistance)
+{
+    // A = a[i], B = a[i+3]: B at iteration j touches what A touches at
+    // iteration j+3, i.e. B leads A: encode d = -3 (B first).
+    MemDepResult r = testMemDep(acc(1, 0), acc(1, 3));
+    EXPECT_FALSE(r.independent);
+    ASSERT_EQ(r.distances.size(), 1u);
+    EXPECT_EQ(r.distances[0], -3);
+
+    // Swapped: A = a[i+3], B = a[i]: A first, distance +3.
+    MemDepResult s = testMemDep(acc(1, 3), acc(1, 0));
+    ASSERT_EQ(s.distances.size(), 1u);
+    EXPECT_EQ(s.distances[0], 3);
+}
+
+TEST(MemDep, NonUnitStrideMisses)
+{
+    // a[2i] vs a[2i+1]: even vs odd elements never collide.
+    MemDepResult r = testMemDep(acc(2, 0), acc(2, 1));
+    EXPECT_TRUE(r.independent);
+}
+
+TEST(MemDep, NonUnitStrideHits)
+{
+    // a[2i] vs a[2i+4]: distance 2.
+    MemDepResult r = testMemDep(acc(2, 0), acc(2, 4));
+    EXPECT_FALSE(r.independent);
+    ASSERT_EQ(r.distances.size(), 1u);
+    EXPECT_EQ(r.distances[0], -2);
+}
+
+TEST(MemDep, VectorWidthWidensOverlap)
+{
+    // Vector access of width 2 at a[2i] vs scalar a[2i+1]: lane 1
+    // covers the odd elements, same iteration.
+    MemDepResult r = testMemDep(acc(2, 0, 2), acc(2, 1));
+    EXPECT_FALSE(r.independent);
+    ASSERT_EQ(r.distances.size(), 1u);
+    EXPECT_EQ(r.distances[0], 0);
+}
+
+TEST(MemDep, VectorVsVectorAdjacent)
+{
+    // w2 access at 2i vs w2 access at 2i+2: consecutive chunks,
+    // distance 1, plus lane overlap pattern.
+    MemDepResult r = testMemDep(acc(2, 0, 2), acc(2, 2, 2));
+    EXPECT_FALSE(r.independent);
+    ASSERT_FALSE(r.distances.empty());
+    // a[2i..2i+1] vs a[2(j)+2..2(j)+3]: overlap when j = i-1.
+    EXPECT_EQ(r.distances[0], -1);
+}
+
+TEST(MemDep, LoopInvariantPairAlwaysConflicts)
+{
+    MemDepResult r = testMemDep(acc(0, 5), acc(0, 5));
+    EXPECT_FALSE(r.independent);
+    EXPECT_TRUE(r.unknown);
+}
+
+TEST(MemDep, LoopInvariantDisjoint)
+{
+    MemDepResult r = testMemDep(acc(0, 5), acc(0, 9));
+    EXPECT_TRUE(r.independent);
+}
+
+TEST(MemDep, CoefficientMismatchGcdRefutation)
+{
+    // a[2i] vs a[2i' + 1] with different coefficient... use 2 and 4:
+    // 2i vs 4i+1: parity refutes (gcd 2 does not divide 1).
+    MemDepResult r = testMemDep(acc(2, 0), acc(4, 1));
+    EXPECT_TRUE(r.independent);
+}
+
+TEST(MemDep, CoefficientMismatchConservative)
+{
+    // i vs 2i: may collide at many iteration pairs - conservative.
+    MemDepResult r = testMemDep(acc(1, 0), acc(2, 0));
+    EXPECT_FALSE(r.independent);
+    EXPECT_TRUE(r.unknown);
+}
+
+TEST(MemDep, NegativeScale)
+{
+    // a[-i + 10] vs a[i]: the conservative path (coefficients differ).
+    MemDepResult r = testMemDep(acc(-1, 10), acc(1, 0));
+    EXPECT_FALSE(r.independent);
+    EXPECT_TRUE(r.unknown);
+}
+
+TEST(MemDep, MaxDistanceFilter)
+{
+    // Distance 100 exceeds the 64 default cap: dropped (reported
+    // independent, harmless for scheduling and vectorization).
+    MemDepResult r = testMemDep(acc(1, 0), acc(1, 100));
+    EXPECT_TRUE(r.independent);
+
+    MemDepResult kept = testMemDep(acc(1, 0), acc(1, 100), 128);
+    EXPECT_FALSE(kept.independent);
+    ASSERT_EQ(kept.distances.size(), 1u);
+    EXPECT_EQ(kept.distances[0], -100);
+}
+
+TEST(MemDep, WidthRangeProducesMultipleDistances)
+{
+    // Width-3 access vs width-3 access one element apart: several
+    // iteration distances overlap for stride 1... stride 1 accesses of
+    // width 3 at offsets 0 and 1 overlap at distances -3..1 clipped by
+    // lane math; just check multiple distances come back sorted.
+    MemDepResult r = testMemDep(acc(1, 0, 3), acc(1, 1, 3));
+    EXPECT_FALSE(r.independent);
+    EXPECT_GT(r.distances.size(), 1u);
+    for (size_t i = 1; i < r.distances.size(); ++i)
+        EXPECT_LT(r.distances[i - 1], r.distances[i]);
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the selective-vectorization cost model and the
+ * Kernighan-Lin partitioner (the paper's Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hh"
+#include "core/comm.hh"
+#include "core/costmodel.hh"
+#include "core/partition.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+
+namespace selvec
+{
+namespace
+{
+
+struct Analyzed
+{
+    Module module;
+    Machine machine;
+    VectAnalysis va;
+
+    Analyzed(const char *text, Machine m) : machine(std::move(m))
+    {
+        ParseResult pr = parseLir(text);
+        EXPECT_TRUE(pr.ok) << pr.error;
+        module = std::move(pr.module);
+        DepGraph graph(module.arrays, module.loops[0], machine);
+        va = analyzeVectorizable(module.loops[0], graph, machine);
+    }
+
+    const Loop &loop() const { return module.loops.front(); }
+};
+
+const char *kDot = R"(
+array X f64 256
+array Y f64 256
+loop dot {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        x = load X[i]
+        y = load Y[i]
+        t = fmul x y
+        s1 = fadd s t
+    }
+    liveout s1
+}
+)";
+
+// ----------------------------------------------------------------- comm
+
+TEST(CommPlan, NoCrossingNoTransfers)
+{
+    Analyzed a(kDot, toyMachine());
+    DefUse du(a.loop());
+    std::vector<bool> all_scalar(4, false);
+    auto plan = planTransfers(a.loop(), du, all_scalar);
+    for (XferDir d : plan)
+        EXPECT_EQ(d, XferDir::None);
+}
+
+TEST(CommPlan, VectorDefScalarUse)
+{
+    Analyzed a(kDot, toyMachine());
+    DefUse du(a.loop());
+    // Vectorize the multiply only: t crosses vector->scalar; x and y
+    // cross scalar->vector.
+    std::vector<bool> part = {false, false, true, false};
+    auto plan = planTransfers(a.loop(), du, part);
+    ValueId x = a.loop().findValue("x");
+    ValueId t = a.loop().findValue("t");
+    EXPECT_EQ(plan[static_cast<size_t>(x)], XferDir::ScalarToVector);
+    EXPECT_EQ(plan[static_cast<size_t>(t)], XferDir::VectorToScalar);
+}
+
+TEST(CommPlan, LiveInsAreFree)
+{
+    Analyzed a(R"(
+array A f64 256
+loop t {
+    livein c f64
+    body {
+        x = load A[i]
+        y = fmul x c
+        store A[i + 1] = y
+    }
+}
+)",
+               paperMachine());
+    DefUse du(a.loop());
+    std::vector<bool> part = {false, true, false};
+    auto plan = planTransfers(a.loop(), du, part);
+    ValueId c = a.loop().findValue("c");
+    EXPECT_EQ(plan[static_cast<size_t>(c)], XferDir::None);
+}
+
+TEST(CommPlan, VectorizedLiveOutNeedsExtraction)
+{
+    Analyzed a(R"(
+array A f64 256
+loop t {
+    body {
+        x = load A[i]
+        y = fneg x
+        store A[i + 1] = y
+    }
+    liveout y
+}
+)",
+               paperMachine());
+    DefUse du(a.loop());
+    std::vector<bool> part = {true, true, true};
+    auto plan = planTransfers(a.loop(), du, part);
+    ValueId y = a.loop().findValue("y");
+    EXPECT_EQ(plan[static_cast<size_t>(y)], XferDir::VectorToScalar);
+}
+
+TEST(CommPlan, TransferOpcodesMatchModel)
+{
+    Machine through = paperMachine();
+    auto s2v = transferOpcodes(XferDir::ScalarToVector, through);
+    ASSERT_EQ(s2v.size(), 3u);   // VL stores + 1 vector load
+    EXPECT_EQ(s2v[0], Opcode::XferStoreS);
+    EXPECT_EQ(s2v[2], Opcode::XferLoadV);
+
+    auto v2s = transferOpcodes(XferDir::VectorToScalar, through);
+    ASSERT_EQ(v2s.size(), 3u);
+    EXPECT_EQ(v2s[0], Opcode::XferStoreV);
+
+    Machine direct = directMoveMachine();
+    EXPECT_EQ(transferOpcodes(XferDir::ScalarToVector, direct).size(),
+              2u);
+
+    Machine free = toyMachine();
+    EXPECT_TRUE(transferOpcodes(XferDir::ScalarToVector, free).empty());
+}
+
+// ------------------------------------------------------------ costmodel
+
+TEST(CostModel, AllScalarMatchesReplicatedPack)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionCostModel model(a.loop(), a.va, a.machine);
+    std::vector<bool> none(4, false);
+    model.rebuild(none);
+
+    // Hand-packed: every op twice, plus IAdd + Br overhead.
+    std::vector<Opcode> bag;
+    for (const Operation &op : a.loop().ops) {
+        bag.push_back(op.opcode);
+        bag.push_back(op.opcode);
+    }
+    bag.push_back(Opcode::IAdd);
+    bag.push_back(Opcode::Br);
+    EXPECT_EQ(model.cost(), packedHighWater(a.machine, bag));
+}
+
+TEST(CostModel, TestSwitchMatchesCommit)
+{
+    Analyzed a(kDot, paperMachine());
+    for (OpId op = 0; op < 3; ++op) {
+        PartitionCostModel model(a.loop(), a.va, a.machine);
+        std::vector<bool> none(4, false);
+        model.rebuild(none);
+        int64_t before = model.cost();
+        int64_t probe = model.testSwitch(op);
+        // The probe must not disturb the bins.
+        EXPECT_EQ(model.cost(), before);
+        model.commitSwitch(op);
+        // A fresh pack may do slightly better than the incremental
+        // probe, never worse.
+        EXPECT_LE(model.cost(), probe);
+    }
+}
+
+TEST(CostModel, TestSwitchIsInvolution)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionCostModel model(a.loop(), a.va, a.machine);
+    std::vector<bool> part = {true, false, false, false};
+    model.rebuild(part);
+    int64_t c1 = model.testSwitch(2);
+    int64_t c2 = model.testSwitch(2);
+    EXPECT_EQ(c1, c2);
+}
+
+TEST(CostModel, MisalignmentAddsMerges)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionCostModel model(a.loop(), a.va, a.machine);
+    auto bag = model.opcodesFor(0, true);   // vectorized load
+    ASSERT_EQ(bag.size(), 2u);
+    EXPECT_EQ(bag[0], Opcode::VLoad);
+    EXPECT_EQ(bag[1], Opcode::VMerge);
+
+    Machine aligned = paperMachine();
+    aligned.alignment = AlignPolicy::AssumeAligned;
+    Analyzed b(kDot, aligned);
+    PartitionCostModel amodel(b.loop(), b.va, aligned);
+    EXPECT_EQ(amodel.opcodesFor(0, true).size(), 1u);
+}
+
+TEST(CostModel, ScalarSideReplicatesVlTimes)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionCostModel model(a.loop(), a.va, a.machine);
+    auto bag = model.opcodesFor(2, false);
+    ASSERT_EQ(bag.size(), 2u);   // VL = 2 copies
+    EXPECT_EQ(bag[0], Opcode::FMul);
+}
+
+// ------------------------------------------------------------ partition
+
+TEST(Partition, Figure1SelectsLoadAndMultiply)
+{
+    Analyzed a(kDot, toyMachine());
+    PartitionResult pr = partitionOps(a.loop(), a.va, a.machine);
+    EXPECT_EQ(pr.bestCost, 2);        // II 1.0 over two iterations
+    EXPECT_EQ(pr.allScalarCost, 3);   // unrolled baseline
+    EXPECT_TRUE(pr.anyVector());
+    // The reduction add can never be vectorized.
+    EXPECT_FALSE(pr.vectorize[3]);
+    // Exactly two of the three candidates go vector (one load stays
+    // scalar to fill the third slot - the paper's punchline).
+    int count = 0;
+    for (bool b : pr.vectorize)
+        count += b ? 1 : 0;
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Partition, NeverWorseThanAllScalar)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionResult pr = partitionOps(a.loop(), a.va, a.machine);
+    EXPECT_LE(pr.bestCost, pr.allScalarCost);
+}
+
+TEST(Partition, NothingVectorizableStaysScalar)
+{
+    Analyzed a(R"(
+array A f64 1024
+loop t {
+    body {
+        x = load A[3i]
+        y = fneg x
+        store A[3i + 1] = y
+    }
+}
+)",
+               paperMachine());
+    // Strided accesses serialize everything via unknown-dep edges...
+    // actually same-stride refs analyze exactly; but the accesses are
+    // non-unit stride so memory stays scalar and the lone fneg is
+    // reachable only through transfers.
+    PartitionResult pr = partitionOps(a.loop(), a.va, a.machine);
+    EXPECT_LE(pr.bestCost, pr.allScalarCost);
+}
+
+TEST(Partition, IterationCapRespected)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionOptions options;
+    options.maxIterations = 1;
+    PartitionResult pr =
+        partitionOps(a.loop(), a.va, a.machine, options);
+    EXPECT_EQ(pr.iterations, 1);
+}
+
+TEST(Partition, ConvergesInFewIterations)
+{
+    // The paper observes convergence after only a few iterations.
+    Analyzed a(kDot, paperMachine());
+    PartitionResult pr = partitionOps(a.loop(), a.va, a.machine);
+    EXPECT_LE(pr.iterations, 4);
+    EXPECT_GT(pr.movesEvaluated, 0);
+}
+
+TEST(Partition, CommunicationBlindCostDiffers)
+{
+    Analyzed a(kDot, paperMachine());
+    PartitionOptions blind;
+    blind.cost.considerCommunication = false;
+    PartitionResult with_comm = partitionOps(a.loop(), a.va, a.machine);
+    PartitionResult without =
+        partitionOps(a.loop(), a.va, a.machine, blind);
+    // Blind partitioning sees lower (dishonest) costs.
+    EXPECT_LE(without.bestCost, with_comm.bestCost);
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for lowering, iterative modulo scheduling, the schedule
+ * checker and the schedule printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+#include "pipeline/checker.hh"
+#include "pipeline/lowering.hh"
+#include "pipeline/modsched.hh"
+#include "pipeline/printer.hh"
+
+namespace selvec
+{
+namespace
+{
+
+Module
+parse(const char *text)
+{
+    ParseResult pr = parseLir(text);
+    EXPECT_TRUE(pr.ok) << pr.error;
+    return std::move(pr.module);
+}
+
+struct Scheduled
+{
+    Module module;
+    Loop lowered;
+    ScheduleResult result;
+};
+
+Scheduled
+scheduleText(const char *text, const Machine &machine)
+{
+    Scheduled s;
+    s.module = parse(text);
+    s.lowered = lowerForScheduling(s.module.loops[0], machine);
+    DepGraph graph(s.module.arrays, s.lowered, machine);
+    s.result = moduloSchedule(s.lowered, graph, machine);
+    EXPECT_TRUE(s.result.ok) << s.result.error;
+    EXPECT_EQ(validateSchedule(s.lowered, graph, machine,
+                               s.result.schedule),
+              "");
+    return s;
+}
+
+const char *kCopy = R"(
+array A f64 256
+array B f64 256
+loop copy {
+    body {
+        x = load A[i]
+        store B[i] = x
+    }
+}
+)";
+
+const char *kDot = R"(
+array X f64 256
+array Y f64 256
+loop dot {
+    livein s0 f64
+    carried s f64 init s0 update s1
+    body {
+        x = load X[i]
+        y = load Y[i]
+        t = fmul x y
+        s1 = fadd s t
+    }
+    liveout s1
+}
+)";
+
+TEST(Lowering, AddsInductionAndBranch)
+{
+    Module m = parse(kCopy);
+    Machine mach = paperMachine();
+    Loop lowered = lowerForScheduling(m.loops[0], mach);
+    EXPECT_EQ(lowered.numOps(), m.loops[0].numOps() + 2);
+    EXPECT_EQ(lowered.ops.back().opcode, Opcode::Br);
+    EXPECT_EQ(lowered.ops[static_cast<size_t>(lowered.numOps()) - 2]
+                  .opcode,
+              Opcode::IAdd);
+    EXPECT_EQ(lowered.carried.size(), m.loops[0].carried.size() + 1);
+}
+
+TEST(Lowering, ToyMachineSkipsOverhead)
+{
+    Module m = parse(kCopy);
+    Machine mach = toyMachine();
+    Loop lowered = lowerForScheduling(m.loops[0], mach);
+    EXPECT_EQ(lowered.numOps(), m.loops[0].numOps());
+}
+
+TEST(ModSched, CopyLoopHitsResMii)
+{
+    Scheduled s = scheduleText(kCopy, paperMachine());
+    // 2 mem ops on 2 units + overhead: ResMII 1.
+    EXPECT_EQ(s.result.resMii, 1);
+    EXPECT_EQ(s.result.schedule.ii, 1);
+}
+
+TEST(ModSched, DotIsRecurrenceBound)
+{
+    Scheduled s = scheduleText(kDot, paperMachine());
+    EXPECT_EQ(s.result.recMii, 4);   // FP add latency around the cycle
+    EXPECT_EQ(s.result.schedule.ii, 4);
+    EXPECT_GE(s.result.mii, s.result.resMii);
+}
+
+TEST(ModSched, ScheduleRespectsLatencies)
+{
+    Scheduled s = scheduleText(kDot, paperMachine());
+    // The multiply reads both loads: it must trail them by the load
+    // latency.
+    const auto &t = s.result.schedule.time;
+    EXPECT_GE(t[2], t[0] + 3);
+    EXPECT_GE(t[2], t[1] + 3);
+    EXPECT_GE(t[3], t[2] + 4);
+}
+
+TEST(ModSched, DividerOccupiesUnitForMultipleCycles)
+{
+    Scheduled s = scheduleText(R"(
+array A f64 256
+array B f64 256
+loop t {
+    body {
+        x = load A[i]
+        y = load B[i]
+        q = fdiv x y
+        r = fdiv y x
+        store B[i + 1] = q
+        store A[i + 1] = r
+    }
+}
+)",
+                               paperMachine());
+    // Two unpipelined divides on two FP units: II at least the
+    // divider reservation length.
+    EXPECT_GE(s.result.schedule.ii, 4);
+}
+
+TEST(ModSched, SaturatedFpUnitsSetResMii)
+{
+    Scheduled s = scheduleText(R"(
+array A f64 256
+loop t {
+    livein c f64
+    body {
+        x = load A[i]
+        a = fmul x c
+        b = fmul a c
+        d = fmul b c
+        e = fmul d c
+        f = fadd a b
+        g = fadd d e
+        h = fadd f g
+        store A[i + 1] = h
+    }
+}
+)",
+                               paperMachine());
+    // 7 FP ops on 2 units -> ResMII 4 (ceil 3.5).
+    EXPECT_EQ(s.result.resMii, 4);
+}
+
+TEST(ModSched, EmptyLoop)
+{
+    Machine mach = toyMachine();
+    Loop empty;
+    empty.name = "empty";
+    ArrayTable arrays;
+    DepGraph graph(arrays, empty, mach);
+    ScheduleResult r = moduloSchedule(empty, graph, mach);
+    EXPECT_TRUE(r.ok);
+}
+
+TEST(Checker, DetectsResourceCollision)
+{
+    Scheduled s = scheduleText(kCopy, paperMachine());
+    Module m = parse(kCopy);
+    Machine mach = paperMachine();
+    DepGraph graph(m.arrays, s.lowered, mach);
+
+    ModuloSchedule bad = s.result.schedule;
+    // Force both memory ops onto the same unit at the same row.
+    bad.time[0] = 0;
+    bad.time[1] = static_cast<int64_t>(bad.ii);   // same row mod II
+    bad.units[0] = bad.units[1];
+    EXPECT_NE(validateSchedule(s.lowered, graph, mach, bad), "");
+}
+
+TEST(Checker, DetectsDependenceViolation)
+{
+    Scheduled s = scheduleText(kDot, paperMachine());
+    Module m = parse(kDot);
+    Machine mach = paperMachine();
+    DepGraph graph(m.arrays, s.lowered, mach);
+
+    ModuloSchedule bad = s.result.schedule;
+    bad.time[2] = 0;   // multiply before its loads complete
+    EXPECT_NE(validateSchedule(s.lowered, graph, mach, bad), "");
+}
+
+TEST(Checker, DetectsWrongReservationShape)
+{
+    Scheduled s = scheduleText(kCopy, paperMachine());
+    Module m = parse(kCopy);
+    Machine mach = paperMachine();
+    DepGraph graph(m.arrays, s.lowered, mach);
+
+    ModuloSchedule bad = s.result.schedule;
+    bad.units[0].pop_back();
+    EXPECT_NE(validateSchedule(s.lowered, graph, mach, bad), "");
+}
+
+TEST(Printer, KernelShowsEveryOp)
+{
+    Scheduled s = scheduleText(kDot, paperMachine());
+    Machine mach = paperMachine();
+    std::string text =
+        formatKernel(s.lowered, mach, s.result.schedule);
+    EXPECT_NE(text.find("fmul"), std::string::npos);
+    EXPECT_NE(text.find("fadd"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+    EXPECT_NE(text.find("II = 4"), std::string::npos);
+
+    std::string summary =
+        formatScheduleSummary(s.lowered, s.result.schedule);
+    EXPECT_NE(summary.find("II 4"), std::string::npos);
+}
+
+TEST(ModSched, StageCountMatchesLength)
+{
+    Scheduled s = scheduleText(kDot, paperMachine());
+    const ModuloSchedule &sched = s.result.schedule;
+    EXPECT_EQ(sched.stageCount(),
+              sched.length() / sched.ii + 1);
+}
+
+} // anonymous namespace
+} // namespace selvec

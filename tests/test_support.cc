@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the support library: formatting and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace selvec
+{
+namespace
+{
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%05d", 7), "00007");
+    EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+}
+
+TEST(Strfmt, EmptyAndLong)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+    std::string big(500, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()), big);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 16; ++i)
+        differences += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    // With 1000 draws every value of a 6-element range appears.
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, DegenerateRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, UnitInHalfOpenInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+} // anonymous namespace
+} // namespace selvec
