@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner.dir/bench_partitioner.cc.o"
+  "CMakeFiles/bench_partitioner.dir/bench_partitioner.cc.o.d"
+  "bench_partitioner"
+  "bench_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

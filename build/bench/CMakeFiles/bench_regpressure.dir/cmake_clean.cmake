@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regpressure.dir/bench_regpressure.cc.o"
+  "CMakeFiles/bench_regpressure.dir/bench_regpressure.cc.o.d"
+  "bench_regpressure"
+  "bench_regpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table2_runs "/root/repo/build/bench/bench_table2")
+set_tests_properties(bench_table2_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table3_runs "/root/repo/build/bench/bench_table3")
+set_tests_properties(bench_table3_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table4_runs "/root/repo/build/bench/bench_table4")
+set_tests_properties(bench_table4_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table5_runs "/root/repo/build/bench/bench_table5")
+set_tests_properties(bench_table5_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_figure1_runs "/root/repo/build/bench/bench_figure1")
+set_tests_properties(bench_figure1_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_runs "/root/repo/build/bench/bench_ablation")
+set_tests_properties(bench_ablation_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_regpressure_runs "/root/repo/build/bench/bench_regpressure")
+set_tests_properties(bench_regpressure_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_machines_runs "/root/repo/build/bench/bench_machines")
+set_tests_properties(bench_machines_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_partitioner_runs "/root/repo/build/bench/bench_partitioner" "--benchmark_min_time=0.01")
+set_tests_properties(bench_partitioner_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

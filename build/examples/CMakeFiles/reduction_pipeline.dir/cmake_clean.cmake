@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_pipeline.dir/reduction_pipeline.cpp.o"
+  "CMakeFiles/reduction_pipeline.dir/reduction_pipeline.cpp.o.d"
+  "reduction_pipeline"
+  "reduction_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

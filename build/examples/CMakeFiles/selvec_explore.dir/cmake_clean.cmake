@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_explore.dir/explore.cpp.o"
+  "CMakeFiles/selvec_explore.dir/explore.cpp.o.d"
+  "selvec_explore"
+  "selvec_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

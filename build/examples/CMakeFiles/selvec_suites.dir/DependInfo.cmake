@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/suite_report.cpp" "examples/CMakeFiles/selvec_suites.dir/suite_report.cpp.o" "gcc" "examples/CMakeFiles/selvec_suites.dir/suite_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/selvec_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/selvec_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorize/CMakeFiles/selvec_vectorize.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/selvec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/selvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/selvec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_suites.dir/suite_report.cpp.o"
+  "CMakeFiles/selvec_suites.dir/suite_report.cpp.o.d"
+  "selvec_suites"
+  "selvec_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil_pipeline_runs "/root/repo/build/examples/stencil_pipeline")
+set_tests_properties(example_stencil_pipeline_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_machine_runs "/root/repo/build/examples/custom_machine")
+set_tests_properties(example_custom_machine_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_selvec_explore_runs "/root/repo/build/examples/selvec_explore")
+set_tests_properties(example_selvec_explore_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_selvec_suites_runs "/root/repo/build/examples/selvec_suites")
+set_tests_properties(example_selvec_suites_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reduction_pipeline_runs "/root/repo/build/examples/reduction_pipeline")
+set_tests_properties(example_reduction_pipeline_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_saxpy "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/saxpy.lir" "512")
+set_tests_properties(explore_saxpy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_dot "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/dot.lir" "512")
+set_tests_properties(explore_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_stencil5 "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/stencil5.lir" "512")
+set_tests_properties(explore_stencil5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_butterfly "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/butterfly.lir" "512")
+set_tests_properties(explore_butterfly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_cmul "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/cmul.lir" "512")
+set_tests_properties(explore_cmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_search "/root/repo/build/examples/selvec_explore" "/root/repo/kernels/search.lir" "1024")
+set_tests_properties(explore_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/depgraph.cc" "src/analysis/CMakeFiles/selvec_analysis.dir/depgraph.cc.o" "gcc" "src/analysis/CMakeFiles/selvec_analysis.dir/depgraph.cc.o.d"
+  "/root/repo/src/analysis/memdep.cc" "src/analysis/CMakeFiles/selvec_analysis.dir/memdep.cc.o" "gcc" "src/analysis/CMakeFiles/selvec_analysis.dir/memdep.cc.o.d"
+  "/root/repo/src/analysis/recmii.cc" "src/analysis/CMakeFiles/selvec_analysis.dir/recmii.cc.o" "gcc" "src/analysis/CMakeFiles/selvec_analysis.dir/recmii.cc.o.d"
+  "/root/repo/src/analysis/scc.cc" "src/analysis/CMakeFiles/selvec_analysis.dir/scc.cc.o" "gcc" "src/analysis/CMakeFiles/selvec_analysis.dir/scc.cc.o.d"
+  "/root/repo/src/analysis/vectorizable.cc" "src/analysis/CMakeFiles/selvec_analysis.dir/vectorizable.cc.o" "gcc" "src/analysis/CMakeFiles/selvec_analysis.dir/vectorizable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

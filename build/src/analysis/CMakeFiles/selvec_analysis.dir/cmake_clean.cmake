@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_analysis.dir/depgraph.cc.o"
+  "CMakeFiles/selvec_analysis.dir/depgraph.cc.o.d"
+  "CMakeFiles/selvec_analysis.dir/memdep.cc.o"
+  "CMakeFiles/selvec_analysis.dir/memdep.cc.o.d"
+  "CMakeFiles/selvec_analysis.dir/recmii.cc.o"
+  "CMakeFiles/selvec_analysis.dir/recmii.cc.o.d"
+  "CMakeFiles/selvec_analysis.dir/scc.cc.o"
+  "CMakeFiles/selvec_analysis.dir/scc.cc.o.d"
+  "CMakeFiles/selvec_analysis.dir/vectorizable.cc.o"
+  "CMakeFiles/selvec_analysis.dir/vectorizable.cc.o.d"
+  "libselvec_analysis.a"
+  "libselvec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

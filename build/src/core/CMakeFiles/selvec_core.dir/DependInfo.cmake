@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm.cc" "src/core/CMakeFiles/selvec_core.dir/comm.cc.o" "gcc" "src/core/CMakeFiles/selvec_core.dir/comm.cc.o.d"
+  "/root/repo/src/core/costmodel.cc" "src/core/CMakeFiles/selvec_core.dir/costmodel.cc.o" "gcc" "src/core/CMakeFiles/selvec_core.dir/costmodel.cc.o.d"
+  "/root/repo/src/core/itersplit.cc" "src/core/CMakeFiles/selvec_core.dir/itersplit.cc.o" "gcc" "src/core/CMakeFiles/selvec_core.dir/itersplit.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/selvec_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/selvec_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/selvec_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/selvec_core.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_core.dir/comm.cc.o"
+  "CMakeFiles/selvec_core.dir/comm.cc.o.d"
+  "CMakeFiles/selvec_core.dir/costmodel.cc.o"
+  "CMakeFiles/selvec_core.dir/costmodel.cc.o.d"
+  "CMakeFiles/selvec_core.dir/itersplit.cc.o"
+  "CMakeFiles/selvec_core.dir/itersplit.cc.o.d"
+  "CMakeFiles/selvec_core.dir/partition.cc.o"
+  "CMakeFiles/selvec_core.dir/partition.cc.o.d"
+  "CMakeFiles/selvec_core.dir/transform.cc.o"
+  "CMakeFiles/selvec_core.dir/transform.cc.o.d"
+  "libselvec_core.a"
+  "libselvec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

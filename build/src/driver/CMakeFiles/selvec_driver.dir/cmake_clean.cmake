@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_driver.dir/driver.cc.o"
+  "CMakeFiles/selvec_driver.dir/driver.cc.o.d"
+  "CMakeFiles/selvec_driver.dir/evaluate.cc.o"
+  "CMakeFiles/selvec_driver.dir/evaluate.cc.o.d"
+  "libselvec_driver.a"
+  "libselvec_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

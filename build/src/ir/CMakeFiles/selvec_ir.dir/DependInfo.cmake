@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/selvec_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/defuse.cc" "src/ir/CMakeFiles/selvec_ir.dir/defuse.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/defuse.cc.o.d"
+  "/root/repo/src/ir/loop.cc" "src/ir/CMakeFiles/selvec_ir.dir/loop.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/loop.cc.o.d"
+  "/root/repo/src/ir/opcodes.cc" "src/ir/CMakeFiles/selvec_ir.dir/opcodes.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/opcodes.cc.o.d"
+  "/root/repo/src/ir/types.cc" "src/ir/CMakeFiles/selvec_ir.dir/types.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/types.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/selvec_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/selvec_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_ir.dir/builder.cc.o"
+  "CMakeFiles/selvec_ir.dir/builder.cc.o.d"
+  "CMakeFiles/selvec_ir.dir/defuse.cc.o"
+  "CMakeFiles/selvec_ir.dir/defuse.cc.o.d"
+  "CMakeFiles/selvec_ir.dir/loop.cc.o"
+  "CMakeFiles/selvec_ir.dir/loop.cc.o.d"
+  "CMakeFiles/selvec_ir.dir/opcodes.cc.o"
+  "CMakeFiles/selvec_ir.dir/opcodes.cc.o.d"
+  "CMakeFiles/selvec_ir.dir/types.cc.o"
+  "CMakeFiles/selvec_ir.dir/types.cc.o.d"
+  "CMakeFiles/selvec_ir.dir/verifier.cc.o"
+  "CMakeFiles/selvec_ir.dir/verifier.cc.o.d"
+  "libselvec_ir.a"
+  "libselvec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselvec_ir.a"
+)

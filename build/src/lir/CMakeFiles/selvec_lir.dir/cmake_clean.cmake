@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_lir.dir/parser.cc.o"
+  "CMakeFiles/selvec_lir.dir/parser.cc.o.d"
+  "CMakeFiles/selvec_lir.dir/writer.cc.o"
+  "CMakeFiles/selvec_lir.dir/writer.cc.o.d"
+  "libselvec_lir.a"
+  "libselvec_lir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_machine.dir/binpack.cc.o"
+  "CMakeFiles/selvec_machine.dir/binpack.cc.o.d"
+  "CMakeFiles/selvec_machine.dir/machine.cc.o"
+  "CMakeFiles/selvec_machine.dir/machine.cc.o.d"
+  "libselvec_machine.a"
+  "libselvec_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/checker.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/checker.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/checker.cc.o.d"
+  "/root/repo/src/pipeline/codegen.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/codegen.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/codegen.cc.o.d"
+  "/root/repo/src/pipeline/lowering.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/lowering.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/lowering.cc.o.d"
+  "/root/repo/src/pipeline/modsched.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/modsched.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/modsched.cc.o.d"
+  "/root/repo/src/pipeline/printer.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/printer.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/printer.cc.o.d"
+  "/root/repo/src/pipeline/regpressure.cc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/regpressure.cc.o" "gcc" "src/pipeline/CMakeFiles/selvec_pipeline.dir/regpressure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

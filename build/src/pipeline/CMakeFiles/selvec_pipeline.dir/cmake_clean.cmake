@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_pipeline.dir/checker.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/checker.cc.o.d"
+  "CMakeFiles/selvec_pipeline.dir/codegen.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/codegen.cc.o.d"
+  "CMakeFiles/selvec_pipeline.dir/lowering.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/lowering.cc.o.d"
+  "CMakeFiles/selvec_pipeline.dir/modsched.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/modsched.cc.o.d"
+  "CMakeFiles/selvec_pipeline.dir/printer.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/printer.cc.o.d"
+  "CMakeFiles/selvec_pipeline.dir/regpressure.cc.o"
+  "CMakeFiles/selvec_pipeline.dir/regpressure.cc.o.d"
+  "libselvec_pipeline.a"
+  "libselvec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/selvec_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/selvec_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/memimage.cc" "src/sim/CMakeFiles/selvec_sim.dir/memimage.cc.o" "gcc" "src/sim/CMakeFiles/selvec_sim.dir/memimage.cc.o.d"
+  "/root/repo/src/sim/rtval.cc" "src/sim/CMakeFiles/selvec_sim.dir/rtval.cc.o" "gcc" "src/sim/CMakeFiles/selvec_sim.dir/rtval.cc.o.d"
+  "/root/repo/src/sim/semantics.cc" "src/sim/CMakeFiles/selvec_sim.dir/semantics.cc.o" "gcc" "src/sim/CMakeFiles/selvec_sim.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/selvec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_sim.dir/executor.cc.o"
+  "CMakeFiles/selvec_sim.dir/executor.cc.o.d"
+  "CMakeFiles/selvec_sim.dir/memimage.cc.o"
+  "CMakeFiles/selvec_sim.dir/memimage.cc.o.d"
+  "CMakeFiles/selvec_sim.dir/rtval.cc.o"
+  "CMakeFiles/selvec_sim.dir/rtval.cc.o.d"
+  "CMakeFiles/selvec_sim.dir/semantics.cc.o"
+  "CMakeFiles/selvec_sim.dir/semantics.cc.o.d"
+  "libselvec_sim.a"
+  "libselvec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_support.dir/logging.cc.o"
+  "CMakeFiles/selvec_support.dir/logging.cc.o.d"
+  "libselvec_support.a"
+  "libselvec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

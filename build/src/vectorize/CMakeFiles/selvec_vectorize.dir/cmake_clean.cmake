@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_vectorize.dir/full.cc.o"
+  "CMakeFiles/selvec_vectorize.dir/full.cc.o.d"
+  "CMakeFiles/selvec_vectorize.dir/traditional.cc.o"
+  "CMakeFiles/selvec_vectorize.dir/traditional.cc.o.d"
+  "libselvec_vectorize.a"
+  "libselvec_vectorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_vectorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

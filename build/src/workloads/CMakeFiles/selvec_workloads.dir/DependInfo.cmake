@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generator.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/generator.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/generator.cc.o.d"
+  "/root/repo/src/workloads/suite_apsi.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_apsi.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_apsi.cc.o.d"
+  "/root/repo/src/workloads/suite_hydro2d.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_hydro2d.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_hydro2d.cc.o.d"
+  "/root/repo/src/workloads/suite_mgrid.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_mgrid.cc.o.d"
+  "/root/repo/src/workloads/suite_nasa7.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_nasa7.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_nasa7.cc.o.d"
+  "/root/repo/src/workloads/suite_su2cor.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_su2cor.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_su2cor.cc.o.d"
+  "/root/repo/src/workloads/suite_swim.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_swim.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_swim.cc.o.d"
+  "/root/repo/src/workloads/suite_tomcatv.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_tomcatv.cc.o.d"
+  "/root/repo/src/workloads/suite_turb3d.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_turb3d.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_turb3d.cc.o.d"
+  "/root/repo/src/workloads/suite_wave5.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_wave5.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/suite_wave5.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/selvec_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/selvec_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lir/CMakeFiles/selvec_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/selvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/selvec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

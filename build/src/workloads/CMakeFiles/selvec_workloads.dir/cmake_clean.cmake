@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvec_workloads.dir/generator.cc.o"
+  "CMakeFiles/selvec_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_apsi.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_apsi.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_hydro2d.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_hydro2d.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_mgrid.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_mgrid.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_nasa7.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_nasa7.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_su2cor.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_su2cor.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_swim.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_swim.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_tomcatv.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_tomcatv.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_turb3d.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_turb3d.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/suite_wave5.cc.o"
+  "CMakeFiles/selvec_workloads.dir/suite_wave5.cc.o.d"
+  "CMakeFiles/selvec_workloads.dir/workloads.cc.o"
+  "CMakeFiles/selvec_workloads.dir/workloads.cc.o.d"
+  "libselvec_workloads.a"
+  "libselvec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

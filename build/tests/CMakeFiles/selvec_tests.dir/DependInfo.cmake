@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alignment.cc" "tests/CMakeFiles/selvec_tests.dir/test_alignment.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_alignment.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/selvec_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/selvec_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/selvec_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_earlyexit.cc" "tests/CMakeFiles/selvec_tests.dir/test_earlyexit.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_earlyexit.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/selvec_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_itersplit.cc" "tests/CMakeFiles/selvec_tests.dir/test_itersplit.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_itersplit.cc.o.d"
+  "/root/repo/tests/test_lir.cc" "tests/CMakeFiles/selvec_tests.dir/test_lir.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_lir.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/selvec_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_machines.cc" "tests/CMakeFiles/selvec_tests.dir/test_machines.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_machines.cc.o.d"
+  "/root/repo/tests/test_memdep.cc" "tests/CMakeFiles/selvec_tests.dir/test_memdep.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_memdep.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/selvec_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/selvec_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/selvec_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_reduction.cc" "tests/CMakeFiles/selvec_tests.dir/test_reduction.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_reduction.cc.o.d"
+  "/root/repo/tests/test_regpressure.cc" "tests/CMakeFiles/selvec_tests.dir/test_regpressure.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_regpressure.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/selvec_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/selvec_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/selvec_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_traditional.cc" "tests/CMakeFiles/selvec_tests.dir/test_traditional.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_traditional.cc.o.d"
+  "/root/repo/tests/test_transform.cc" "tests/CMakeFiles/selvec_tests.dir/test_transform.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_transform.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/selvec_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/selvec_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/selvec_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/selvec_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/selvec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorize/CMakeFiles/selvec_vectorize.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/selvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/selvec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/selvec_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
