@@ -1,5 +1,6 @@
 #include "core/partition.hh"
 
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace selvec
@@ -102,6 +103,28 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
     result.vectorize = best;
     result.bestCost = best_cost;
     return result;
+}
+
+Expected<PartitionResult>
+tryPartitionOps(const Loop &loop, const VectAnalysis &va,
+                const Machine &machine, const PartitionOptions &options)
+{
+    if (faultPointHit("partition.kl")) {
+        return Status::error(
+            ErrorCode::PartitionFailed, "partition",
+            strfmt("fault injected at partition.kl: partitioning of "
+                   "loop '%s' forced to fail",
+                   loop.name.c_str()));
+    }
+    if (static_cast<int>(va.vectorizable.size()) != loop.numOps()) {
+        return Status::error(
+            ErrorCode::PartitionFailed, "partition",
+            strfmt("loop '%s': vectorizability analysis describes %zu "
+                   "ops but the loop has %d",
+                   loop.name.c_str(), va.vectorizable.size(),
+                   static_cast<int>(loop.numOps())));
+    }
+    return partitionOps(loop, va, machine, options);
 }
 
 } // namespace selvec

@@ -17,6 +17,7 @@
 
 #include "analysis/vectorizable.hh"
 #include "core/costmodel.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
@@ -64,6 +65,17 @@ struct PartitionResult
 PartitionResult partitionOps(const Loop &loop, const VectAnalysis &va,
                              const Machine &machine,
                              const PartitionOptions &options = {});
+
+/**
+ * Partitioning as a recoverable stage: validates the inputs (the
+ * analysis must describe exactly this loop), carries the
+ * "partition.kl" fault injection point, and reports PartitionFailed
+ * instead of dying — the driver degrades to full vectorization.
+ */
+Expected<PartitionResult>
+tryPartitionOps(const Loop &loop, const VectAnalysis &va,
+                const Machine &machine,
+                const PartitionOptions &options = {});
 
 } // namespace selvec
 

@@ -4,9 +4,11 @@
 #include "analysis/recmii.hh"
 #include "core/itersplit.hh"
 #include "core/transform.hh"
+#include "ir/verifier.hh"
 #include "machine/binpack.hh"
 #include "pipeline/checker.hh"
 #include "pipeline/lowering.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "vectorize/full.hh"
 #include "vectorize/traditional.hh"
@@ -53,40 +55,65 @@ namespace
 {
 
 /** Lower, build dependences, schedule, and validate one loop. */
-void
+Status
 scheduleInto(const Loop &body, const ArrayTable &arrays,
              const Machine &machine, const ScheduleOptions &options,
              Loop &lowered_out, ModuloSchedule &schedule_out,
              int64_t *res_mii, int64_t *rec_mii)
 {
-    lowered_out = lowerForScheduling(body, machine);
+    Expected<Loop> lowered =
+        tryLowerForScheduling(body, arrays, machine);
+    if (!lowered.ok())
+        return lowered.status();
+    lowered_out = lowered.takeValue();
     DepGraph graph(arrays, lowered_out, machine);
     ScheduleResult sr =
         moduloSchedule(lowered_out, graph, machine, options);
-    if (!sr.ok)
-        SV_FATAL("%s", sr.error.c_str());
+    if (!sr.ok) {
+        return Status::error(sr.code == ErrorCode::Ok
+                                 ? ErrorCode::ScheduleBudgetExhausted
+                                 : sr.code,
+                             "modsched", sr.error);
+    }
+    if (faultPointHit("checker.validate")) {
+        return Status::error(
+            ErrorCode::VerifyFailed, "checker",
+            strfmt("fault injected at checker.validate: schedule of "
+                   "loop '%s' forced to fail validation",
+                   body.name.c_str()));
+    }
     std::string check =
         validateSchedule(lowered_out, graph, machine, sr.schedule);
-    if (!check.empty())
-        SV_FATAL("invalid schedule: %s", check.c_str());
+    if (!check.empty()) {
+        return Status::error(ErrorCode::VerifyFailed, "checker",
+                             "invalid schedule for loop '" +
+                                 body.name + "': " + check);
+    }
     schedule_out = std::move(sr.schedule);
     if (res_mii != nullptr)
         *res_mii = sr.resMii;
     if (rec_mii != nullptr)
         *rec_mii = sr.recMii;
+    return Status::success();
 }
 
-CompiledLoop
+Expected<CompiledLoop>
 compilePair(const Loop &main_body, const Loop &cleanup_body,
             const ArrayTable &arrays, const Machine &machine,
             const ScheduleOptions &options)
 {
     CompiledLoop cl;
     cl.coverage = main_body.coverage;
-    scheduleInto(main_body, arrays, machine, options, cl.main,
-                 cl.mainSchedule, &cl.mainResMii, &cl.mainRecMii);
-    scheduleInto(cleanup_body, arrays, machine, options, cl.cleanup,
-                 cl.cleanupSchedule, nullptr, nullptr);
+    Status st =
+        scheduleInto(main_body, arrays, machine, options, cl.main,
+                     cl.mainSchedule, &cl.mainResMii, &cl.mainRecMii);
+    if (!st.ok())
+        return st;
+    st = scheduleInto(cleanup_body, arrays, machine, options,
+                      cl.cleanup, cl.cleanupSchedule, nullptr,
+                      nullptr);
+    if (!st.ok())
+        return st;
     return cl;
 }
 
@@ -108,11 +135,15 @@ isResourceLimited(const Loop &loop, const ArrayTable &arrays,
     return res >= rec;
 }
 
-} // anonymous namespace
-
-CompiledProgram
-compileLoop(const Loop &loop, ArrayTable &arrays, const Machine &machine,
-            Technique technique, const DriverOptions &options)
+/**
+ * The compile body proper. Works on `arrays` directly; tryCompileLoop
+ * hands it a scratch copy so failed attempts leave no temporaries
+ * behind.
+ */
+Expected<CompiledProgram>
+tryCompileLoopImpl(const Loop &loop, ArrayTable &arrays,
+                   const Machine &machine, Technique technique,
+                   const DriverOptions &options)
 {
     CompiledProgram program;
     program.technique = technique;
@@ -121,35 +152,50 @@ compileLoop(const Loop &loop, ArrayTable &arrays, const Machine &machine,
     switch (technique) {
       case Technique::ModuloOnly: {
         Loop main = unrollLoop(loop, arrays, machine);
-        program.loops.push_back(compilePair(main, loop, arrays, machine,
-                                            options.scheduling));
+        Expected<CompiledLoop> cl = compilePair(
+            main, loop, arrays, machine, options.scheduling);
+        if (!cl.ok())
+            return cl.status();
+        program.loops.push_back(cl.takeValue());
         break;
       }
       case Technique::Full: {
         Loop main = fullVectorize(loop, arrays, machine);
-        program.loops.push_back(compilePair(main, loop, arrays, machine,
-                                            options.scheduling));
+        Expected<CompiledLoop> cl = compilePair(
+            main, loop, arrays, machine, options.scheduling);
+        if (!cl.ok())
+            return cl.status();
+        program.loops.push_back(cl.takeValue());
         break;
       }
       case Technique::Selective: {
         DepGraph graph(arrays, loop, machine);
         VectAnalysis va = analyzeVectorizable(loop, graph, machine,
                                               options.vectorize);
-        program.partition =
-            partitionOps(loop, va, machine, options.partition);
+        Expected<PartitionResult> part =
+            tryPartitionOps(loop, va, machine, options.partition);
+        if (!part.ok())
+            return part.status();
+        program.partition = part.takeValue();
         Loop main = transformLoop(loop, arrays, va,
                                   program.partition.vectorize, machine);
-        program.loops.push_back(compilePair(main, loop, arrays, machine,
-                                            options.scheduling));
+        Expected<CompiledLoop> cl = compilePair(
+            main, loop, arrays, machine, options.scheduling);
+        if (!cl.ok())
+            return cl.status();
+        program.loops.push_back(cl.takeValue());
         break;
       }
       case Technique::Traditional: {
         DistributedLoops dist = traditionalVectorize(
             loop, arrays, machine, options.expansionSize);
         for (const DistLoop &dl : dist.loops) {
-            program.loops.push_back(
-                compilePair(dl.main, dl.cleanup, arrays, machine,
-                            options.scheduling));
+            Expected<CompiledLoop> cl = compilePair(
+                dl.main, dl.cleanup, arrays, machine,
+                options.scheduling);
+            if (!cl.ok())
+                return cl.status();
+            program.loops.push_back(cl.takeValue());
         }
         break;
       }
@@ -165,12 +211,142 @@ compileLoop(const Loop &loop, ArrayTable &arrays, const Machine &machine,
         Loop main = split.ok
                         ? std::move(split.loop)
                         : unrollLoop(loop, arrays, machine);
-        program.loops.push_back(compilePair(main, loop, arrays, machine,
-                                            options.scheduling));
+        Expected<CompiledLoop> cl = compilePair(
+            main, loop, arrays, machine, options.scheduling);
+        if (!cl.ok())
+            return cl.status();
+        program.loops.push_back(cl.takeValue());
         break;
       }
     }
     return program;
+}
+
+/**
+ * The degradation chain's last resort: schedule the source loop as-is
+ * (coverage 1, no unrolling, no vectorization). Shares nothing with
+ * the technique pipeline beyond the scheduler itself, so it survives
+ * failures injected into partitioning or transformation.
+ */
+Expected<CompiledProgram>
+tryCompileScalar(const Loop &loop, const ArrayTable &arrays,
+                 const Machine &machine, const DriverOptions &options)
+{
+    CompiledProgram program;
+    program.technique = Technique::ModuloOnly;
+    Expected<CompiledLoop> cl =
+        compilePair(loop, loop, arrays, machine, options.scheduling);
+    if (!cl.ok())
+        return cl.status();
+    program.loops.push_back(cl.takeValue());
+    return program;
+}
+
+} // anonymous namespace
+
+Expected<CompiledProgram>
+tryCompileLoop(const Loop &loop, ArrayTable &arrays,
+               const Machine &machine, Technique technique,
+               const DriverOptions &options)
+{
+    Status machine_ok = machine.validateStatus();
+    if (!machine_ok.ok())
+        return machine_ok;
+    Status loop_ok = verifyLoopStatus(arrays, loop);
+    if (!loop_ok.ok())
+        return loop_ok;
+
+    // Compile against a scratch copy: a failed attempt must not leak
+    // scalar-expansion temporaries into the caller's table.
+    ArrayTable trial = arrays;
+    Expected<CompiledProgram> program =
+        tryCompileLoopImpl(loop, trial, machine, technique, options);
+    if (program.ok())
+        arrays = std::move(trial);
+    return program;
+}
+
+CompiledProgram
+compileLoopOrDie(const Loop &loop, ArrayTable &arrays,
+                 const Machine &machine, Technique technique,
+                 const DriverOptions &options)
+{
+    Expected<CompiledProgram> program =
+        tryCompileLoop(loop, arrays, machine, technique, options);
+    if (!program.ok())
+        SV_FATAL("%s", program.status().str().c_str());
+    return program.takeValue();
+}
+
+std::string
+CompileReport::str() const
+{
+    std::string out = std::string("requested ") +
+                      techniqueName(requested) + ":";
+    for (const CompileAttempt &a : attempts) {
+        out += "\n  ";
+        out += a.scalarFallback ? "scalar" : techniqueName(a.technique);
+        if (a.status.ok()) {
+            out += strfmt(" ok (II/iter %.3g)", a.iiPerIteration);
+        } else {
+            out += " failed: " + a.status.str();
+        }
+    }
+    if (!succeeded)
+        out += "\n  all tiers failed: " + finalStatus.str();
+    return out;
+}
+
+ResilientCompile
+compileLoopResilient(const Loop &loop, ArrayTable &arrays,
+                     const Machine &machine, Technique technique,
+                     const DriverOptions &options)
+{
+    ResilientCompile result;
+    result.report.requested = technique;
+
+    // The degradation chain: the requested technique first, then the
+    // paper's spectrum from most to least aggressive, then the
+    // last-resort scalar schedule of the source loop itself.
+    std::vector<Technique> chain{technique};
+    for (Technique t : {Technique::Selective, Technique::Full,
+                        Technique::ModuloOnly}) {
+        if (t != technique)
+            chain.push_back(t);
+    }
+
+    std::string reason;
+    for (size_t tier = 0; tier <= chain.size(); ++tier) {
+        bool scalar = tier == chain.size();
+        CompileAttempt attempt;
+        attempt.technique =
+            scalar ? Technique::ModuloOnly : chain[tier];
+        attempt.scalarFallback = scalar;
+        attempt.fallbackReason = reason;
+
+        Expected<CompiledProgram> program =
+            scalar ? tryCompileScalar(loop, arrays, machine, options)
+                   : tryCompileLoop(loop, arrays, machine, chain[tier],
+                                    options);
+        if (program.ok()) {
+            attempt.status = Status::success();
+            attempt.iiPerIteration =
+                program.value().iiPerIteration();
+            result.report.attempts.push_back(std::move(attempt));
+            result.report.succeeded = true;
+            result.report.finalTechnique =
+                scalar ? Technique::ModuloOnly : chain[tier];
+            result.report.usedScalarFallback = scalar;
+            result.report.finalStatus = Status::success();
+            result.program = program.takeValue();
+            return result;
+        }
+        attempt.status = program.status();
+        reason = program.status().str();
+        result.report.finalStatus = program.status();
+        result.report.attempts.push_back(std::move(attempt));
+    }
+    return result;
 }
 
 ExecResult
@@ -243,6 +419,73 @@ runReference(const Loop &loop, const ArrayTable &arrays,
     for (auto &[name, v] : out.liveOuts)
         result.env[name] = v;
     return result;
+}
+
+std::vector<std::string>
+unboundLiveIns(const Loop &loop, const LiveEnv &live_ins)
+{
+    std::vector<std::string> missing;
+    for (ValueId id : loop.liveIns) {
+        const std::string &name = loop.valueInfo(id).name;
+        if (name.rfind("__", 0) == 0)
+            continue;   // lowering-internal; defaults to zero
+        if (live_ins.find(name) == live_ins.end())
+            missing.push_back(name);
+    }
+    return missing;
+}
+
+namespace
+{
+
+Status
+checkBindings(const std::vector<std::string> &missing,
+              const std::string &loop_name)
+{
+    if (missing.empty())
+        return Status::success();
+    std::string joined;
+    for (const std::string &name : missing) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += name;
+    }
+    return Status::error(ErrorCode::InvalidInput, "execute",
+                         "loop '" + loop_name +
+                             "' has unbound live-ins: " + joined);
+}
+
+} // anonymous namespace
+
+Expected<ExecResult>
+tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
+               const Machine &machine, MemoryImage &mem,
+               const LiveEnv &live_ins, int64_t n)
+{
+    // Later loops in a distributed sequence may consume earlier
+    // loops' live-outs; only bindings satisfied by neither source are
+    // a caller error.
+    LiveEnv available = live_ins;
+    for (const CompiledLoop &cl : program.loops) {
+        Status st = checkBindings(unboundLiveIns(cl.main, available),
+                                  cl.main.name);
+        if (!st.ok())
+            return st;
+        for (ValueId id : cl.main.liveOuts)
+            available[cl.main.valueInfo(id).name] = RtVal{};
+    }
+    return runCompiled(program, arrays, machine, mem, live_ins, n);
+}
+
+Expected<ExecResult>
+tryRunReference(const Loop &loop, const ArrayTable &arrays,
+                const Machine &machine, MemoryImage &mem,
+                const LiveEnv &live_ins, int64_t n)
+{
+    Status st = checkBindings(unboundLiveIns(loop, live_ins), loop.name);
+    if (!st.ok())
+        return st;
+    return runReference(loop, arrays, machine, mem, live_ins, n);
 }
 
 } // namespace selvec

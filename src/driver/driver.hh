@@ -30,6 +30,8 @@
 #include "core/partition.hh"
 #include "pipeline/modsched.hh"
 #include "sim/executor.hh"
+#include "support/expected.hh"
+#include "support/status.hh"
 
 namespace selvec
 {
@@ -112,13 +114,112 @@ struct CompiledProgram
 };
 
 /**
- * Compile one frontend loop with one technique. `arrays` may gain
- * scalar-expansion temporaries (Traditional). Fatals on scheduling
- * failure (which the II search makes practically impossible).
+ * Compile one frontend loop with one technique, as a recoverable
+ * operation: a malformed loop or machine, a partitioning failure or an
+ * exhausted II search comes back as a Status (with the originating
+ * stage and error code) instead of killing the process. `arrays` may
+ * gain scalar-expansion temporaries (Traditional); on failure it is
+ * left untouched.
  */
-CompiledProgram compileLoop(const Loop &loop, ArrayTable &arrays,
-                            const Machine &machine, Technique technique,
-                            const DriverOptions &options = {});
+Expected<CompiledProgram> tryCompileLoop(
+    const Loop &loop, ArrayTable &arrays, const Machine &machine,
+    Technique technique, const DriverOptions &options = {});
+
+/**
+ * Compile one frontend loop with one technique; fatals on any
+ * failure. The thin convenience wrapper over tryCompileLoop for tools
+ * and tests that have no recovery story.
+ */
+CompiledProgram compileLoopOrDie(const Loop &loop, ArrayTable &arrays,
+                                 const Machine &machine,
+                                 Technique technique,
+                                 const DriverOptions &options = {});
+
+/** Historic name of compileLoopOrDie. */
+inline CompiledProgram
+compileLoop(const Loop &loop, ArrayTable &arrays,
+            const Machine &machine, Technique technique,
+            const DriverOptions &options = {})
+{
+    return compileLoopOrDie(loop, arrays, machine, technique, options);
+}
+
+/** One tier of the degradation chain, as recorded in a
+ *  CompileReport. */
+struct CompileAttempt
+{
+    Technique technique = Technique::ModuloOnly;
+
+    /** True for the last-resort tier: the source loop scheduled as-is
+     *  (coverage 1), with no unrolling or vectorization. */
+    bool scalarFallback = false;
+
+    /** Outcome of this attempt (Ok when it produced a program). */
+    Status status;
+
+    /** Why this tier ran at all: the previous tier's failure ("" for
+     *  the first attempt). */
+    std::string fallbackReason;
+
+    /** Achieved II per original iteration (successful attempts). */
+    double iiPerIteration = 0.0;
+};
+
+/**
+ * The audit trail of a resilient compilation: every technique tried,
+ * in order, with each failure's structured status and the II finally
+ * achieved. Callers and benches inspect it; str() renders it for
+ * logs.
+ */
+struct CompileReport
+{
+    Technique requested = Technique::ModuloOnly;
+    std::vector<CompileAttempt> attempts;
+
+    bool succeeded = false;
+    Technique finalTechnique = Technique::ModuloOnly;
+    bool usedScalarFallback = false;
+
+    /** Ok when succeeded; the last tier's failure otherwise. */
+    Status finalStatus;
+
+    /** True when the program did not come from the requested
+     *  technique. */
+    bool
+    degraded() const
+    {
+        return !succeeded || usedScalarFallback ||
+               finalTechnique != requested;
+    }
+
+    std::string str() const;
+};
+
+/** Outcome of compileLoopResilient: a program (when any tier
+ *  succeeded) plus the full report. */
+struct ResilientCompile
+{
+    CompiledProgram program;    ///< valid only when ok()
+    CompileReport report;
+
+    bool ok() const { return report.succeeded; }
+};
+
+/**
+ * Compile with graceful degradation: attempt `technique`, and on any
+ * recoverable failure fall back through cheaper techniques —
+ * Selective -> Full -> ModuloOnly -> single-iteration scalar schedule
+ * (the requested technique always runs first, then the remaining
+ * chain). Never fatals; if every tier fails (only possible with
+ * persistent fault injection or a degenerate machine), the report
+ * carries the last status. `arrays` is only updated when a tier
+ * succeeds, and only with that tier's temporaries.
+ */
+ResilientCompile compileLoopResilient(const Loop &loop,
+                                      ArrayTable &arrays,
+                                      const Machine &machine,
+                                      Technique technique,
+                                      const DriverOptions &options = {});
 
 /** Execution result of a compiled program. */
 struct ExecResult
@@ -144,6 +245,33 @@ ExecResult runCompiled(const CompiledProgram &program,
 ExecResult runReference(const Loop &loop, const ArrayTable &arrays,
                         const Machine &machine, MemoryImage &mem,
                         const LiveEnv &live_ins, int64_t n);
+
+/**
+ * Source-loop live-in names missing from `live_ins` (lowering-internal
+ * "__" values are excluded: they default to zero). Non-empty means an
+ * execution would panic on an unbound live-in.
+ */
+std::vector<std::string> unboundLiveIns(const Loop &loop,
+                                        const LiveEnv &live_ins);
+
+/**
+ * runCompiled with the bindings checked first: an incomplete LiveEnv
+ * (a malformed request, in service terms) is an InvalidInput status,
+ * not a process death.
+ */
+Expected<ExecResult> tryRunCompiled(const CompiledProgram &program,
+                                    const ArrayTable &arrays,
+                                    const Machine &machine,
+                                    MemoryImage &mem,
+                                    const LiveEnv &live_ins, int64_t n);
+
+/** runReference with the bindings checked first. */
+Expected<ExecResult> tryRunReference(const Loop &loop,
+                                     const ArrayTable &arrays,
+                                     const Machine &machine,
+                                     MemoryImage &mem,
+                                     const LiveEnv &live_ins,
+                                     int64_t n);
 
 } // namespace selvec
 

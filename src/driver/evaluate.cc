@@ -39,7 +39,9 @@ evaluateSuite(const Suite &suite, const Machine &machine,
                              wl.liveIns, wl.tripCount);
             std::string diff = mem.diff(ref_mem);
             if (!diff.empty()) {
-                SV_FATAL("%s / %s / %s: memory diverged: %s",
+                // A divergence from the reference is a miscompile —
+                // an invariant bug, not bad input.
+                SV_PANIC("%s / %s / %s: memory diverged: %s",
                          suite.name.c_str(), loop.name.c_str(),
                          techniqueName(technique), diff.c_str());
             }
@@ -49,7 +51,7 @@ evaluateSuite(const Suite &suite, const Machine &machine,
                     continue;
                 if (!run.env.count(name) ||
                     !(run.env.at(name) == ref.env.at(name))) {
-                    SV_FATAL("%s / %s / %s: live-out '%s' diverged "
+                    SV_PANIC("%s / %s / %s: live-out '%s' diverged "
                              "(%s vs %s)",
                              suite.name.c_str(), loop.name.c_str(),
                              techniqueName(technique), name.c_str(),

@@ -524,6 +524,17 @@ verifyLoop(const ArrayTable &arrays, const Loop &loop)
     return c.error();
 }
 
+Status
+verifyLoopStatus(const ArrayTable &arrays, const Loop &loop)
+{
+    std::string err = verifyLoop(arrays, loop);
+    if (!err.empty()) {
+        return Status::error(ErrorCode::VerifyFailed, "ir-verify",
+                             "loop '" + loop.name + "': " + err);
+    }
+    return Status::success();
+}
+
 void
 verifyLoopOrDie(const ArrayTable &arrays, const Loop &loop)
 {

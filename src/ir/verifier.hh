@@ -11,6 +11,7 @@
 #include <string>
 
 #include "ir/loop.hh"
+#include "support/status.hh"
 
 namespace selvec
 {
@@ -32,6 +33,9 @@ namespace selvec
  *    XferLoad* operations.
  */
 std::string verifyLoop(const ArrayTable &arrays, const Loop &loop);
+
+/** Verify as a recoverable stage: VerifyFailed status on rejection. */
+Status verifyLoopStatus(const ArrayTable &arrays, const Loop &loop);
 
 /** Verify and fatal() with the diagnostic if the loop is malformed. */
 void verifyLoopOrDie(const ArrayTable &arrays, const Loop &loop);

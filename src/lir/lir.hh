@@ -37,22 +37,48 @@
 #define SELVEC_LIR_LIR_HH
 
 #include <string>
+#include <vector>
 
 #include "ir/loop.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
+
+/** One parse or verification problem, tied to a source line. */
+struct ParseDiag
+{
+    int line = 0;           ///< 1-based; 0 when no line applies
+    std::string message;
+};
 
 /** Result of parsing LIR text. */
 struct ParseResult
 {
     bool ok = false;
-    std::string error;      ///< "line N: message" when !ok
+
+    /** All diagnostics joined with newlines ("" when ok). */
+    std::string error;
+
+    /**
+     * Every problem found, in source order. The parser recovers at
+     * line granularity and keeps going, so one pass over a malformed
+     * file surfaces every error (capped at kMaxParseDiags).
+     */
+    std::vector<ParseDiag> diagnostics;
+
     Module module;
 };
 
+/** Diagnostic cap per parse; one summary entry marks truncation. */
+constexpr size_t kMaxParseDiags = 25;
+
 /** Parse a module (arrays plus loops) from LIR text. */
 ParseResult parseLir(const std::string &text);
+
+/** Parse as a recoverable stage: InvalidInput status on any
+ *  diagnostic, with every problem in the message. */
+Expected<Module> tryParseLir(const std::string &text);
 
 /** Parse, fatal()-ing on error: for embedded workload sources. */
 Module parseLirOrDie(const std::string &text);

@@ -117,8 +117,9 @@ class Parser
     ParseResult
     run()
     {
-        while (!atEnd() && ok()) {
+        while (!atEnd() && !capped()) {
             const std::string &kw = cur().peek();
+            size_t before = lineIdx;
             if (kw == "array") {
                 parseArray();
             } else if (kw == "loop") {
@@ -126,19 +127,28 @@ class Parser
             } else {
                 fail("expected 'array' or 'loop', got '" + kw + "'");
             }
+            recoverLine(before);
         }
         ParseResult pr;
-        pr.ok = ok();
-        pr.error = error;
-        if (pr.ok) {
+        if (diags.empty()) {
+            // Structural verification, per loop: a malformed file
+            // surfaces every loop's problems in one pass.
             for (const Loop &l : module.loops) {
                 std::string verr = verifyLoop(module.arrays, l);
                 if (!verr.empty()) {
-                    pr.ok = false;
-                    pr.error = "verifier: " + verr;
-                    break;
+                    addDiag(0, "verifier: loop '" + l.name + "': " +
+                                   verr);
                 }
             }
+        }
+        pr.ok = diags.empty();
+        pr.diagnostics = std::move(diags);
+        for (const ParseDiag &d : pr.diagnostics) {
+            if (!pr.error.empty())
+                pr.error += "\n";
+            if (d.line > 0)
+                pr.error += "line " + std::to_string(d.line) + ": ";
+            pr.error += d.message;
         }
         if (pr.ok)
             pr.module = std::move(module);
@@ -147,7 +157,8 @@ class Parser
 
   private:
     bool atEnd() const { return lineIdx >= lines.size(); }
-    bool ok() const { return error.empty(); }
+    bool ok() const { return !curError; }
+    bool capped() const { return diags.size() >= kMaxParseDiags; }
 
     Line &
     cur()
@@ -159,15 +170,61 @@ class Parser
     void
     advance()
     {
+        if (!atEnd())
+            lastLine = lines[lineIdx].number;
         ++lineIdx;
     }
 
     void
+    addDiag(int line, const std::string &msg)
+    {
+        if (diags.size() + 1 < kMaxParseDiags) {
+            diags.push_back(ParseDiag{line, msg});
+        } else if (diags.size() + 1 == kMaxParseDiags) {
+            diags.push_back(ParseDiag{
+                line, msg + " (too many errors; giving up)"});
+        }
+    }
+
+    /** Record a diagnostic for the current construct. Only the first
+     *  problem of a construct is recorded; recoverLine() re-arms. */
+    void
     fail(const std::string &msg)
     {
-        if (error.empty()) {
-            int number = atEnd() ? -1 : cur().number;
-            error = "line " + std::to_string(number) + ": " + msg;
+        if (curError)
+            return;
+        curError = true;
+        addDiag(atEnd() ? lastLine : cur().number, msg);
+    }
+
+    /**
+     * Line-granular error recovery: if the construct starting at line
+     * index `before` failed without consuming its line, skip that
+     * line, clear the error and keep parsing.
+     */
+    void
+    recoverLine(size_t before)
+    {
+        if (!curError)
+            return;
+        curError = false;
+        if (lineIdx == before && !atEnd())
+            advance();
+    }
+
+    /** Skip lines until `depth` opened braces have closed (used to
+     *  resynchronize after a malformed loop header). */
+    void
+    skipBalanced(int depth)
+    {
+        while (!atEnd() && depth > 0) {
+            for (const std::string &tok : cur().tokens) {
+                if (tok == "{")
+                    ++depth;
+                else if (tok == "}")
+                    --depth;
+            }
+            advance();
         }
     }
 
@@ -348,6 +405,11 @@ class Parser
     parseLoop()
     {
         Line &header = cur();
+        bool braced = false;
+        for (const std::string &tok : header.tokens) {
+            if (tok == "{")
+                braced = true;
+        }
         header.next();   // "loop"
         Loop l;
         l.name = expectToken("loop name");
@@ -355,18 +417,29 @@ class Parser
             header.next();
             l.coverage = static_cast<int>(expectInt("coverage"));
         }
-        if (!expectExact("{"))
+        if (!expectExact("{")) {
+            // Resynchronize past the whole loop so its items do not
+            // cascade into top-level errors.
+            advance();
+            if (braced)
+                skipBalanced(1);
             return;
+        }
         endLine();
 
         module.loops.push_back(std::move(l));
         loop = &module.loops.back();
         pendingLiveOuts.clear();
+        pendingLiveOutLanes.clear();
         pendingCarried.clear();
+        pendingPostStores.clear();
+        pendingPostReduces.clear();
+        pendingCarriedLanes.clear();
 
         bool closed = false;
-        while (ok() && !atEnd()) {
+        while (ok() && !atEnd() && !capped()) {
             const std::string &kw = cur().peek();
+            size_t before = lineIdx;
             if (kw == "}") {
                 cur().next();
                 endLine();
@@ -411,20 +484,24 @@ class Parser
             } else {
                 fail("unexpected '" + kw + "' in loop");
             }
+            recoverLine(before);
         }
-        if (ok() && !closed)
+        if (!closed && atEnd() && !capped()) {
             fail("unterminated loop '" + loop->name + "'");
-        if (!ok())
-            return;
+            curError = false;
+        }
 
         // Resolve deferred poststores (sources are body values; the
-        // statements may appear before or after the body block).
+        // statements may appear before or after the body block). Each
+        // resolution failure is recorded and the next item still
+        // resolves, so every dangling name is reported at once.
         for (const PendingPostStore &ps : pendingPostStores) {
             ValueId src = loop->findValue(ps.srcName);
             if (src == kNoValue) {
                 fail("poststore source '" + ps.srcName +
                      "' never defined");
-                return;
+                curError = false;
+                continue;
             }
             loop->poststores.push_back(PostStore{src, ps.lane, ps.ref});
         }
@@ -437,12 +514,15 @@ class Parser
             if (src == kNoValue) {
                 fail("post-reduce accumulator '" + pp.srcName +
                      "' never defined");
-                return;
+                curError = false;
+                continue;
             }
             ValueId dest = defineValue(pp.destName,
                                        elementType(loop->typeOf(src)));
-            if (!ok())
-                return;
+            if (!ok()) {
+                curError = false;
+                continue;
+            }
             ValueId chain = kNoValue;
             if (!pp.chainName.empty()) {
                 chain = loop->findValue(pp.chainName);
@@ -463,18 +543,23 @@ class Parser
             if (in == kNoValue || loop->carriedIndexOfIn(in) < 0) {
                 fail("carriedlanes for unknown carried '" +
                      pcl.inName + "'");
-                return;
+                curError = false;
+                continue;
             }
             std::vector<ValueId> lanes;
+            bool lanes_ok = true;
             for (const std::string &lane : pcl.laneNames) {
                 ValueId lv = loop->findValue(lane);
                 if (lv == kNoValue) {
                     fail("carried lane '" + lane + "' never defined");
-                    return;
+                    curError = false;
+                    lanes_ok = false;
+                    break;
                 }
                 lanes.push_back(lv);
             }
-            loop->carriedUpdateLanes.push_back(std::move(lanes));
+            if (lanes_ok)
+                loop->carriedUpdateLanes.push_back(std::move(lanes));
         }
         pendingCarriedLanes.clear();
 
@@ -484,7 +569,8 @@ class Parser
             if (upd == kNoValue) {
                 fail("carried update '" + pc.updateName +
                      "' never defined");
-                return;
+                curError = false;
+                continue;
             }
             int idx = loop->carriedIndexOfIn(pc.in);
             SV_ASSERT(idx >= 0, "lost carried record");
@@ -495,22 +581,27 @@ class Parser
             if (v == kNoValue) {
                 fail("live-out '" + pendingLiveOuts[i] +
                      "' never defined");
-                return;
+                curError = false;
+                continue;
             }
             loop->liveOuts.push_back(v);
             if (!pendingLiveOutLanes[i].empty()) {
                 std::vector<ValueId> lanes;
+                bool lanes_ok = true;
                 for (const std::string &lane :
                      pendingLiveOutLanes[i]) {
                     ValueId lv = loop->findValue(lane);
                     if (lv == kNoValue) {
                         fail("live-out lane '" + lane +
                              "' never defined");
-                        return;
+                        curError = false;
+                        lanes_ok = false;
+                        break;
                     }
                     lanes.push_back(lv);
                 }
-                loop->liveOutLanes.push_back(std::move(lanes));
+                if (lanes_ok)
+                    loop->liveOutLanes.push_back(std::move(lanes));
             }
         }
     }
@@ -716,15 +807,18 @@ class Parser
         if (!expectExact("{"))
             return;
         endLine();
-        while (ok() && !atEnd()) {
+        while (!atEnd() && !capped()) {
             if (cur().peek() == "}") {
                 cur().next();
                 endLine();
                 return;
             }
+            size_t before = lineIdx;
             parseStmt();
+            recoverLine(before);
         }
-        fail("unterminated body");
+        if (!capped())
+            fail("unterminated body");
     }
 
     void
@@ -920,7 +1014,9 @@ class Parser
 
     std::vector<Line> lines;
     size_t lineIdx = 0;
-    std::string error;
+    int lastLine = 0;       ///< number of the last line consumed
+    bool curError = false;  ///< current construct has failed
+    std::vector<ParseDiag> diags;
     Module module;
 };
 
@@ -931,6 +1027,17 @@ parseLir(const std::string &text)
 {
     Parser parser(text);
     return parser.run();
+}
+
+Expected<Module>
+tryParseLir(const std::string &text)
+{
+    ParseResult pr = parseLir(text);
+    if (!pr.ok) {
+        return Status::error(ErrorCode::InvalidInput, "lir-parse",
+                             pr.error);
+    }
+    return std::move(pr.module);
 }
 
 Module

@@ -158,4 +158,20 @@ packedHighWater(const Machine &m, const std::vector<Opcode> &opcodes)
     return bins.highWaterMark();
 }
 
+std::string
+packedBindingUnit(const Machine &m, const std::vector<Opcode> &opcodes)
+{
+    ReservationBins bins(m);
+    for (int idx : packingOrder(m, opcodes))
+        bins.reserve(opcodes[static_cast<size_t>(idx)]);
+    if (bins.numBins() == 0)
+        return "none";
+    int binding = 0;
+    for (int unit = 1; unit < bins.numBins(); ++unit) {
+        if (bins.weight(unit) > bins.weight(binding))
+            binding = unit;
+    }
+    return m.unitName(binding);
+}
+
 } // namespace selvec

@@ -99,6 +99,14 @@ std::vector<int> packingOrder(const Machine &m,
 int64_t packedHighWater(const Machine &m,
                         const std::vector<Opcode> &opcodes);
 
+/**
+ * Pack a bag of opcodes and name the binding resource — the concrete
+ * unit holding the high-water mark ("FpUnit0"). Identifies which
+ * resource a schedule failure is starved on.
+ */
+std::string packedBindingUnit(const Machine &m,
+                              const std::vector<Opcode> &opcodes);
+
 } // namespace selvec
 
 #endif // SELVEC_MACHINE_BINPACK_HH

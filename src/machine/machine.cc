@@ -53,33 +53,64 @@ Machine::unitName(int unit) const
     return "Unit?" + std::to_string(unit);
 }
 
-void
-Machine::validate() const
+std::string
+Machine::check() const
 {
-    SV_ASSERT(vectorLength >= 2, "machine '%s': vector length %d < 2",
-              name.c_str(), vectorLength);
+    std::string problems;
+    auto add = [&](std::string p) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += std::move(p);
+    };
+
+    if (vectorLength < 2) {
+        add(strfmt("vector length %d < 2", vectorLength));
+    }
     for (int i = 0; i < kNumResKinds; ++i) {
-        SV_ASSERT(counts[i] >= 0, "machine '%s': negative unit count",
-                  name.c_str());
+        if (counts[i] < 0) {
+            add(strfmt("negative count for resource %s",
+                       resKindName(static_cast<ResKind>(i))));
+        }
     }
     for (int c = 0; c < kNumOpClasses; ++c) {
         const ClassDesc &desc = classes[c];
-        SV_ASSERT(desc.latency >= 1,
-                  "machine '%s': class %s has latency %d",
-                  name.c_str(),
-                  opClassName(static_cast<OpClass>(c)), desc.latency);
+        if (desc.latency < 1) {
+            add(strfmt("class %s has latency %d",
+                       opClassName(static_cast<OpClass>(c)),
+                       desc.latency));
+        }
         for (const Reservation &r : desc.reservations) {
-            SV_ASSERT(r.cycles >= 1,
-                      "machine '%s': zero-cycle reservation",
-                      name.c_str());
-            SV_ASSERT(unitCount(r.kind) > 0,
-                      "machine '%s': class %s reserves absent "
-                      "resource %s",
-                      name.c_str(),
-                      opClassName(static_cast<OpClass>(c)),
-                      resKindName(r.kind));
+            if (r.cycles < 1) {
+                add(strfmt("class %s has a zero-cycle reservation",
+                           opClassName(static_cast<OpClass>(c))));
+            }
+            if (unitCount(r.kind) <= 0) {
+                add(strfmt("class %s reserves absent resource %s",
+                           opClassName(static_cast<OpClass>(c)),
+                           resKindName(r.kind)));
+            }
         }
     }
+    return problems;
+}
+
+Status
+Machine::validateStatus() const
+{
+    std::string problems = check();
+    if (!problems.empty()) {
+        return Status::error(ErrorCode::InvalidInput, "machine",
+                             "machine '" + name + "': " + problems);
+    }
+    return Status::success();
+}
+
+void
+Machine::validate() const
+{
+    std::string problems = check();
+    SV_ASSERT(problems.empty(), "machine '%s': %s", name.c_str(),
+              problems.c_str());
 }
 
 namespace

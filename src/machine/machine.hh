@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ir/opcodes.hh"
+#include "support/status.hh"
 
 namespace selvec
 {
@@ -159,8 +160,19 @@ class Machine
     /** Human-readable name of a concrete unit ("IntUnit2"). */
     std::string unitName(int unit) const;
 
-    /** Sanity-check the description (positive counts for every kind
-     *  referenced by a reservation, positive latencies, VL >= 2). */
+    /**
+     * Describe every problem with the description (counts for every
+     * kind referenced by a reservation, positive latencies, VL >= 2);
+     * "" when well-formed. The recoverable check behind validate(),
+     * for user-supplied machine descriptions.
+     */
+    std::string check() const;
+
+    /** check() as a Status (InvalidInput, stage "machine"). */
+    Status validateStatus() const;
+
+    /** Sanity-check the description; panics on a malformed machine
+     *  (stock machines are validated at construction). */
     void validate() const;
 };
 

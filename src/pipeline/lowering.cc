@@ -1,5 +1,7 @@
 #include "pipeline/lowering.hh"
 
+#include "ir/verifier.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace selvec
@@ -40,6 +42,27 @@ lowerForScheduling(const Loop &loop, const Machine &machine)
     br.opcode = Opcode::Br;
     lowered.addOp(std::move(br));
 
+    return lowered;
+}
+
+Expected<Loop>
+tryLowerForScheduling(const Loop &loop, const ArrayTable &arrays,
+                      const Machine &machine)
+{
+    if (faultPointHit("lowering.lower")) {
+        return Status::error(
+            ErrorCode::Internal, "lowering",
+            strfmt("fault injected at lowering.lower: lowering of "
+                   "loop '%s' forced to fail",
+                   loop.name.c_str()));
+    }
+    Loop lowered = lowerForScheduling(loop, machine);
+    std::string err = verifyLoop(arrays, lowered);
+    if (!err.empty()) {
+        return Status::error(ErrorCode::VerifyFailed, "lowering",
+                             "lowered loop '" + loop.name +
+                                 "' fails verification: " + err);
+    }
     return lowered;
 }
 

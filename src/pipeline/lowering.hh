@@ -16,6 +16,7 @@
 
 #include "ir/loop.hh"
 #include "machine/machine.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
@@ -28,6 +29,15 @@ namespace selvec
  * where memory operations embed their own displacements.
  */
 Loop lowerForScheduling(const Loop &loop, const Machine &machine);
+
+/**
+ * Lowering as a recoverable stage: carries the "lowering.lower" fault
+ * injection point and verifies the lowered loop, so a lowering bug (or
+ * an injected failure) degrades instead of crashing.
+ */
+Expected<Loop> tryLowerForScheduling(const Loop &loop,
+                                     const ArrayTable &arrays,
+                                     const Machine &machine);
 
 } // namespace selvec
 

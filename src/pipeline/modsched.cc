@@ -5,6 +5,7 @@
 
 #include "analysis/recmii.hh"
 #include "machine/binpack.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace selvec
@@ -356,6 +357,15 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
         result.mii * options.maxIiFactor + options.maxIiSlack;
     int budget = options.budgetFactor * lowered.numOps();
 
+    if (faultPointHit("modsched.search")) {
+        result.code = ErrorCode::ScheduleBudgetExhausted;
+        result.error = strfmt(
+            "fault injected at modsched.search: II search for loop "
+            "'%s' forced to fail",
+            lowered.name.c_str());
+        return result;
+    }
+
     for (int64_t ii = result.mii; ii <= max_ii; ++ii) {
         ++result.attempts;
         if (tryScheduleAtIi(lowered, graph, machine, ii, budget,
@@ -366,8 +376,19 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
             return result;
         }
     }
-    result.error = "no schedule found for loop '" + lowered.name +
-                   "' up to II " + std::to_string(max_ii);
+    result.code = ErrorCode::ScheduleBudgetExhausted;
+    result.error = strfmt(
+        "no schedule found for loop '%s': tried II %lld..%lld "
+        "(MII %lld = max(ResMII %lld bound by %s, RecMII %lld)), "
+        "placement budget %d (%d ops x factor %d) exhausted at each "
+        "of %d candidate IIs",
+        lowered.name.c_str(), static_cast<long long>(result.mii),
+        static_cast<long long>(max_ii),
+        static_cast<long long>(result.mii),
+        static_cast<long long>(result.resMii),
+        packedBindingUnit(machine, opcodes).c_str(),
+        static_cast<long long>(result.recMii), budget,
+        lowered.numOps(), options.budgetFactor, result.attempts);
     return result;
 }
 

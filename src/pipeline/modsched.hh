@@ -22,6 +22,7 @@
 
 #include "analysis/depgraph.hh"
 #include "pipeline/schedule.hh"
+#include "support/status.hh"
 
 namespace selvec
 {
@@ -40,6 +41,10 @@ struct ScheduleResult
 {
     bool ok = false;
     std::string error;
+
+    /** Why scheduling failed (Ok when `ok`): the structured code a
+     *  Status threads up through the driver. */
+    ErrorCode code = ErrorCode::Ok;
 
     ModuloSchedule schedule;
 

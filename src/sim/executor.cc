@@ -166,7 +166,10 @@ class Engine
                                             : RtVal::scalarI(0));
                 continue;
             }
-            SV_FATAL("loop '%s': live-in '%s' unbound",
+            // Callers must bind every live-in (tryRunCompiled /
+            // tryRunReference check first); reaching here is a
+            // precondition violation.
+            SV_PANIC("loop '%s': live-in '%s' unbound",
                      loop.name.c_str(), name.c_str());
         }
     }

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Expected<T>: a value or the Status explaining why there is none.
+ *
+ * The recoverable counterpart of returning T and fatal()-ing on
+ * failure. Construction from a Status requires a non-OK status (an OK
+ * status with no value would be a contradiction and panics).
+ */
+
+#ifndef SELVEC_SUPPORT_EXPECTED_HH
+#define SELVEC_SUPPORT_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "support/logging.hh"
+#include "support/status.hh"
+
+namespace selvec
+{
+
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : var(std::in_place_index<0>, std::move(value)) {}
+
+    Expected(Status status)
+        : var(std::in_place_index<1>, std::move(status))
+    {
+        SV_ASSERT(!std::get<1>(var).ok(),
+                  "Expected constructed from an OK status");
+    }
+
+    bool ok() const { return var.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        SV_ASSERT(ok(), "Expected::value() on error: %s",
+                  std::get<1>(var).str().c_str());
+        return std::get<0>(var);
+    }
+
+    T &
+    value() &
+    {
+        SV_ASSERT(ok(), "Expected::value() on error: %s",
+                  std::get<1>(var).str().c_str());
+        return std::get<0>(var);
+    }
+
+    /** Move the value out (the Expected is left moved-from). */
+    T
+    takeValue()
+    {
+        SV_ASSERT(ok(), "Expected::takeValue() on error: %s",
+                  std::get<1>(var).str().c_str());
+        return std::move(std::get<0>(var));
+    }
+
+    /** The failure; OK results report Status::success(). */
+    Status
+    status() const
+    {
+        return ok() ? Status::success() : std::get<1>(var);
+    }
+
+  private:
+    std::variant<T, Status> var;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_EXPECTED_HH

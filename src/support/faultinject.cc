@@ -1,0 +1,182 @@
+#include "support/faultinject.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+/**
+ * The registry of injection points. Centralised so sweeps can
+ * enumerate every site without first executing the code that hits it,
+ * and so faultPointHit can reject misspelled names.
+ */
+const std::vector<std::string> &
+registry()
+{
+    static const std::vector<std::string> sites = {
+        "partition.kl",       // core/partition.cc: KL partitioning
+        "modsched.search",    // pipeline/modsched.cc: II search
+        "lowering.lower",     // pipeline/lowering.cc: pre-schedule
+        "checker.validate",   // driver: schedule validation
+    };
+    return sites;
+}
+
+struct InjectState
+{
+    std::mutex mutex;
+    FaultPlan plan;
+    std::map<std::string, int> hits;
+};
+
+InjectState &
+state()
+{
+    static InjectState s;
+    return s;
+}
+
+/** Fast path: skip the mutex entirely while no plan is armed. */
+std::atomic<bool> g_armed{false};
+
+} // anonymous namespace
+
+Expected<FaultPlan>
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+
+        std::string site = entry;
+        FaultSpec fs;
+        size_t colon = entry.find(':');
+        if (colon != std::string::npos) {
+            site = entry.substr(0, colon);
+            std::string count = entry.substr(colon + 1);
+            size_t plus = count.find('+');
+            std::string fail_part = count;
+            if (plus != std::string::npos) {
+                std::string skip_part = count.substr(0, plus);
+                fail_part = count.substr(plus + 1);
+                char *end = nullptr;
+                fs.skip = static_cast<int>(
+                    std::strtol(skip_part.c_str(), &end, 10));
+                if (end == skip_part.c_str() || *end != '\0' ||
+                    fs.skip < 0) {
+                    return Status::error(
+                        ErrorCode::InvalidInput, "fault-plan",
+                        "bad skip count '" + skip_part + "' in '" +
+                            entry + "'");
+                }
+            }
+            if (fail_part == "*") {
+                fs.failures = -1;
+            } else {
+                char *end = nullptr;
+                fs.failures = static_cast<int>(
+                    std::strtol(fail_part.c_str(), &end, 10));
+                if (end == fail_part.c_str() || *end != '\0' ||
+                    fs.failures < 0) {
+                    return Status::error(
+                        ErrorCode::InvalidInput, "fault-plan",
+                        "bad failure count '" + fail_part + "' in '" +
+                            entry + "'");
+                }
+            }
+        }
+        if (!faultSiteKnown(site)) {
+            return Status::error(ErrorCode::InvalidInput, "fault-plan",
+                                 "unknown injection site '" + site +
+                                     "'");
+        }
+        plan.sites[site] = fs;
+    }
+    return plan;
+}
+
+void
+installFaultPlan(const FaultPlan &plan)
+{
+    for (const auto &[site, spec] : plan.sites) {
+        SV_ASSERT(faultSiteKnown(site),
+                  "fault plan arms unknown site '%s'", site.c_str());
+        (void)spec;
+    }
+    InjectState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.plan = plan;
+    s.hits.clear();
+    g_armed.store(!plan.empty(), std::memory_order_release);
+}
+
+void
+clearFaultPlan()
+{
+    InjectState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.plan = FaultPlan();
+    s.hits.clear();
+    g_armed.store(false, std::memory_order_release);
+}
+
+bool
+faultPointHit(const char *site)
+{
+    if (!g_armed.load(std::memory_order_acquire))
+        return false;
+
+    SV_ASSERT(faultSiteKnown(site), "unregistered fault site '%s'",
+              site);
+    InjectState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    int hit = s.hits[site]++;
+    auto it = s.plan.sites.find(site);
+    if (it == s.plan.sites.end())
+        return false;
+    const FaultSpec &fs = it->second;
+    if (hit < fs.skip)
+        return false;
+    return fs.failures < 0 || hit - fs.skip < fs.failures;
+}
+
+int
+faultHits(const std::string &site)
+{
+    InjectState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.hits.find(site);
+    return it == s.hits.end() ? 0 : it->second;
+}
+
+const std::vector<std::string> &
+faultSiteNames()
+{
+    return registry();
+}
+
+bool
+faultSiteKnown(const std::string &site)
+{
+    for (const std::string &name : registry()) {
+        if (name == site)
+            return true;
+    }
+    return false;
+}
+
+} // namespace selvec

@@ -1,0 +1,32 @@
+#include "support/status.hh"
+
+namespace selvec
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:                      return "ok";
+      case ErrorCode::InvalidInput:            return "invalid-input";
+      case ErrorCode::VerifyFailed:            return "verify-failed";
+      case ErrorCode::ScheduleBudgetExhausted:
+        return "schedule-budget-exhausted";
+      case ErrorCode::PartitionFailed:         return "partition-failed";
+      case ErrorCode::Internal:                return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::str() const
+{
+    if (ok())
+        return "ok";
+    std::string out = "[" + stage_ + "] " + errorCodeName(code_);
+    if (!message_.empty())
+        out += ": " + message_;
+    return out;
+}
+
+} // namespace selvec

@@ -18,8 +18,8 @@ suiteNames()
     return names;
 }
 
-Suite
-makeSuite(const std::string &name)
+Expected<Suite>
+tryMakeSuite(const std::string &name)
 {
     if (name == "093.nasa7")
         return makeNasa7();
@@ -39,7 +39,17 @@ makeSuite(const std::string &name)
         return makeMgrid();
     if (name == "301.apsi")
         return makeApsi();
-    SV_FATAL("unknown suite '%s'", name.c_str());
+    return Status::error(ErrorCode::InvalidInput, "workloads",
+                         "unknown suite '" + name + "'");
+}
+
+Suite
+makeSuiteOrDie(const std::string &name)
+{
+    Expected<Suite> suite = tryMakeSuite(name);
+    if (!suite.ok())
+        SV_FATAL("%s", suite.status().str().c_str());
+    return suite.takeValue();
 }
 
 std::vector<Suite>

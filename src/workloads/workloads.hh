@@ -27,6 +27,7 @@
 
 #include "ir/loop.hh"
 #include "sim/executor.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
@@ -58,8 +59,18 @@ struct Suite
 /** Names of the nine Table 2 suites, in the paper's order. */
 const std::vector<std::string> &suiteNames();
 
+/** Build a suite by name; unknown names are an InvalidInput status. */
+Expected<Suite> tryMakeSuite(const std::string &name);
+
 /** Build a suite by name (fatal on unknown name). */
-Suite makeSuite(const std::string &name);
+Suite makeSuiteOrDie(const std::string &name);
+
+/** Historic name of makeSuiteOrDie. */
+inline Suite
+makeSuite(const std::string &name)
+{
+    return makeSuiteOrDie(name);
+}
 
 /** All nine suites. */
 std::vector<Suite> allSuites();

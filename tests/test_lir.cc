@@ -211,8 +211,107 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"trailing_tokens", "array A f64 4 5 6\n"},
         BadCase{"bad_liveout",
                 "array A f64 4\nloop t {\n liveout nope\n body {\n a "
-                "= load A[i]\n store A[i] = a\n }\n}\n"}),
+                "= load A[i]\n store A[i] = a\n }\n}\n"},
+        BadCase{"empty_input_loop", "loop t\n"},
+        BadCase{"missing_equals",
+                "array A f64 4\nloop t {\n body {\n a load A[i]\n "
+                "}\n}\n"},
+        BadCase{"bad_type", "array A f80 4\n"},
+        BadCase{"bad_array_size", "array A f64 many\n"},
+        BadCase{"bad_livein_type",
+                "array A f64 4\nloop t {\n livein s0 f80\n body {\n a "
+                "= load A[i]\n store A[i] = a\n }\n}\n"},
+        BadCase{"bad_coverage",
+                "array A f64 4\nloop t cover x {\n body {\n a = load "
+                "A[i]\n store A[i] = a\n }\n}\n"},
+        BadCase{"unterminated_body",
+                "array A f64 4\nloop t {\n body {\n a = load A[i]\n"},
+        BadCase{"bad_int_literal",
+                "array A f64 4\nloop t {\n body {\n c = iconst ten\n "
+                "store A[0] = c\n }\n}\n"},
+        BadCase{"bad_float_literal",
+                "array A f64 4\nloop t {\n body {\n c = fconst pi\n "
+                "store A[0] = c\n }\n}\n"},
+        BadCase{"self_use",
+                "array A f64 4\nloop t {\n body {\n a = fadd a a\n "
+                "store A[0] = a\n }\n}\n"},
+        BadCase{"bad_subscript_scale",
+                "array A f64 4\nloop t {\n body {\n a = load A[xi + "
+                "1]\n store A[i] = a\n }\n}\n"},
+        BadCase{"store_missing_value",
+                "array A f64 4\nloop t {\n body {\n a = load A[i]\n "
+                "store A[i] =\n }\n}\n"}),
     [](const auto &info) { return std::string(info.param.name); });
+
+TEST(LirErrors, MultipleDiagnosticsWithLineNumbers)
+{
+    // One file, three independent mistakes: the parser must report
+    // all of them in one pass, each anchored to its line.
+    ParseResult pr = parseLir(R"(array A f64 64
+loop t {
+    livein s0 f80
+    body {
+        a = load A[i]
+        b = zmul a a
+        c = fadd a
+        store A[i] = a
+    }
+}
+)");
+    ASSERT_FALSE(pr.ok);
+    ASSERT_GE(pr.diagnostics.size(), 3u) << pr.error;
+    EXPECT_EQ(pr.diagnostics[0].line, 3);
+    EXPECT_EQ(pr.diagnostics[1].line, 6);
+    EXPECT_EQ(pr.diagnostics[2].line, 7);
+    EXPECT_NE(pr.error.find("line 3"), std::string::npos) << pr.error;
+    EXPECT_NE(pr.error.find("line 6"), std::string::npos) << pr.error;
+    EXPECT_NE(pr.error.find("line 7"), std::string::npos) << pr.error;
+}
+
+TEST(LirErrors, RecoveryCrossesLoopBoundaries)
+{
+    // A malformed loop must not swallow the diagnostics of a later
+    // loop in the same file.
+    ParseResult pr = parseLir(R"(array A f64 64
+loop broken {
+    body {
+        a = zmul a a
+    }
+}
+loop alsobad {
+    body {
+        b = load A[j]
+        store A[i] = b
+    }
+}
+)");
+    ASSERT_FALSE(pr.ok);
+    ASSERT_GE(pr.diagnostics.size(), 2u) << pr.error;
+    bool saw_first = false, saw_second = false;
+    for (const ParseDiag &d : pr.diagnostics) {
+        if (d.line == 4)
+            saw_first = true;
+        if (d.line == 9)
+            saw_second = true;
+    }
+    EXPECT_TRUE(saw_first) << pr.error;
+    EXPECT_TRUE(saw_second) << pr.error;
+}
+
+TEST(LirErrors, DiagnosticCountIsCapped)
+{
+    // A pathological file stops at kMaxParseDiags diagnostics rather
+    // than producing one per line forever.
+    std::string text = "array A f64 64\nloop t {\n body {\n";
+    for (int i = 0; i < 200; ++i)
+        text += " v" + std::to_string(i) + " = zmul x y\n";
+    text += " }\n}\n";
+    ParseResult pr = parseLir(text);
+    ASSERT_FALSE(pr.ok);
+    EXPECT_EQ(pr.diagnostics.size(), kMaxParseDiags);
+    EXPECT_NE(pr.diagnostics.back().message.find("giving up"),
+              std::string::npos);
+}
 
 TEST(LirWrite, RoundTripPreservesStructure)
 {
