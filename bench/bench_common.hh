@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared command-line surface of the bench harnesses.
+ *
+ * Every bench binary accepts:
+ *   --json <path>   write the machine-readable selvec-bench-v1
+ *                   document (per-loop technique/II/ResMII/RecMII/
+ *                   cycles/speedup plus the stats and trace trees)
+ *                   beside the human-readable table;
+ *   --quick         reduced workload weights (capped trip counts,
+ *                   scaled-down invocation counts) for CI smoke runs —
+ *                   cycle counts are simulated and deterministic, so
+ *                   quick-mode documents are comparable across
+ *                   machines but NOT against full-mode documents (the
+ *                   "mode" field records which one was run).
+ */
+
+#ifndef SELVEC_BENCH_BENCH_COMMON_HH
+#define SELVEC_BENCH_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/reportjson.hh"
+#include "workloads/workloads.hh"
+
+namespace selvec
+{
+
+struct BenchCli
+{
+    std::string jsonPath;       ///< empty: no JSON output
+    bool quick = false;
+    std::vector<std::string> rest;  ///< unconsumed arguments
+
+    const char *mode() const { return quick ? "quick" : "full"; }
+
+    static BenchCli
+    parse(int argc, char **argv)
+    {
+        BenchCli cli;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--quick") {
+                cli.quick = true;
+            } else if (arg == "--json" && i + 1 < argc) {
+                cli.jsonPath = argv[++i];
+            } else if (arg.rfind("--json=", 0) == 0) {
+                cli.jsonPath = arg.substr(7);
+            } else {
+                cli.rest.push_back(arg);
+            }
+        }
+        return cli;
+    }
+};
+
+/**
+ * Shrink a suite for CI smoke runs: trip counts capped at 96 (enough
+ * for several pipeline stages plus a cleanup remainder) and
+ * invocation weights divided by 4. Deterministic, so a quick-mode
+ * baseline is bit-stable.
+ */
+inline void
+applyQuickMode(Suite &suite)
+{
+    for (WorkloadLoop &wl : suite.loops) {
+        wl.tripCount = std::min<int64_t>(wl.tripCount, 96);
+        wl.invocations = std::max<int64_t>(1, wl.invocations / 4);
+    }
+}
+
+/** Emit the document (with the stats/trace tail) when --json given. */
+inline void
+finishBenchJson(const BenchCli &cli, JsonValue &doc)
+{
+    if (cli.jsonPath.empty())
+        return;
+    attachObservability(doc);
+    if (writeJsonFile(cli.jsonPath, doc))
+        std::printf("wrote %s\n", cli.jsonPath.c_str());
+}
+
+} // namespace selvec
+
+#endif // SELVEC_BENCH_BENCH_COMMON_HH

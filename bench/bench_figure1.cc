@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "analysis/depgraph.hh"
+#include "bench_common.hh"
 #include "driver/driver.hh"
 #include "lir/lir.hh"
 #include "machine/machine.hh"
@@ -42,7 +43,7 @@ printDirect(const selvec::Loop &loop, const selvec::ArrayTable &arrays,
                 formatKernel(lowered, machine, sr.schedule).c_str());
 }
 
-void
+selvec::CompiledProgram
 printTechnique(const selvec::Loop &loop,
                const selvec::ArrayTable &base_arrays,
                const selvec::Machine &machine,
@@ -62,14 +63,16 @@ printTechnique(const selvec::Loop &loop,
                     formatKernel(cl.main, machine,
                                  cl.mainSchedule).c_str());
     }
+    return program;
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace selvec;
+    BenchCli cli = BenchCli::parse(argc, argv);
     Suite suite = dotProductSuite();
     const Loop &dot = suite.module.loops.front();
     Machine machine = toyMachine();
@@ -77,15 +80,24 @@ main()
     std::printf("Figure 1: dot product on the 3-slot example machine\n\n");
     printDirect(dot, suite.module.arrays, machine,
                 "Figure 1(c): modulo scheduling, II 2.0");
-    printTechnique(dot, suite.module.arrays, machine,
-                   Technique::Traditional,
-                   "Figure 1(d): traditional vectorization "
-                   "(distribution), II 2.0 + 1.0 = 3.0");
-    printTechnique(dot, suite.module.arrays, machine, Technique::Full,
-                   "Figure 1(e): full vectorization, loop intact, "
-                   "II 1.5");
-    printTechnique(dot, suite.module.arrays, machine,
-                   Technique::Selective,
-                   "Figure 1(f): selective vectorization, II 1.0");
+    CompiledProgram trad = printTechnique(
+        dot, suite.module.arrays, machine, Technique::Traditional,
+        "Figure 1(d): traditional vectorization "
+        "(distribution), II 2.0 + 1.0 = 3.0");
+    CompiledProgram full = printTechnique(
+        dot, suite.module.arrays, machine, Technique::Full,
+        "Figure 1(e): full vectorization, loop intact, "
+        "II 1.5");
+    CompiledProgram sel = printTechnique(
+        dot, suite.module.arrays, machine, Technique::Selective,
+        "Figure 1(f): selective vectorization, II 1.0");
+
+    JsonValue doc = benchDocument("bench_figure1", cli.mode());
+    JsonValue programs = JsonValue::array();
+    programs.append(jsonOfCompiledProgram(trad));
+    programs.append(jsonOfCompiledProgram(full));
+    programs.append(jsonOfCompiledProgram(sel));
+    doc.set("programs", std::move(programs));
+    finishBenchJson(cli, doc);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "driver/evaluate.hh"
 #include "machine/machine.hh"
 #include "workloads/workloads.hh"
@@ -39,10 +40,13 @@ const PaperRow kPaper[] = {
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace selvec;
+    BenchCli cli = BenchCli::parse(argc, argv);
     Machine machine = paperMachine();
+    JsonValue doc = benchDocument("bench_table2", cli.mode());
+    JsonValue suites = JsonValue::array();
 
     std::printf("Table 2: speedup over modulo scheduling "
                 "(measured | paper)\n");
@@ -55,6 +59,8 @@ main()
 
     for (const PaperRow &row : kPaper) {
         Suite suite = makeSuite(row.name);
+        if (cli.quick)
+            applyQuickMode(suite);
         SuiteReport base =
             evaluateSuite(suite, machine, Technique::ModuloOnly);
         SuiteReport trad =
@@ -73,9 +79,15 @@ main()
         geo_meas *= s_sel;
         geo_paper *= row.selective;
         ++count;
+
+        suites.append(jsonOfSuiteComparison(base, {trad, full, sel}));
     }
+    double geomean = std::pow(geo_meas, 1.0 / count);
     std::printf("%-14s %19s %19s %9.2f | %4.2f\n", "geomean", "", "",
-                std::pow(geo_meas, 1.0 / count),
-                std::pow(geo_paper, 1.0 / count));
+                geomean, std::pow(geo_paper, 1.0 / count));
+
+    doc.set("suites", std::move(suites));
+    doc.set("geomean_selective_speedup", geomean);
+    finishBenchJson(cli, doc);
     return 0;
 }

@@ -11,8 +11,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
+#include "bench_common.hh"
 #include "driver/evaluate.hh"
 #include "machine/machine.hh"
 #include "workloads/workloads.hh"
@@ -48,9 +48,13 @@ int
 main(int argc, char **argv)
 {
     using namespace selvec;
-    bool verbose = argc > 1 && std::strcmp(argv[1], "--verbose") == 0;
+    BenchCli cli = BenchCli::parse(argc, argv);
+    bool verbose = std::find(cli.rest.begin(), cli.rest.end(),
+                             "--verbose") != cli.rest.end();
 
     Machine machine = paperMachine();
+    JsonValue doc = benchDocument("bench_table3", cli.mode());
+    JsonValue suites = JsonValue::array();
     const double eps = 1e-9;
 
     std::printf("Table 3: loops where selective vectorization beats / "
@@ -61,6 +65,8 @@ main(int argc, char **argv)
 
     for (const PaperRow &row : kPaper) {
         Suite suite = makeSuite(row.name);
+        if (cli.quick)
+            applyQuickMode(suite);
         SuiteReport base =
             evaluateSuite(suite, machine, Technique::ModuloOnly);
         SuiteReport trad =
@@ -110,6 +116,26 @@ main(int argc, char **argv)
                     row.name, counted, rb, re, rw, ib, ie, iw,
                     row.resBetter, row.resEqual, row.resWorse,
                     row.iiBetter, row.iiEqual, row.iiWorse, row.loops);
+
+        JsonValue entry = JsonValue::object();
+        entry.set("suite", suite.name);
+        entry.set("resource_limited_loops",
+                  static_cast<int64_t>(counted));
+        JsonValue tallies = JsonValue::object();
+        tallies.set("res_mii_better", static_cast<int64_t>(rb));
+        tallies.set("res_mii_equal", static_cast<int64_t>(re));
+        tallies.set("res_mii_worse", static_cast<int64_t>(rw));
+        tallies.set("ii_better", static_cast<int64_t>(ib));
+        tallies.set("ii_equal", static_cast<int64_t>(ie));
+        tallies.set("ii_worse", static_cast<int64_t>(iw));
+        entry.set("selective_vs_best", std::move(tallies));
+        // Entries 0..2: traditional, full, selective (position is
+        // part of the schema).
+        entry.set("comparison",
+                  jsonOfSuiteComparison(base, {trad, full, sel}));
+        suites.append(std::move(entry));
     }
+    doc.set("suites", std::move(suites));
+    finishBenchJson(cli, doc);
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "driver/evaluate.hh"
 #include "machine/machine.hh"
 #include "workloads/workloads.hh"
@@ -35,10 +36,13 @@ const PaperRow kPaper[] = {
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace selvec;
+    BenchCli cli = BenchCli::parse(argc, argv);
     Machine machine = paperMachine();
+    JsonValue doc = benchDocument("bench_table4", cli.mode());
+    JsonValue suites = JsonValue::array();
 
     std::printf("Table 4: selective vectorization speedup with "
                 "communication cost considered vs ignored\n");
@@ -47,6 +51,8 @@ main()
 
     for (const PaperRow &row : kPaper) {
         Suite suite = makeSuite(row.name);
+        if (cli.quick)
+            applyQuickMode(suite);
         SuiteReport base =
             evaluateSuite(suite, machine, Technique::ModuloOnly);
 
@@ -62,6 +68,13 @@ main()
         std::printf("%-14s %8.2f | %4.2f %11.2f | %4.2f\n", row.name,
                     speedupOver(base, with_comm), row.considered,
                     speedupOver(base, without_comm), row.ignored);
+
+        // Two selective variants: entry 0 considers communication,
+        // entry 1 ignores it (position is part of the schema).
+        suites.append(
+            jsonOfSuiteComparison(base, {with_comm, without_comm}));
     }
+    doc.set("suites", std::move(suites));
+    finishBenchJson(cli, doc);
     return 0;
 }

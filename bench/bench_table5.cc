@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "driver/evaluate.hh"
 #include "machine/machine.hh"
 #include "workloads/workloads.hh"
@@ -34,9 +35,12 @@ const PaperRow kPaper[] = {
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace selvec;
+    BenchCli cli = BenchCli::parse(argc, argv);
+    JsonValue doc = benchDocument("bench_table5", cli.mode());
+    JsonValue suites = JsonValue::array();
 
     std::printf("Table 5: selective vectorization speedup, misaligned "
                 "vs aligned vector memory\n");
@@ -45,6 +49,8 @@ main()
 
     for (const PaperRow &row : kPaper) {
         Suite suite = makeSuite(row.name);
+        if (cli.quick)
+            applyQuickMode(suite);
 
         Machine mis = paperMachine();
         SuiteReport base_mis =
@@ -62,6 +68,18 @@ main()
         std::printf("%-14s %8.2f | %4.2f %11.2f | %4.2f\n", row.name,
                     speedupOver(base_mis, sel_mis), row.misaligned,
                     speedupOver(base_ali, sel_ali), row.aligned);
+
+        // Entry 0: misaligned machine (vs its own baseline); a second
+        // comparison object carries the aligned machine.
+        JsonValue entry = JsonValue::object();
+        entry.set("suite", suite.name);
+        entry.set("misaligned",
+                  jsonOfSuiteComparison(base_mis, {sel_mis}));
+        entry.set("aligned",
+                  jsonOfSuiteComparison(base_ali, {sel_ali}));
+        suites.append(std::move(entry));
     }
+    doc.set("suites", std::move(suites));
+    finishBenchJson(cli, doc);
     return 0;
 }

@@ -13,6 +13,9 @@
  *   --direct       direct scalar<->vector register moves
  *   --toy          the 3-slot Figure 1 example machine
  *   --reductions   recognize associative reductions (section 6)
+ *   --json <path>  write a selvec-bench-v1 document with the compiled
+ *                  program, cycles and speedup of every technique,
+ *                  plus the compile-stats and trace trees
  *
  * Every live-in is bound to a small default value (f64: 0.5, i64: 3);
  * results are checked against the reference interpreter.
@@ -24,6 +27,7 @@
 #include <sstream>
 
 #include "driver/driver.hh"
+#include "driver/reportjson.hh"
 #include "lir/lir.hh"
 #include "machine/machine.hh"
 #include "pipeline/printer.hh"
@@ -66,6 +70,7 @@ main(int argc, char **argv)
 
     Machine machine = paperMachine();
     DriverOptions driver_options;
+    std::string json_path;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -77,6 +82,10 @@ main(int argc, char **argv)
             machine = toyMachine();
         else if (arg == "--reductions")
             driver_options.vectorize.recognizeReductions = true;
+        else if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
         else
             positional.push_back(arg);
     }
@@ -106,6 +115,8 @@ main(int argc, char **argv)
         std::fprintf(stderr, "parse error: %s\n", pr.error.c_str());
         return 1;
     }
+    JsonValue doc = benchDocument("selvec_explore", "full");
+    JsonValue json_loops = JsonValue::array();
     for (const Loop &loop : pr.module.loops) {
         std::printf("=== loop %s (%d ops, %lld iterations) ===\n",
                     loop.name.c_str(), loop.numOps(),
@@ -120,6 +131,10 @@ main(int argc, char **argv)
 
         std::printf("%-14s %8s %7s %7s %10s\n", "technique", "II/iter",
                     "stages", "loops", "cycles");
+        JsonValue json_loop = JsonValue::object();
+        json_loop.set("name", loop.name);
+        json_loop.set("trip_count", n);
+        JsonValue json_techniques = JsonValue::array();
         int64_t baseline = 0;
         for (Technique t :
              {Technique::ModuloOnly, Technique::Traditional,
@@ -156,8 +171,22 @@ main(int argc, char **argv)
                         static_cast<long long>(r.cycles),
                         static_cast<double>(baseline) /
                             static_cast<double>(r.cycles));
+
+            JsonValue entry = jsonOfCompiledProgram(p);
+            entry.set("cycles", r.cycles);
+            entry.set("speedup", static_cast<double>(baseline) /
+                                     static_cast<double>(r.cycles));
+            json_techniques.append(std::move(entry));
         }
         std::printf("\n");
+        json_loop.set("techniques", std::move(json_techniques));
+        json_loops.append(std::move(json_loop));
+    }
+    if (!json_path.empty()) {
+        doc.set("loops", std::move(json_loops));
+        attachObservability(doc);
+        if (writeJsonFile(json_path, doc))
+            std::printf("wrote %s\n", json_path.c_str());
     }
     return 0;
 }

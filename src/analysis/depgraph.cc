@@ -3,6 +3,7 @@
 #include "analysis/memdep.hh"
 #include "ir/defuse.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace selvec
 {
@@ -112,6 +113,12 @@ DepGraph::DepGraph(const ArrayTable &arrays, const Loop &loop,
             }
         }
     }
+
+    StatsRegistry &stats = globalStats();
+    stats.add("depgraph.builds");
+    stats.add("depgraph.edges",
+              static_cast<int64_t>(edgeList.size()));
+    stats.maxGauge("depgraph.maxOps", nOps);
 }
 
 void

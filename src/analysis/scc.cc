@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace selvec
 {
@@ -140,6 +141,15 @@ computeSccs(int num_nodes, const std::vector<std::pair<int, int>> &edges)
     for (int c = 0; c < tarjan.numComps; ++c) {
         info.topoOrder[static_cast<size_t>(tarjan.numComps - 1 - c)] = c;
     }
+
+    StatsRegistry &stats = globalStats();
+    stats.add("scc.runs");
+    stats.add("scc.components", tarjan.numComps);
+    size_t largest = 0;
+    for (const auto &m : info.members)
+        largest = std::max(largest, m.size());
+    stats.maxGauge("scc.maxComponent",
+                   static_cast<int64_t>(largest));
     return info;
 }
 

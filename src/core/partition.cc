@@ -1,7 +1,10 @@
 #include "core/partition.hh"
 
+#include "core/comm.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
@@ -10,6 +13,7 @@ PartitionResult
 partitionOps(const Loop &loop, const VectAnalysis &va,
              const Machine &machine, const PartitionOptions &options)
 {
+    TraceSpan span("partition.kl");
     int n = loop.numOps();
     SV_ASSERT(static_cast<int>(va.vectorizable.size()) == n,
               "analysis sized for a different loop");
@@ -29,6 +33,7 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
 
     if (candidates.empty()) {
         result.bestCost = result.allScalarCost;
+        globalStats().add("partition.runs");
         return result;
     }
 
@@ -88,6 +93,7 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
             SV_ASSERT(best_op != kNoOp, "no unlocked candidate");
 
             model.commitSwitch(best_op);
+            ++result.movesCommitted;
             locked[static_cast<size_t>(best_op)] = true;
 
             int64_t cost = model.cost();
@@ -102,6 +108,23 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
 
     result.vectorize = best;
     result.bestCost = best_cost;
+
+    {
+        DefUse du(loop);
+        for (XferDir dir :
+             planTransfers(loop, du, result.vectorize, &va.reduction)) {
+            if (dir != XferDir::None)
+                ++result.crossingValues;
+        }
+    }
+
+    StatsRegistry &stats = globalStats();
+    stats.add("partition.runs");
+    stats.add("partition.iterations", result.iterations);
+    stats.add("partition.movesEvaluated", result.movesEvaluated);
+    stats.add("partition.movesCommitted", result.movesCommitted);
+    stats.setGauge("partition.lastCost", result.bestCost);
+    stats.setGauge("partition.lastCut", result.crossingValues);
     return result;
 }
 

@@ -42,6 +42,11 @@ struct PartitionResult
 
     int iterations = 0;         ///< outer KL iterations executed
     int movesEvaluated = 0;     ///< TEST-REPARTITION calls
+    int movesCommitted = 0;     ///< SWITCH-OP calls (locked moves)
+
+    /** Values crossing the final partition (each costs one operand
+     *  transfer — the communication cut of the configuration). */
+    int crossingValues = 0;
 
     /** True when at least one op ended up vectorized. */
     bool

@@ -10,6 +10,8 @@
 #include "pipeline/lowering.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "vectorize/full.hh"
 #include "vectorize/traditional.hh"
 
@@ -35,6 +37,17 @@ CompiledProgram::resMiiPerIteration() const
     double total = 0.0;
     for (const CompiledLoop &cl : loops) {
         total += static_cast<double>(cl.mainResMii) /
+                 static_cast<double>(cl.coverage);
+    }
+    return total;
+}
+
+double
+CompiledProgram::recMiiPerIteration() const
+{
+    double total = 0.0;
+    for (const CompiledLoop &cl : loops) {
+        total += static_cast<double>(cl.mainRecMii) /
                  static_cast<double>(cl.coverage);
     }
     return total;
@@ -249,12 +262,23 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
                const Machine &machine, Technique technique,
                const DriverOptions &options)
 {
+    TraceSpan span("driver.compile");
+    ScopedStatTimer timer("time.compile");
+    StatsRegistry &stats = globalStats();
+    stats.add("driver.compiles");
+    stats.add(std::string("driver.technique.") +
+              techniqueName(technique));
+
     Status machine_ok = machine.validateStatus();
-    if (!machine_ok.ok())
+    if (!machine_ok.ok()) {
+        stats.add("driver.failures");
         return machine_ok;
+    }
     Status loop_ok = verifyLoopStatus(arrays, loop);
-    if (!loop_ok.ok())
+    if (!loop_ok.ok()) {
+        stats.add("driver.failures");
         return loop_ok;
+    }
 
     // Compile against a scratch copy: a failed attempt must not leak
     // scalar-expansion temporaries into the caller's table.
@@ -263,6 +287,8 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
         tryCompileLoopImpl(loop, trial, machine, technique, options);
     if (program.ok())
         arrays = std::move(trial);
+    else
+        stats.add("driver.failures");
     return program;
 }
 
@@ -302,6 +328,8 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
                      const Machine &machine, Technique technique,
                      const DriverOptions &options)
 {
+    TraceSpan span("driver.resilient");
+    globalStats().add("driver.resilient.runs");
     ResilientCompile result;
     result.report.requested = technique;
 
@@ -339,6 +367,13 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
             result.report.usedScalarFallback = scalar;
             result.report.finalStatus = Status::success();
             result.program = program.takeValue();
+
+            StatsRegistry &stats = globalStats();
+            stats.add(std::string("driver.resilient.tier.") +
+                      (scalar ? "scalar"
+                              : techniqueName(chain[tier])));
+            if (result.report.degraded())
+                stats.add("driver.resilient.degraded");
             return result;
         }
         attempt.status = program.status();
@@ -346,6 +381,7 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
         result.report.finalStatus = program.status();
         result.report.attempts.push_back(std::move(attempt));
     }
+    globalStats().add("driver.resilient.exhausted");
     return result;
 }
 

@@ -105,6 +105,9 @@ struct CompiledProgram
     /** Per-original-iteration ResMII: sum of resMii/coverage. */
     double resMiiPerIteration() const;
 
+    /** Per-original-iteration RecMII: sum of recMii/coverage. */
+    double recMiiPerIteration() const;
+
     /** Per-original-iteration achieved II. */
     double iiPerIteration() const;
 

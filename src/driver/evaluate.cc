@@ -1,6 +1,8 @@
 #include "driver/evaluate.hh"
 
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
@@ -9,6 +11,8 @@ SuiteReport
 evaluateSuite(const Suite &suite, const Machine &machine,
               Technique technique, const EvaluateOptions &options)
 {
+    TraceSpan span("evaluate.suite");
+    ScopedStatTimer timer("time.evaluateSuite");
     SuiteReport report;
     report.suite = suite.name;
     report.technique = technique;
@@ -63,11 +67,17 @@ evaluateSuite(const Suite &suite, const Machine &machine,
             }
         }
 
+        globalStats().add("evaluate.kernels");
+        if (options.verify)
+            globalStats().add("evaluate.verifications");
+
         LoopReport lr;
         lr.name = loop.name;
+        lr.technique = technique;
         lr.tripCount = wl.tripCount;
         lr.invocations = wl.invocations;
         lr.resMiiPerIter = program.resMiiPerIteration();
+        lr.recMiiPerIter = program.recMiiPerIteration();
         lr.iiPerIter = program.iiPerIteration();
         lr.resourceLimited = program.resourceLimited;
         lr.distributedLoops = static_cast<int>(program.loops.size());

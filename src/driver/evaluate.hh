@@ -18,10 +18,12 @@ namespace selvec
 struct LoopReport
 {
     std::string name;
+    Technique technique = Technique::ModuloOnly;
     int64_t tripCount = 0;
     int64_t invocations = 0;
 
     double resMiiPerIter = 0.0;   ///< sum over loops of ResMII/coverage
+    double recMiiPerIter = 0.0;   ///< sum over loops of RecMII/coverage
     double iiPerIter = 0.0;       ///< achieved II per original iteration
     bool resourceLimited = false;
     int distributedLoops = 1;     ///< compiled loop count (traditional)

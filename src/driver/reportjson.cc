@@ -1,0 +1,173 @@
+#include "driver/reportjson.hh"
+
+#include "support/stats.hh"
+#include "support/trace.hh"
+
+namespace selvec
+{
+
+const char *const kBenchSchema = "selvec-bench-v1";
+
+JsonValue
+jsonOfLoopReport(const LoopReport &lr)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", lr.name);
+    obj.set("technique", techniqueName(lr.technique));
+    obj.set("trip_count", lr.tripCount);
+    obj.set("invocations", lr.invocations);
+    obj.set("ii_per_iter", lr.iiPerIter);
+    obj.set("res_mii_per_iter", lr.resMiiPerIter);
+    obj.set("rec_mii_per_iter", lr.recMiiPerIter);
+    obj.set("cycles_per_invocation", lr.cyclesPerInvocation);
+    obj.set("weighted_cycles", lr.weightedCycles);
+    obj.set("resource_limited", lr.resourceLimited);
+    obj.set("distributed_loops", lr.distributedLoops);
+    if (lr.technique == Technique::Selective) {
+        JsonValue part = JsonValue::object();
+        int vector_ops = 0;
+        for (bool b : lr.partition.vectorize)
+            vector_ops += b ? 1 : 0;
+        part.set("vector_ops", vector_ops);
+        part.set("total_ops",
+                 static_cast<int64_t>(lr.partition.vectorize.size()));
+        part.set("best_cost", lr.partition.bestCost);
+        part.set("all_scalar_cost", lr.partition.allScalarCost);
+        part.set("all_vector_cost", lr.partition.allVectorCost);
+        part.set("iterations", lr.partition.iterations);
+        part.set("moves_evaluated", lr.partition.movesEvaluated);
+        part.set("moves_committed", lr.partition.movesCommitted);
+        part.set("crossing_values", lr.partition.crossingValues);
+        obj.set("partition", std::move(part));
+    }
+    return obj;
+}
+
+JsonValue
+jsonOfSuiteReport(const SuiteReport &sr)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("suite", sr.suite);
+    obj.set("technique", techniqueName(sr.technique));
+    obj.set("total_cycles", sr.totalCycles);
+    JsonValue loops = JsonValue::array();
+    for (const LoopReport &lr : sr.loops)
+        loops.append(jsonOfLoopReport(lr));
+    obj.set("loops", std::move(loops));
+    return obj;
+}
+
+JsonValue
+jsonOfSuiteComparison(const SuiteReport &baseline,
+                      const std::vector<SuiteReport> &techniques)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("suite", baseline.suite);
+    obj.set("baseline", jsonOfSuiteReport(baseline));
+
+    JsonValue list = JsonValue::array();
+    for (const SuiteReport &sr : techniques) {
+        JsonValue entry = jsonOfSuiteReport(sr);
+        entry.set("speedup", speedupOver(baseline, sr));
+        // Per-loop speedups: suites evaluate the same kernels in the
+        // same order under every technique.
+        JsonValue loops = JsonValue::array();
+        for (size_t i = 0; i < sr.loops.size(); ++i) {
+            JsonValue lr = jsonOfLoopReport(sr.loops[i]);
+            if (i < baseline.loops.size() &&
+                sr.loops[i].weightedCycles > 0) {
+                lr.set("speedup",
+                       static_cast<double>(
+                           baseline.loops[i].weightedCycles) /
+                           static_cast<double>(
+                               sr.loops[i].weightedCycles));
+            }
+            loops.append(std::move(lr));
+        }
+        entry.set("loops", std::move(loops));
+        list.append(std::move(entry));
+    }
+    obj.set("techniques", std::move(list));
+    return obj;
+}
+
+JsonValue
+jsonOfCompiledProgram(const CompiledProgram &program)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("technique", techniqueName(program.technique));
+    obj.set("ii_per_iter", program.iiPerIteration());
+    obj.set("res_mii_per_iter", program.resMiiPerIteration());
+    obj.set("rec_mii_per_iter", program.recMiiPerIteration());
+    obj.set("resource_limited", program.resourceLimited);
+    JsonValue loops = JsonValue::array();
+    for (const CompiledLoop &cl : program.loops) {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", cl.main.name);
+        entry.set("ii", cl.mainSchedule.ii);
+        entry.set("res_mii", cl.mainResMii);
+        entry.set("rec_mii", cl.mainRecMii);
+        entry.set("coverage", cl.coverage);
+        entry.set("stages", cl.mainSchedule.stageCount());
+        loops.append(std::move(entry));
+    }
+    obj.set("loops", std::move(loops));
+    return obj;
+}
+
+JsonValue
+jsonOfCompileReport(const CompileReport &report)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("requested", techniqueName(report.requested));
+    obj.set("succeeded", report.succeeded);
+    obj.set("degraded", report.degraded());
+    obj.set("final_technique",
+            report.usedScalarFallback
+                ? "scalar"
+                : techniqueName(report.finalTechnique));
+    obj.set("scalar_fallback", report.usedScalarFallback);
+    if (!report.finalStatus.ok())
+        obj.set("final_status", report.finalStatus.str());
+
+    JsonValue attempts = JsonValue::array();
+    for (const CompileAttempt &a : report.attempts) {
+        JsonValue entry = JsonValue::object();
+        entry.set("tier", a.scalarFallback
+                              ? "scalar"
+                              : techniqueName(a.technique));
+        entry.set("ok", a.status.ok());
+        if (!a.status.ok()) {
+            entry.set("error_code", errorCodeName(a.status.code()));
+            entry.set("stage", a.status.stage());
+            entry.set("message", a.status.message());
+        } else {
+            entry.set("ii_per_iter", a.iiPerIteration);
+        }
+        if (!a.fallbackReason.empty())
+            entry.set("fallback_reason", a.fallbackReason);
+        attempts.append(std::move(entry));
+    }
+    obj.set("attempts", std::move(attempts));
+    return obj;
+}
+
+JsonValue
+benchDocument(const std::string &generator, const std::string &mode)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kBenchSchema);
+    doc.set("generator", generator);
+    doc.set("mode", mode);
+    doc.set("suites", JsonValue::array());
+    return doc;
+}
+
+void
+attachObservability(JsonValue &doc)
+{
+    doc.set("stats", globalStats().toJson());
+    doc.set("trace", traceToJson());
+}
+
+} // namespace selvec

@@ -8,6 +8,8 @@
 
 #include "ir/verifier.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
@@ -1025,8 +1027,16 @@ class Parser
 ParseResult
 parseLir(const std::string &text)
 {
+    TraceSpan span("lir.parse");
     Parser parser(text);
-    return parser.run();
+    ParseResult pr = parser.run();
+    StatsRegistry &stats = globalStats();
+    stats.add("parser.parses");
+    stats.add("parser.loops",
+              static_cast<int64_t>(pr.module.loops.size()));
+    stats.add("parser.diagnostics",
+              static_cast<int64_t>(pr.diagnostics.size()));
+    return pr;
 }
 
 Expected<Module>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace selvec
 {
@@ -155,7 +156,13 @@ packedHighWater(const Machine &m, const std::vector<Opcode> &opcodes)
     ReservationBins bins(m);
     for (int idx : packingOrder(m, opcodes))
         bins.reserve(opcodes[static_cast<size_t>(idx)]);
-    return bins.highWaterMark();
+    int64_t high_water = bins.highWaterMark();
+    // Once per full pack (the KL inner loop reserves incrementally
+    // and never lands here), so the registry stays off the hot path.
+    StatsRegistry &stats = globalStats();
+    stats.add("binpack.packs");
+    stats.maxGauge("binpack.maxResMii", high_water);
+    return high_water;
 }
 
 std::string

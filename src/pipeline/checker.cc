@@ -4,13 +4,19 @@
 
 #include "machine/machine.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
 
+namespace
+{
+
 std::string
-validateSchedule(const Loop &lowered, const DepGraph &graph,
-                 const Machine &machine, const ModuloSchedule &schedule)
+validateScheduleImpl(const Loop &lowered, const DepGraph &graph,
+                     const Machine &machine,
+                     const ModuloSchedule &schedule)
 {
     int n = lowered.numOps();
     auto fail = [&](const std::string &msg) {
@@ -92,6 +98,22 @@ validateSchedule(const Loop &lowered, const DepGraph &graph,
         }
     }
     return "";
+}
+
+} // anonymous namespace
+
+std::string
+validateSchedule(const Loop &lowered, const DepGraph &graph,
+                 const Machine &machine, const ModuloSchedule &schedule)
+{
+    TraceSpan span("checker.validate");
+    std::string verdict =
+        validateScheduleImpl(lowered, graph, machine, schedule);
+    StatsRegistry &stats = globalStats();
+    stats.add("checker.validations");
+    if (!verdict.empty())
+        stats.add("checker.failures");
+    return verdict;
 }
 
 } // namespace selvec

@@ -7,6 +7,8 @@
 #include "machine/binpack.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
@@ -219,7 +221,8 @@ computeHeights(const DepGraph &graph, int64_t ii)
 bool
 tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
                 const Machine &machine, int64_t ii, int budget,
-                bool balanced, ModuloSchedule &out)
+                bool balanced, ModuloSchedule &out,
+                int64_t &backtracks)
 {
     int n = loop.numOps();
     std::vector<int64_t> height = computeHeights(graph, ii);
@@ -289,6 +292,7 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
                 mrt.remove(victim);
                 time[static_cast<size_t>(victim)] = -1;
                 ++unscheduled;
+                ++backtracks;
             }
         }
 
@@ -308,6 +312,7 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
                 mrt.remove(e.dst);
                 time[static_cast<size_t>(e.dst)] = -1;
                 ++unscheduled;
+                ++backtracks;
             }
         }
     }
@@ -326,6 +331,7 @@ ScheduleResult
 moduloSchedule(const Loop &lowered, const DepGraph &graph,
                const Machine &machine, const ScheduleOptions &options)
 {
+    TraceSpan span("modsched");
     ScheduleResult result;
 
     std::vector<Opcode> opcodes;
@@ -355,7 +361,13 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
 
     int64_t max_ii =
         result.mii * options.maxIiFactor + options.maxIiSlack;
+    result.maxIi = max_ii;
     int budget = options.budgetFactor * lowered.numOps();
+
+    StatsRegistry &stats = globalStats();
+    stats.add("modsched.loops");
+    stats.setGauge("modsched.lastSearchWindow",
+                   max_ii - result.mii + 1);
 
     if (faultPointHit("modsched.search")) {
         result.code = ErrorCode::ScheduleBudgetExhausted;
@@ -363,19 +375,29 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
             "fault injected at modsched.search: II search for loop "
             "'%s' forced to fail",
             lowered.name.c_str());
+        stats.add("modsched.failures");
         return result;
     }
 
     for (int64_t ii = result.mii; ii <= max_ii; ++ii) {
         ++result.attempts;
         if (tryScheduleAtIi(lowered, graph, machine, ii, budget,
-                            /*balanced=*/false, result.schedule) ||
+                            /*balanced=*/false, result.schedule,
+                            result.backtracks) ||
             tryScheduleAtIi(lowered, graph, machine, ii, budget,
-                            /*balanced=*/true, result.schedule)) {
+                            /*balanced=*/true, result.schedule,
+                            result.backtracks)) {
             result.ok = true;
+            stats.add("modsched.attempts", result.attempts);
+            stats.add("modsched.backtracks", result.backtracks);
+            stats.setGauge("modsched.lastIi", result.schedule.ii);
+            stats.maxGauge("modsched.maxIi", result.schedule.ii);
             return result;
         }
     }
+    stats.add("modsched.attempts", result.attempts);
+    stats.add("modsched.backtracks", result.backtracks);
+    stats.add("modsched.failures");
     result.code = ErrorCode::ScheduleBudgetExhausted;
     result.error = strfmt(
         "no schedule found for loop '%s': tried II %lld..%lld "

@@ -52,6 +52,8 @@ struct ScheduleResult
     int64_t recMii = 0;     ///< recurrence-constrained lower bound
     int64_t mii = 0;        ///< max of the two
     int attempts = 0;       ///< candidate IIs tried
+    int64_t maxIi = 0;      ///< top of the II search window
+    int64_t backtracks = 0; ///< displacements across all attempts
 };
 
 /**

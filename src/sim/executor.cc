@@ -6,6 +6,8 @@
 
 #include "sim/semantics.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace selvec
 {
@@ -513,9 +515,17 @@ executeLoop(const ArrayTable &arrays, const Loop &loop,
             const ModuloSchedule *schedule)
 {
     SV_ASSERT(n_body >= 0, "negative iteration count");
+    TraceSpan span(schedule != nullptr ? "sim.pipelined"
+                                       : "sim.reference");
     Engine engine(arrays, loop, machine, mem, live_ins, n_body, base,
                   schedule);
-    return engine.run();
+    RunOutput out = engine.run();
+    StatsRegistry &stats = globalStats();
+    stats.add(schedule != nullptr ? "sim.pipelinedRuns"
+                                  : "sim.referenceRuns");
+    stats.add("sim.bodyIterations", out.bodyIterations);
+    stats.add("sim.cycles", out.cycles);
+    return out;
 }
 
 } // namespace selvec

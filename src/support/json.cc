@@ -1,0 +1,485 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+void
+JsonValue::append(JsonValue v)
+{
+    SV_ASSERT(isArray(), "append on a non-array JSON node");
+    elements.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    SV_ASSERT(isObject(), "set on a non-object JSON node");
+    for (auto &[k, old] : fields) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    fields.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : fields) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::findPath(const std::string &dotted) const
+{
+    const JsonValue *node = this;
+    size_t start = 0;
+    while (node != nullptr && start <= dotted.size()) {
+        size_t dot = dotted.find('.', start);
+        std::string key = dot == std::string::npos
+                              ? dotted.substr(start)
+                              : dotted.substr(start, dot - start);
+        node = node->find(key);
+        if (dot == std::string::npos)
+            return node;
+        start = dot + 1;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (isNumber() && other.isNumber())
+        return numberValue() == other.numberValue();
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:   return true;
+      case Kind::Bool:   return boolean == other.boolean;
+      case Kind::Int:    return integer == other.integer;
+      case Kind::Double: return real == other.real;
+      case Kind::String: return text == other.text;
+      case Kind::Array:  return elements == other.elements;
+      case Kind::Object: return fields == other.fields;
+    }
+    return false;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace
+{
+
+/** Shortest %g form that still round-trips a double. */
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan literals; null is the conventional
+        // stand-in and keeps the document parseable everywhere.
+        return "null";
+    }
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // A bare integer-looking literal would re-parse as Int; keep the
+    // kind stable across a round-trip.
+    std::string s = buf;
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+} // anonymous namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += strfmt("%" PRId64, integer);
+        break;
+      case Kind::Double:
+        out += formatDouble(real);
+        break;
+      case Kind::String:
+        out += jsonEscape(text);
+        break;
+      case Kind::Array:
+        if (elements.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < elements.size(); ++i) {
+            if (i > 0)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            elements[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (fields.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < fields.size(); ++i) {
+            if (i > 0)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            out += jsonEscape(fields[i].first);
+            out += ": ";
+            fields[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a byte buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text(text) {}
+
+    Expected<JsonValue>
+    parse()
+    {
+        JsonValue v;
+        Status st = parseValue(v);
+        if (!st.ok())
+            return st;
+        skipSpace();
+        if (pos != text.size())
+            return fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    Status
+    fail(const std::string &what)
+    {
+        return Status::error(ErrorCode::InvalidInput, "json",
+                             strfmt("at offset %zu: %s", pos,
+                                    what.c_str()));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t len = std::string(word).size();
+        if (text.compare(pos, len, word) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"')
+            return parseString(out);
+        if (consumeWord("null")) {
+            out = JsonValue();
+            return Status::success();
+        }
+        if (consumeWord("true")) {
+            out = JsonValue(true);
+            return Status::success();
+        }
+        if (consumeWord("false")) {
+            out = JsonValue(false);
+            return Status::success();
+        }
+        return parseNumber(out);
+    }
+
+    Status
+    parseObject(JsonValue &out)
+    {
+        ++pos;     // '{'
+        out = JsonValue::object();
+        skipSpace();
+        if (consume('}'))
+            return Status::success();
+        while (true) {
+            skipSpace();
+            JsonValue key;
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key string");
+            Status st = parseString(key);
+            if (!st.ok())
+                return st;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue value;
+            st = parseValue(value);
+            if (!st.ok())
+                return st;
+            out.set(key.stringValue(), std::move(value));
+            skipSpace();
+            if (consume('}'))
+                return Status::success();
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out)
+    {
+        ++pos;     // '['
+        out = JsonValue::array();
+        skipSpace();
+        if (consume(']'))
+            return Status::success();
+        while (true) {
+            JsonValue value;
+            Status st = parseValue(value);
+            if (!st.ok())
+                return st;
+            out.append(std::move(value));
+            skipSpace();
+            if (consume(']'))
+                return Status::success();
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    parseString(JsonValue &out)
+    {
+        ++pos;     // '"'
+        std::string s;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"') {
+                out = JsonValue(std::move(s));
+                return Status::success();
+            }
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            char esc = text[pos++];
+            switch (esc) {
+              case '"':  s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/':  s += '/'; break;
+              case 'b':  s += '\b'; break;
+              case 'f':  s += '\f'; break;
+              case 'n':  s += '\n'; break;
+              case 'r':  s += '\r'; break;
+              case 't':  s += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode (no surrogate-pair handling; the
+                // documents this layer emits are ASCII).
+                if (code < 0x80) {
+                    s += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    s += static_cast<char>(0xC0 | (code >> 6));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    s += static_cast<char>(0xE0 | (code >> 12));
+                    s += static_cast<char>(0x80 |
+                                           ((code >> 6) & 0x3F));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos;
+        if (consume('-')) {}
+        size_t digits = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (pos - digits > 1 && text[digits] == '0')
+            return fail("leading zero in number");
+        bool is_double = false;
+        if (consume('.')) {
+            is_double = true;
+            while (pos < text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            is_double = true;
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-')) {
+                ++pos;
+            }
+            while (pos < text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        }
+        std::string token = text.substr(start, pos - start);
+        if (token.empty() || token == "-")
+            return fail("expected a value");
+        if (is_double) {
+            out = JsonValue(std::strtod(token.c_str(), nullptr));
+        } else {
+            out = JsonValue(static_cast<int64_t>(
+                std::strtoll(token.c_str(), nullptr, 10)));
+        }
+        return Status::success();
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // anonymous namespace
+
+Expected<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+bool
+writeJsonFile(const std::string &path, const JsonValue &doc)
+{
+    std::ofstream out(path);
+    if (!out) {
+        SV_WARN("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    out << doc.dump(2) << "\n";
+    return out.good();
+}
+
+} // namespace selvec

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A minimal JSON document model: enough to emit the machine-readable
+ * reports of the observability layer (schema-stable bench documents,
+ * stat trees, trace trees) and to parse them back for comparison, with
+ * no external dependency.
+ *
+ * Objects preserve insertion order so emitted documents are
+ * deterministic (schema stability is part of the observability
+ * contract; see DESIGN.md). Numbers are kept as either int64 or
+ * double; doubles print with enough digits to round-trip.
+ */
+
+#ifndef SELVEC_SUPPORT_JSON_HH
+#define SELVEC_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/expected.hh"
+
+namespace selvec
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), boolean(b) {}
+    JsonValue(int v) : kind_(Kind::Int), integer(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), integer(v) {}
+    JsonValue(double v) : kind_(Kind::Double), real(v) {}
+    JsonValue(const char *s) : kind_(Kind::String), text(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), text(std::move(s)) {}
+
+    static JsonValue array() { return ofKind(Kind::Array); }
+    static JsonValue object() { return ofKind(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolValue() const { return boolean; }
+    int64_t intValue() const { return integer; }
+
+    /** Numeric value of an Int or Double node. */
+    double
+    numberValue() const
+    {
+        return isInt() ? static_cast<double>(integer) : real;
+    }
+
+    const std::string &stringValue() const { return text; }
+
+    /** Array elements (valid for Array nodes). */
+    const std::vector<JsonValue> &items() const { return elements; }
+
+    /** Object members in insertion order (valid for Object nodes). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return fields;
+    }
+
+    /** Append an element to an Array node. */
+    void append(JsonValue v);
+
+    /** Set (insert or overwrite) a member of an Object node. */
+    void set(const std::string &key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an Object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Path lookup through nested objects ("stats.modsched.attempts");
+     * nullptr when any step is absent.
+     */
+    const JsonValue *findPath(const std::string &dotted) const;
+
+    size_t
+    size() const
+    {
+        return isArray() ? elements.size()
+                         : isObject() ? fields.size() : 0;
+    }
+
+    /** Structural equality (Int and Double compare as distinct kinds
+     *  unless numerically equal). */
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &o) const { return !(*this == o); }
+
+    /**
+     * Serialize. `indent` > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    static JsonValue
+    ofKind(Kind k)
+    {
+        JsonValue v;
+        v.kind_ = k;
+        return v;
+    }
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool boolean = false;
+    int64_t integer = 0;
+    double real = 0.0;
+    std::string text;
+    std::vector<JsonValue> elements;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+};
+
+/** Quote and escape a string per JSON rules. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Parse a JSON document. Rejects trailing garbage; reports the byte
+ * offset of the first error as an InvalidInput status.
+ */
+Expected<JsonValue> parseJson(const std::string &text);
+
+/** Write a document to a file (pretty, trailing newline); false and a
+ *  warning on I/O failure. */
+bool writeJsonFile(const std::string &path, const JsonValue &doc);
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_JSON_HH

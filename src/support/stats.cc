@@ -1,0 +1,139 @@
+#include "support/stats.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // anonymous namespace
+
+void
+StatsRegistry::add(const std::string &key, int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Stat &s = stats[key];
+    s.kind = StatKind::Counter;
+    s.value += delta;
+}
+
+void
+StatsRegistry::setGauge(const std::string &key, int64_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Stat &s = stats[key];
+    s.kind = StatKind::Gauge;
+    s.value = value;
+}
+
+void
+StatsRegistry::maxGauge(const std::string &key, int64_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Stat &s = stats[key];
+    s.kind = StatKind::MaxGauge;
+    if (value > s.value)
+        s.value = value;
+}
+
+void
+StatsRegistry::addTimerNs(const std::string &key, int64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Stat &s = stats[key];
+    s.kind = StatKind::Timer;
+    s.value += ns;
+    s.samples += 1;
+}
+
+std::vector<StatEntry>
+StatsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<StatEntry> out;
+    out.reserve(stats.size());
+    for (const auto &[key, s] : stats)
+        out.push_back(StatEntry{key, s.kind, s.value, s.samples});
+    return out;
+}
+
+int64_t
+StatsRegistry::value(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = stats.find(key);
+    return it == stats.end() ? 0 : it->second.value;
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    stats.clear();
+}
+
+JsonValue
+StatsRegistry::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const StatEntry &e : snapshot()) {
+        // Walk/create the object spine named by the dotted prefix.
+        JsonValue *node = &root;
+        size_t start = 0;
+        while (true) {
+            size_t dot = e.key.find('.', start);
+            if (dot == std::string::npos)
+                break;
+            std::string part = e.key.substr(start, dot - start);
+            if (node->find(part) == nullptr ||
+                !node->find(part)->isObject()) {
+                node->set(part, JsonValue::object());
+            }
+            // set() keeps the address stable only until the next
+            // insertion into this node, so re-find after it.
+            node = const_cast<JsonValue *>(node->find(part));
+            start = dot + 1;
+        }
+        std::string leaf = e.key.substr(start);
+        if (e.kind == StatKind::Timer) {
+            JsonValue timer = JsonValue::object();
+            timer.set("total_ns", e.value);
+            timer.set("samples", e.samples);
+            node->set(leaf, std::move(timer));
+        } else {
+            node->set(leaf, e.value);
+        }
+    }
+    return root;
+}
+
+StatsRegistry &
+globalStats()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+ScopedStatTimer::ScopedStatTimer(const char *key)
+    : key(key), startNs(nowNs())
+{
+}
+
+ScopedStatTimer::~ScopedStatTimer()
+{
+    globalStats().addTimerNs(key, nowNs() - startNs);
+}
+
+} // namespace selvec

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The compile-stats registry: a process-wide, thread-safe collection
+ * of named counters, gauges and timers that every pipeline stage
+ * reports into, and that the JSON report surface serializes.
+ *
+ * Keys are dotted paths ("modsched.attempts", "partition.moves");
+ * statsToJson() folds them into a nested object, so the dots define
+ * the hierarchy. Keys are schema-stable API — tools and CI parse
+ * them; see DESIGN.md ("Observability") for the registered names.
+ *
+ * Four kinds:
+ *   counter    — monotonically accumulated int64 (events, items);
+ *   gauge      — last written value (the most recent II, cut cost);
+ *   max gauge  — high-water mark (largest SCC, worst ResMII);
+ *   timer      — accumulated nanoseconds plus a sample count.
+ *
+ * Stage instrumentation calls these once per stage invocation, never
+ * per inner-loop step, so the registry stays off the hot paths; inner
+ * loops accumulate locally and report totals.
+ */
+
+#ifndef SELVEC_SUPPORT_STATS_HH
+#define SELVEC_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace selvec
+{
+
+enum class StatKind : uint8_t { Counter, Gauge, MaxGauge, Timer };
+
+/** One stat as captured by a snapshot. */
+struct StatEntry
+{
+    std::string key;
+    StatKind kind = StatKind::Counter;
+    int64_t value = 0;      ///< count, gauge value, or total ns
+    int64_t samples = 0;    ///< timer samples (0 otherwise)
+};
+
+class StatsRegistry
+{
+  public:
+    /** Add to a counter (creating it at zero). */
+    void add(const std::string &key, int64_t delta = 1);
+
+    /** Set a gauge to its most recent value. */
+    void setGauge(const std::string &key, int64_t value);
+
+    /** Raise a high-water-mark gauge. */
+    void maxGauge(const std::string &key, int64_t value);
+
+    /** Accumulate one timer sample. */
+    void addTimerNs(const std::string &key, int64_t ns);
+
+    /** All stats, sorted by key. */
+    std::vector<StatEntry> snapshot() const;
+
+    /** Value of one stat (0 when absent). */
+    int64_t value(const std::string &key) const;
+
+    void reset();
+
+    /**
+     * The registry as a nested JSON object: dotted keys become object
+     * paths; timers serialize as {"total_ns", "samples"} leaves,
+     * everything else as integer leaves.
+     */
+    JsonValue toJson() const;
+
+  private:
+    struct Stat
+    {
+        StatKind kind = StatKind::Counter;
+        int64_t value = 0;
+        int64_t samples = 0;
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, Stat> stats;
+};
+
+/** The process-wide registry every stage reports into. */
+StatsRegistry &globalStats();
+
+/** RAII wall-clock timer feeding globalStats().addTimerNs(key). */
+class ScopedStatTimer
+{
+  public:
+    explicit ScopedStatTimer(const char *key);
+    ~ScopedStatTimer();
+
+    ScopedStatTimer(const ScopedStatTimer &) = delete;
+    ScopedStatTimer &operator=(const ScopedStatTimer &) = delete;
+
+  private:
+    const char *key;
+    int64_t startNs;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_STATS_HH

@@ -1,0 +1,142 @@
+#include "support/trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace selvec
+{
+
+namespace
+{
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+envEnabled()
+{
+    const char *env = std::getenv("SELVEC_TRACE");
+    return env != nullptr && std::string(env) != "0" &&
+           std::string(env) != "";
+}
+
+std::atomic<bool> enabled{envEnabled()};
+
+/** Completed root spans of every thread, behind one mutex. */
+std::mutex forest_mutex;
+std::vector<TraceNode> forest;
+
+/** An open span: children accumulate here until it closes. */
+struct OpenSpan
+{
+    const char *name;
+    std::vector<TraceNode> children;
+};
+
+thread_local std::vector<OpenSpan> open_stack;
+
+/** Fold a finished span into a sibling list, aggregating by name. */
+void
+mergeNode(std::vector<TraceNode> &siblings, TraceNode &&incoming)
+{
+    for (TraceNode &node : siblings) {
+        if (node.name == incoming.name) {
+            node.count += incoming.count;
+            node.wallNs += incoming.wallNs;
+            for (TraceNode &child : incoming.children)
+                mergeNode(node.children, std::move(child));
+            return;
+        }
+    }
+    siblings.push_back(std::move(incoming));
+}
+
+} // anonymous namespace
+
+bool
+traceEnabled()
+{
+    return enabled.load(std::memory_order_relaxed);
+}
+
+void
+traceSetEnabled(bool on)
+{
+    enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+traceReset()
+{
+    std::lock_guard<std::mutex> lock(forest_mutex);
+    forest.clear();
+}
+
+std::vector<TraceNode>
+traceSnapshot()
+{
+    std::lock_guard<std::mutex> lock(forest_mutex);
+    return forest;
+}
+
+JsonValue
+traceToJson(const std::vector<TraceNode> &nodes)
+{
+    JsonValue arr = JsonValue::array();
+    for (const TraceNode &node : nodes) {
+        JsonValue obj = JsonValue::object();
+        obj.set("name", node.name);
+        obj.set("count", node.count);
+        obj.set("wall_ns", node.wallNs);
+        obj.set("children", traceToJson(node.children));
+        arr.append(std::move(obj));
+    }
+    return arr;
+}
+
+JsonValue
+traceToJson()
+{
+    return traceToJson(traceSnapshot());
+}
+
+TraceSpan::TraceSpan(const char *name) : active(traceEnabled())
+{
+    if (!active)
+        return;
+    startNs = nowNs();
+    open_stack.push_back(OpenSpan{name, {}});
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active)
+        return;
+    // traceSetEnabled(false) mid-span only stops new spans; this one
+    // still closes so the stack stays balanced.
+    int64_t wall = nowNs() - startNs;
+    OpenSpan span = std::move(open_stack.back());
+    open_stack.pop_back();
+
+    TraceNode node;
+    node.name = span.name;
+    node.count = 1;
+    node.wallNs = wall;
+    node.children = std::move(span.children);
+
+    if (!open_stack.empty()) {
+        mergeNode(open_stack.back().children, std::move(node));
+    } else {
+        std::lock_guard<std::mutex> lock(forest_mutex);
+        mergeNode(forest, std::move(node));
+    }
+}
+
+} // namespace selvec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scoped-span tracing for the compilation pipeline.
+ *
+ * A TraceSpan is an RAII region: construction starts a wall-clock
+ * span, destruction ends it and folds it into the trace tree. Spans
+ * nest through a thread-local stack, so the tree mirrors the dynamic
+ * call structure (driver.compile > modsched > ...). Same-name spans
+ * under the same parent aggregate (count + total wall time) rather
+ * than appending, so a 10k-loop run produces a bounded tree.
+ *
+ * Tracing is off by default and costs one relaxed atomic load per
+ * span when disabled — no allocation, no clock read. Enable with the
+ * SELVEC_TRACE environment variable (any value but "0") or
+ * traceSetEnabled(true).
+ *
+ * Span names are API: tools parse them out of the JSON report. See
+ * DESIGN.md ("Observability") for the registered names.
+ */
+
+#ifndef SELVEC_SUPPORT_TRACE_HH
+#define SELVEC_SUPPORT_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace selvec
+{
+
+/** One aggregated node of the trace tree. */
+struct TraceNode
+{
+    std::string name;
+    int64_t count = 0;      ///< spans folded into this node
+    int64_t wallNs = 0;     ///< total wall-clock nanoseconds
+    std::vector<TraceNode> children;
+};
+
+/** Whether spans are being recorded. */
+bool traceEnabled();
+
+/** Turn tracing on or off (overrides SELVEC_TRACE). */
+void traceSetEnabled(bool enabled);
+
+/** Drop every recorded span (open spans are unaffected and will fold
+ *  into the fresh tree when they close). */
+void traceReset();
+
+/** Copy of the completed-span forest (roots in first-seen order). */
+std::vector<TraceNode> traceSnapshot();
+
+/**
+ * The trace forest as a JSON array of
+ * {"name", "count", "wall_ns", "children"} nodes.
+ */
+JsonValue traceToJson();
+
+/** traceToJson for an explicit forest (snapshot serialization). */
+JsonValue traceToJson(const std::vector<TraceNode> &forest);
+
+class TraceSpan
+{
+  public:
+    /** Open a span named `name` (no-op when tracing is disabled). */
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool active;        ///< tracing was enabled at construction
+    int64_t startNs = 0;
+};
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_TRACE_HH

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "driver/evaluate.hh"
+#include "driver/reportjson.hh"
 #include "lir/lir.hh"
 #include "machine/machine.hh"
+#include "support/faultinject.hh"
 #include "workloads/workloads.hh"
 
 namespace selvec
@@ -212,6 +214,113 @@ TEST(Evaluate, SelectiveNeverSlowerOnDot)
     SuiteReport sel =
         evaluateSuite(suite, mach, Technique::Selective);
     EXPECT_GE(speedupOver(base, sel), 0.95);
+}
+
+// ---------------------------------------------------------------------
+// The machine-readable report surface.
+
+TEST(ReportJson, CompiledProgramReportsIiAtLeastResMii)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    Machine mach = paperMachine();
+    for (Technique t : {Technique::ModuloOnly, Technique::Full,
+                        Technique::Selective}) {
+        ArrayTable arrays = m.arrays;
+        CompiledProgram p = compileLoop(m.loops[0], arrays, mach, t);
+        JsonValue json = jsonOfCompiledProgram(p);
+
+        EXPECT_EQ(json.find("technique")->stringValue(),
+                  techniqueName(t));
+        double ii = json.find("ii_per_iter")->numberValue();
+        double res = json.find("res_mii_per_iter")->numberValue();
+        EXPECT_GT(ii, 0.0) << techniqueName(t);
+        EXPECT_GE(ii, res) << techniqueName(t);
+
+        const JsonValue *loops = json.find("loops");
+        ASSERT_NE(loops, nullptr);
+        ASSERT_GT(loops->size(), 0u);
+        for (const JsonValue &cl : loops->items()) {
+            // The scheduler can never beat the resource bound.
+            EXPECT_GE(cl.find("ii")->intValue(),
+                      cl.find("res_mii")->intValue())
+                << techniqueName(t);
+            EXPECT_GT(cl.find("coverage")->intValue(), 0);
+        }
+    }
+}
+
+TEST(ReportJson, SuiteComparisonCarriesSpeedupAndMiis)
+{
+    Suite suite = dotProductSuite();
+    Machine mach = paperMachine();
+    SuiteReport base =
+        evaluateSuite(suite, mach, Technique::ModuloOnly);
+    SuiteReport sel =
+        evaluateSuite(suite, mach, Technique::Selective);
+    JsonValue json = jsonOfSuiteComparison(base, {sel});
+
+    ASSERT_EQ(json.find("techniques")->size(), 1u);
+    const JsonValue &tech = json.find("techniques")->items()[0];
+    EXPECT_EQ(tech.find("technique")->stringValue(), "selective");
+    EXPECT_DOUBLE_EQ(tech.find("speedup")->numberValue(),
+                     speedupOver(base, sel));
+    for (const JsonValue &loop : tech.find("loops")->items()) {
+        double ii = loop.find("ii_per_iter")->numberValue();
+        EXPECT_GE(ii, loop.find("res_mii_per_iter")->numberValue());
+        EXPECT_GT(loop.find("weighted_cycles")->intValue(), 0);
+        EXPECT_GT(loop.find("speedup")->numberValue(), 0.0);
+    }
+
+    // The emitted document survives a serialize/parse round-trip.
+    Expected<JsonValue> back = parseJson(json.dump(2));
+    ASSERT_TRUE(back.ok()) << back.status().str();
+    EXPECT_EQ(back.value(), json);
+}
+
+TEST(ReportJson, CompileReportRecordsDegradationTier)
+{
+    Module m = parseLirOrDie(kSaxpy);
+    ArrayTable arrays = m.arrays;
+
+    // Undisturbed: one successful attempt, no degradation.
+    ResilientCompile clean = compileLoopResilient(
+        m.loops[0], arrays, paperMachine(), Technique::Selective);
+    ASSERT_TRUE(clean.ok());
+    JsonValue cj = jsonOfCompileReport(clean.report);
+    EXPECT_EQ(cj.find("requested")->stringValue(), "selective");
+    EXPECT_EQ(cj.find("final_technique")->stringValue(), "selective");
+    EXPECT_FALSE(cj.find("degraded")->boolValue());
+    EXPECT_TRUE(cj.find("succeeded")->boolValue());
+    ASSERT_EQ(cj.find("attempts")->size(), 1u);
+
+    // Persistent partitioner fault: the selective tier fails, the
+    // chain lands on full vectorization, and the JSON names the tier
+    // actually taken.
+    Expected<FaultPlan> plan = parseFaultPlan("partition.kl:*");
+    ASSERT_TRUE(plan.ok());
+    ResilientCompile degraded = [&] {
+        ScopedFaultPlan scoped(plan.takeValue());
+        return compileLoopResilient(m.loops[0], arrays,
+                                    paperMachine(),
+                                    Technique::Selective);
+    }();
+    ASSERT_TRUE(degraded.ok()) << degraded.report.str();
+    JsonValue dj = jsonOfCompileReport(degraded.report);
+    EXPECT_TRUE(dj.find("degraded")->boolValue());
+    EXPECT_EQ(dj.find("requested")->stringValue(), "selective");
+    EXPECT_EQ(dj.find("final_technique")->stringValue(), "full");
+    EXPECT_FALSE(dj.find("scalar_fallback")->boolValue());
+    const JsonValue *attempts = dj.find("attempts");
+    ASSERT_GE(attempts->size(), 2u);
+    const JsonValue &first = attempts->items()[0];
+    EXPECT_EQ(first.find("tier")->stringValue(), "selective");
+    EXPECT_FALSE(first.find("ok")->boolValue());
+    EXPECT_EQ(first.find("error_code")->stringValue(),
+              "partition-failed");
+    const JsonValue &last =
+        attempts->items()[attempts->size() - 1];
+    EXPECT_TRUE(last.find("ok")->boolValue());
+    EXPECT_FALSE(last.find("fallback_reason")->stringValue().empty());
 }
 
 } // anonymous namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the JSON document model,
+ * scoped-span tracing (nesting, aggregation, disabled-mode zero side
+ * effects) and the compile-stats registry (kinds, snapshot, JSON
+ * round-trip of the stat tree).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+
+namespace selvec
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// JSON document model.
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(int64_t{42}).dump(), "42");
+    EXPECT_EQ(JsonValue(-7).dump(), "-7");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+    // Doubles always carry a fractional marker so a reader cannot
+    // reparse them as integers.
+    EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+    EXPECT_EQ(JsonValue(2.0).dump(), "2.0");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n\t"), "\"a\\\"b\\\\c\\n\\t\"");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("zebra", 1);
+    obj.set("alpha", 2);
+    obj.set("zebra", 3);    // overwrite keeps position
+    EXPECT_EQ(obj.dump(), "{\"zebra\": 3, \"alpha\": 2}");
+    ASSERT_NE(obj.find("alpha"), nullptr);
+    EXPECT_EQ(obj.find("alpha")->intValue(), 2);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, FindPathWalksNestedObjects)
+{
+    JsonValue inner = JsonValue::object();
+    inner.set("attempts", int64_t{9});
+    JsonValue outer = JsonValue::object();
+    outer.set("modsched", std::move(inner));
+    JsonValue doc = JsonValue::object();
+    doc.set("stats", std::move(outer));
+
+    const JsonValue *leaf = doc.findPath("stats.modsched.attempts");
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_EQ(leaf->intValue(), 9);
+    EXPECT_EQ(doc.findPath("stats.nothere.attempts"), nullptr);
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    const char *text = R"({"a": [1, 2.5, true, null, "s\u00e9"],
+                           "b": {"c": -3}})";
+    Expected<JsonValue> doc = parseJson(text);
+    ASSERT_TRUE(doc.ok()) << doc.status().str();
+    const JsonValue &v = doc.value();
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 5u);
+    EXPECT_EQ(a->items()[0].intValue(), 1);
+    EXPECT_DOUBLE_EQ(a->items()[1].numberValue(), 2.5);
+    EXPECT_TRUE(a->items()[2].boolValue());
+    EXPECT_TRUE(a->items()[3].isNull());
+    EXPECT_EQ(a->items()[4].stringValue(), "s\xc3\xa9");
+    EXPECT_EQ(v.findPath("b.c")->intValue(), -3);
+
+    // dump -> parse -> dump is a fixed point (both indentations).
+    Expected<JsonValue> again = parseJson(v.dump());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), v);
+    Expected<JsonValue> pretty = parseJson(v.dump(2));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty.value(), v);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\"",
+          "{\"a\" 1}", "[01]", "nul", "{\"a\":1,}"}) {
+        Expected<JsonValue> doc = parseJson(bad);
+        EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+        if (!doc.ok()) {
+            EXPECT_EQ(doc.status().code(), ErrorCode::InvalidInput);
+        }
+    }
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    for (double d : {0.1, 1.0 / 3.0, 1e-300, 123456.789012345}) {
+        Expected<JsonValue> back = parseJson(JsonValue(d).dump());
+        ASSERT_TRUE(back.ok());
+        EXPECT_DOUBLE_EQ(back.value().numberValue(), d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped-span tracing.
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled = traceEnabled();
+        traceSetEnabled(true);
+        traceReset();
+    }
+
+    void
+    TearDown() override
+    {
+        traceReset();
+        traceSetEnabled(wasEnabled);
+    }
+
+    bool wasEnabled = false;
+};
+
+const TraceNode *
+findChild(const std::vector<TraceNode> &nodes, const std::string &name)
+{
+    for (const TraceNode &n : nodes) {
+        if (n.name == name)
+            return &n;
+    }
+    return nullptr;
+}
+
+TEST_F(TraceTest, SpansNestAndAggregate)
+{
+    for (int i = 0; i < 3; ++i) {
+        TraceSpan outer("compile");
+        {
+            TraceSpan inner("modsched");
+        }
+        {
+            TraceSpan inner("modsched");
+        }
+        TraceSpan other("checker");
+    }
+
+    std::vector<TraceNode> forest = traceSnapshot();
+    ASSERT_EQ(forest.size(), 1u);   // one root name
+    const TraceNode &compile = forest[0];
+    EXPECT_EQ(compile.name, "compile");
+    EXPECT_EQ(compile.count, 3);
+    EXPECT_GE(compile.wallNs, 0);
+
+    const TraceNode *modsched = findChild(compile.children, "modsched");
+    ASSERT_NE(modsched, nullptr);
+    EXPECT_EQ(modsched->count, 6);    // 2 spans x 3 iterations folded
+    // `other` was constructed while `outer` was open, so it nests.
+    const TraceNode *checker = findChild(compile.children, "checker");
+    ASSERT_NE(checker, nullptr);
+    EXPECT_EQ(checker->count, 3);
+    // A child's wall time is bounded by its parent's.
+    EXPECT_LE(modsched->wallNs + checker->wallNs, compile.wallNs);
+}
+
+TEST_F(TraceTest, SiblingRootsStayInFirstSeenOrder)
+{
+    {
+        TraceSpan a("parse");
+    }
+    {
+        TraceSpan b("evaluate");
+    }
+    {
+        TraceSpan a2("parse");
+    }
+    std::vector<TraceNode> forest = traceSnapshot();
+    ASSERT_EQ(forest.size(), 2u);
+    EXPECT_EQ(forest[0].name, "parse");
+    EXPECT_EQ(forest[0].count, 2);
+    EXPECT_EQ(forest[1].name, "evaluate");
+    EXPECT_EQ(forest[1].count, 1);
+}
+
+TEST_F(TraceTest, DisabledModeHasZeroSideEffects)
+{
+    traceSetEnabled(false);
+    {
+        TraceSpan span("never.recorded");
+        TraceSpan nested("also.never");
+    }
+    EXPECT_TRUE(traceSnapshot().empty());
+    EXPECT_EQ(traceToJson().size(), 0u);
+
+    // Re-enabling afterwards starts from a clean tree.
+    traceSetEnabled(true);
+    {
+        TraceSpan span("fresh");
+    }
+    std::vector<TraceNode> forest = traceSnapshot();
+    ASSERT_EQ(forest.size(), 1u);
+    EXPECT_EQ(forest[0].name, "fresh");
+    EXPECT_EQ(findChild(forest, "never.recorded"), nullptr);
+}
+
+TEST_F(TraceTest, JsonShapeMatchesForest)
+{
+    {
+        TraceSpan outer("driver.compile");
+        TraceSpan inner("modsched");
+    }
+    JsonValue json = traceToJson();
+    ASSERT_TRUE(json.isArray());
+    ASSERT_EQ(json.size(), 1u);
+    const JsonValue &root = json.items()[0];
+    EXPECT_EQ(root.find("name")->stringValue(), "driver.compile");
+    EXPECT_EQ(root.find("count")->intValue(), 1);
+    EXPECT_GE(root.find("wall_ns")->intValue(), 0);
+    const JsonValue *children = root.find("children");
+    ASSERT_NE(children, nullptr);
+    ASSERT_EQ(children->size(), 1u);
+    EXPECT_EQ(children->items()[0].find("name")->stringValue(),
+              "modsched");
+
+    // The trace tree is valid JSON text, round-trippable.
+    Expected<JsonValue> back = parseJson(json.dump(2));
+    ASSERT_TRUE(back.ok()) << back.status().str();
+    EXPECT_EQ(back.value(), json);
+}
+
+// ---------------------------------------------------------------------
+// Compile-stats registry.
+
+TEST(Stats, KindsBehave)
+{
+    StatsRegistry reg;
+    reg.add("modsched.attempts");
+    reg.add("modsched.attempts", 4);
+    reg.setGauge("modsched.lastIi", 7);
+    reg.setGauge("modsched.lastIi", 5);
+    reg.maxGauge("modsched.maxIi", 5);
+    reg.maxGauge("modsched.maxIi", 9);
+    reg.maxGauge("modsched.maxIi", 2);
+    reg.addTimerNs("time.compile", 100);
+    reg.addTimerNs("time.compile", 250);
+
+    EXPECT_EQ(reg.value("modsched.attempts"), 5);
+    EXPECT_EQ(reg.value("modsched.lastIi"), 5);
+    EXPECT_EQ(reg.value("modsched.maxIi"), 9);
+    EXPECT_EQ(reg.value("time.compile"), 350);
+    EXPECT_EQ(reg.value("absent.key"), 0);
+
+    std::vector<StatEntry> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // Sorted by key.
+    EXPECT_EQ(snap[0].key, "modsched.attempts");
+    EXPECT_EQ(snap[0].kind, StatKind::Counter);
+    EXPECT_EQ(snap[3].key, "time.compile");
+    EXPECT_EQ(snap[3].kind, StatKind::Timer);
+    EXPECT_EQ(snap[3].samples, 2);
+
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Stats, StatTreeRoundTripsThroughJson)
+{
+    StatsRegistry reg;
+    reg.add("partition.runs", 3);
+    reg.add("partition.movesCommitted", 17);
+    reg.setGauge("partition.lastCost", 420);
+    reg.add("modsched.backtracks", 2);
+    reg.addTimerNs("time.compile", 1234);
+
+    JsonValue tree = reg.toJson();
+    // Dotted keys became nesting.
+    EXPECT_EQ(tree.findPath("partition.runs")->intValue(), 3);
+    EXPECT_EQ(tree.findPath("partition.lastCost")->intValue(), 420);
+    EXPECT_EQ(tree.findPath("modsched.backtracks")->intValue(), 2);
+    EXPECT_EQ(tree.findPath("time.compile.total_ns")->intValue(),
+              1234);
+    EXPECT_EQ(tree.findPath("time.compile.samples")->intValue(), 1);
+
+    // Serialize, reparse, and compare the whole tree.
+    Expected<JsonValue> back = parseJson(tree.dump(2));
+    ASSERT_TRUE(back.ok()) << back.status().str();
+    EXPECT_EQ(back.value(), tree);
+}
+
+TEST(Stats, GlobalRegistryIsReachable)
+{
+    // The pipeline stages report into globalStats(); all this test
+    // may assume is that it exists and accumulates.
+    int64_t before = globalStats().value("test.trace.probe");
+    globalStats().add("test.trace.probe");
+    EXPECT_EQ(globalStats().value("test.trace.probe"), before + 1);
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare two selvec-bench-v1 JSON documents for cycle regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Walks both documents, pairs up every per-loop cycle metric by its JSON
+path (suite position, technique position and loop name are part of the
+selvec-bench-v1 schema, so paths are stable across runs), and reports
+the geometric-mean cycle ratio candidate/baseline plus the worst
+individual regressions.
+
+Exit codes:
+    0  no regression beyond the threshold, or not running --strict
+    1  --strict and the geomean regression exceeds the threshold
+    2  usage error, unreadable/incomparable documents
+
+By default the script only *warns* about regressions so a freshly
+wired CI lane cannot brick the queue; pass --strict to turn the
+threshold into a gate.  Cycle counts come from the deterministic
+simulator, so any same-mode documents are comparable across machines;
+quick-mode and full-mode documents are NOT comparable (different
+workload weights) and the script refuses to compare them.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Leaf keys that carry comparable cycle counts.  weighted_cycles is
+# the per-loop metric in suite comparisons; plain cycles is the
+# per-technique metric emitted by selvec_explore.
+CYCLE_KEYS = ("weighted_cycles", "cycles")
+
+SCHEMA = "selvec-bench-v1"
+
+
+def collect(node, path, out):
+    """Map "suites[0].techniques[2].loops[nasa7_l1]" -> cycles."""
+    if isinstance(node, dict):
+        label = node.get("name") or node.get("suite")
+        for key, value in node.items():
+            if key in CYCLE_KEYS and isinstance(value, (int, float)):
+                leaf = f"{path}.{key}" if path else key
+                if label:
+                    leaf = f"{path}[{label}].{key}"
+                out[leaf] = float(value)
+            else:
+                collect(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect(value, f"{path}[{i}]", out)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_compare: {path} is not a {SCHEMA} document "
+                 f"(schema: {doc.get('schema')!r})")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two selvec-bench-v1 JSON documents")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when the geomean regression exceeds "
+                         "the threshold (default: warn only)")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="geomean regression gate as a fraction "
+                         "(default: 0.05 = 5%%)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="how many of the worst per-loop regressions "
+                         "to print (default: 10)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+
+    if base_doc.get("mode") != cand_doc.get("mode"):
+        sys.exit(f"bench_compare: mode mismatch "
+                 f"({base_doc.get('mode')!r} vs {cand_doc.get('mode')!r}); "
+                 f"quick- and full-mode cycle counts use different "
+                 f"workload weights and are not comparable")
+
+    base, cand = {}, {}
+    collect(base_doc, "", base)
+    collect(cand_doc, "", cand)
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for path in only_base:
+        print(f"warning: only in baseline: {path}")
+    for path in only_cand:
+        print(f"warning: only in candidate: {path}")
+
+    ratios = []
+    for path in shared:
+        if base[path] > 0 and cand[path] > 0:
+            ratios.append((cand[path] / base[path], path))
+    if not ratios:
+        sys.exit("bench_compare: no comparable cycle metrics found")
+
+    geomean = math.exp(sum(math.log(r) for r, _ in ratios) / len(ratios))
+    worst = sorted(ratios, reverse=True)[:args.top]
+
+    print(f"{len(ratios)} cycle metrics compared "
+          f"({base_doc.get('generator')}, mode={base_doc.get('mode')})")
+    print(f"geomean cycle ratio candidate/baseline: {geomean:.4f} "
+          f"({(geomean - 1) * 100:+.2f}%)")
+    for ratio, path in worst:
+        if ratio > 1.0:
+            print(f"  {ratio:7.4f}  {path}")
+
+    if geomean > 1.0 + args.threshold:
+        verdict = (f"REGRESSION: geomean cycles up "
+                   f"{(geomean - 1) * 100:.2f}% "
+                   f"(threshold {args.threshold * 100:.0f}%)")
+        if args.strict:
+            sys.exit(verdict)
+        print(f"warning: {verdict} (pass --strict to gate)")
+    else:
+        print("ok: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

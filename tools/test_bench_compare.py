@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Unit test for bench_compare.py.
+
+Usage: test_bench_compare.py BENCH_baseline.json
+
+Checks that the comparator (a) passes a document against itself,
+(b) detects a synthetically injected 10% cycle regression under
+--strict, (c) stays warn-only (exit 0) without --strict, and
+(d) refuses to compare documents from different modes.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+COMPARE = os.path.join(HERE, "bench_compare.py")
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, COMPARE, *argv],
+                          capture_output=True, text=True)
+
+
+def inflate(node, factor):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in ("weighted_cycles", "cycles") and \
+                    isinstance(value, (int, float)):
+                node[key] = value * factor
+            else:
+                inflate(value, factor)
+    elif isinstance(node, list):
+        for value in node:
+            inflate(value, factor)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} BENCH_baseline.json")
+    baseline = sys.argv[1]
+    with open(baseline, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    failures = []
+
+    def check(name, ok):
+        print(("PASS" if ok else "FAIL"), name)
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        regressed = copy.deepcopy(doc)
+        inflate(regressed, 1.10)
+        reg_path = os.path.join(tmp, "regressed.json")
+        with open(reg_path, "w", encoding="utf-8") as f:
+            json.dump(regressed, f)
+
+        improved = copy.deepcopy(doc)
+        inflate(improved, 0.90)
+        imp_path = os.path.join(tmp, "improved.json")
+        with open(imp_path, "w", encoding="utf-8") as f:
+            json.dump(improved, f)
+
+        othermode = copy.deepcopy(doc)
+        othermode["mode"] = "full" if doc.get("mode") != "full" \
+            else "quick"
+        mode_path = os.path.join(tmp, "othermode.json")
+        with open(mode_path, "w", encoding="utf-8") as f:
+            json.dump(othermode, f)
+
+        r = run(baseline, baseline, "--strict")
+        check("self-compare passes", r.returncode == 0
+              and "ok: within threshold" in r.stdout)
+
+        r = run(baseline, reg_path, "--strict")
+        check("10% regression gates under --strict",
+              r.returncode == 1 and "REGRESSION" in r.stderr)
+
+        r = run(baseline, reg_path)
+        check("10% regression only warns by default",
+              r.returncode == 0 and "warning: REGRESSION" in r.stdout)
+
+        r = run(baseline, reg_path, "--strict", "--threshold", "0.15")
+        check("threshold is adjustable", r.returncode == 0)
+
+        r = run(baseline, imp_path, "--strict")
+        check("improvement passes", r.returncode == 0)
+
+        r = run(baseline, mode_path, "--strict")
+        check("mode mismatch is rejected",
+              r.returncode != 0 and "mode mismatch" in r.stderr)
+
+    if failures:
+        sys.exit(f"{len(failures)} check(s) failed")
+    print("all checks passed")
+
+
+if __name__ == "__main__":
+    main()

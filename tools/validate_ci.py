@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Dry-validate .github/workflows/ci.yml (no act/runner needed).
+
+Usage: validate_ci.py [path/to/ci.yml]
+
+Checks that the workflow parses as YAML and still carries the four
+contract lanes — build-test (gcc/clang x Release/Debug), sanitize
+(fuzzish label under ASan/UBSan), format, and bench-smoke (JSON
+artifact + baseline comparison) — so a refactor of the workflow
+cannot silently drop one.  Registered as a ctest.
+"""
+
+import os
+import sys
+
+try:
+    import yaml
+except ImportError:
+    # The CI contract cannot be validated without a YAML parser, but
+    # a missing optional python module must not fail the build.
+    print("pyyaml not available; skipping ci.yml validation")
+    sys.exit(0)
+
+
+def fail(msg):
+    sys.exit(f"validate_ci: {msg}")
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        here, "..", ".github", "workflows", "ci.yml")
+
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = yaml.safe_load(f)
+        except yaml.YAMLError as err:
+            fail(f"{path} is not valid YAML: {err}")
+
+    if not isinstance(doc, dict):
+        fail("workflow root is not a mapping")
+
+    # PyYAML 1.1 reads a bare `on:` key as boolean True.
+    triggers = doc.get("on", doc.get(True))
+    if triggers is None:
+        fail("workflow has no `on:` triggers")
+    if "push" not in triggers or "pull_request" not in triggers:
+        fail("workflow must trigger on push and pull_request")
+
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        fail("workflow has no jobs")
+
+    for required in ("build-test", "sanitize", "format", "bench-smoke"):
+        if required not in jobs:
+            fail(f"required job missing: {required}")
+
+    matrix = jobs["build-test"].get("strategy", {}).get("matrix", {})
+    if sorted(matrix.get("compiler", [])) != ["clang", "gcc"]:
+        fail("build-test matrix must cover gcc and clang")
+    if sorted(matrix.get("build_type", [])) != ["Debug", "Release"]:
+        fail("build-test matrix must cover Release and Debug")
+
+    def steps_text(job):
+        return "\n".join(
+            str(step.get("run", "")) + str(step.get("uses", ""))
+            for step in jobs[job].get("steps", []))
+
+    if "ctest" not in steps_text("build-test"):
+        fail("build-test must run ctest")
+    san = steps_text("sanitize")
+    if "SELVEC_SANITIZE=address,undefined" not in san:
+        fail("sanitize must configure -DSELVEC_SANITIZE=address,undefined")
+    if "-L fuzzish" not in san:
+        fail("sanitize must run the fuzzish ctest label")
+    if "clang-format" not in steps_text("format"):
+        fail("format job must invoke clang-format")
+    bench = steps_text("bench-smoke")
+    if "--json" not in bench:
+        fail("bench-smoke must produce a --json document")
+    if "upload-artifact" not in bench:
+        fail("bench-smoke must upload the JSON artifact")
+    if "bench_compare.py" not in bench:
+        fail("bench-smoke must diff against the checked-in baseline")
+    if "BENCH_baseline.json" not in bench:
+        fail("bench-smoke must reference BENCH_baseline.json")
+
+    print(f"ok: {os.path.relpath(path)} has all four contract lanes")
+
+
+if __name__ == "__main__":
+    main()
