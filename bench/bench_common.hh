@@ -12,7 +12,14 @@
  *                   cycle counts are simulated and deterministic, so
  *                   quick-mode documents are comparable across
  *                   machines but NOT against full-mode documents (the
- *                   "mode" field records which one was run).
+ *                   "mode" field records which one was run);
+ *   --jobs N        worker threads for per-loop compile+simulate
+ *                   (default: hardware concurrency; --jobs 1 is
+ *                   today's serial behavior). Reports and JSON
+ *                   documents are byte-identical for every N;
+ *   --no-cache      disable the structural compile cache (every
+ *                   request compiles from scratch; results are
+ *                   unchanged, only cache.* stats disappear).
  */
 
 #ifndef SELVEC_BENCH_BENCH_COMMON_HH
@@ -20,9 +27,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "driver/compilecache.hh"
+#include "driver/evaluate.hh"
 #include "driver/reportjson.hh"
 #include "workloads/workloads.hh"
 
@@ -33,9 +43,19 @@ struct BenchCli
 {
     std::string jsonPath;       ///< empty: no JSON output
     bool quick = false;
+    int jobs = 0;               ///< 0: hardware concurrency
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     const char *mode() const { return quick ? "quick" : "full"; }
+
+    /** EvaluateOptions carrying the parsed --jobs value. */
+    EvaluateOptions
+    evalOptions() const
+    {
+        EvaluateOptions options;
+        options.jobs = jobs;
+        return options;
+    }
 
     static BenchCli
     parse(int argc, char **argv)
@@ -49,6 +69,12 @@ struct BenchCli
                 cli.jsonPath = argv[++i];
             } else if (arg.rfind("--json=", 0) == 0) {
                 cli.jsonPath = arg.substr(7);
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                cli.jobs = std::atoi(argv[++i]);
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                cli.jobs = std::atoi(arg.c_str() + 7);
+            } else if (arg == "--no-cache") {
+                compileCacheSetEnabled(false);
             } else {
                 cli.rest.push_back(arg);
             }

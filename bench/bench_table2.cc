@@ -61,14 +61,15 @@ main(int argc, char **argv)
         Suite suite = makeSuite(row.name);
         if (cli.quick)
             applyQuickMode(suite);
+        EvaluateOptions eopt = cli.evalOptions();
         SuiteReport base =
-            evaluateSuite(suite, machine, Technique::ModuloOnly);
-        SuiteReport trad =
-            evaluateSuite(suite, machine, Technique::Traditional);
+            evaluateSuite(suite, machine, Technique::ModuloOnly, eopt);
+        SuiteReport trad = evaluateSuite(suite, machine,
+                                         Technique::Traditional, eopt);
         SuiteReport full =
-            evaluateSuite(suite, machine, Technique::Full);
+            evaluateSuite(suite, machine, Technique::Full, eopt);
         SuiteReport sel =
-            evaluateSuite(suite, machine, Technique::Selective);
+            evaluateSuite(suite, machine, Technique::Selective, eopt);
 
         double s_trad = speedupOver(base, trad);
         double s_full = speedupOver(base, full);

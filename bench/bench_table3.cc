@@ -67,14 +67,15 @@ main(int argc, char **argv)
         Suite suite = makeSuite(row.name);
         if (cli.quick)
             applyQuickMode(suite);
+        EvaluateOptions eopt = cli.evalOptions();
         SuiteReport base =
-            evaluateSuite(suite, machine, Technique::ModuloOnly);
-        SuiteReport trad =
-            evaluateSuite(suite, machine, Technique::Traditional);
+            evaluateSuite(suite, machine, Technique::ModuloOnly, eopt);
+        SuiteReport trad = evaluateSuite(suite, machine,
+                                         Technique::Traditional, eopt);
         SuiteReport full =
-            evaluateSuite(suite, machine, Technique::Full);
+            evaluateSuite(suite, machine, Technique::Full, eopt);
         SuiteReport sel =
-            evaluateSuite(suite, machine, Technique::Selective);
+            evaluateSuite(suite, machine, Technique::Selective, eopt);
 
         int rb = 0, re = 0, rw = 0, ib = 0, ie = 0, iw = 0;
         int counted = 0;

@@ -53,14 +53,14 @@ main(int argc, char **argv)
         Suite suite = makeSuite(row.name);
         if (cli.quick)
             applyQuickMode(suite);
-        SuiteReport base =
-            evaluateSuite(suite, machine, Technique::ModuloOnly);
+        SuiteReport base = evaluateSuite(
+            suite, machine, Technique::ModuloOnly, cli.evalOptions());
 
-        EvaluateOptions consider;
+        EvaluateOptions consider = cli.evalOptions();
         SuiteReport with_comm = evaluateSuite(
             suite, machine, Technique::Selective, consider);
 
-        EvaluateOptions ignore;
+        EvaluateOptions ignore = cli.evalOptions();
         ignore.driver.partition.cost.considerCommunication = false;
         SuiteReport without_comm = evaluateSuite(
             suite, machine, Technique::Selective, ignore);

@@ -52,18 +52,19 @@ main(int argc, char **argv)
         if (cli.quick)
             applyQuickMode(suite);
 
+        EvaluateOptions eopt = cli.evalOptions();
         Machine mis = paperMachine();
         SuiteReport base_mis =
-            evaluateSuite(suite, mis, Technique::ModuloOnly);
+            evaluateSuite(suite, mis, Technique::ModuloOnly, eopt);
         SuiteReport sel_mis =
-            evaluateSuite(suite, mis, Technique::Selective);
+            evaluateSuite(suite, mis, Technique::Selective, eopt);
 
         Machine ali = paperMachine();
         ali.alignment = AlignPolicy::AssumeAligned;
         SuiteReport base_ali =
-            evaluateSuite(suite, ali, Technique::ModuloOnly);
+            evaluateSuite(suite, ali, Technique::ModuloOnly, eopt);
         SuiteReport sel_ali =
-            evaluateSuite(suite, ali, Technique::Selective);
+            evaluateSuite(suite, ali, Technique::Selective, eopt);
 
         std::printf("%-14s %8.2f | %4.2f %11.2f | %4.2f\n", row.name,
                     speedupOver(base_mis, sel_mis), row.misaligned,

@@ -16,6 +16,11 @@
  *   --json <path>  write a selvec-bench-v1 document with the compiled
  *                  program, cycles and speedup of every technique,
  *                  plus the compile-stats and trace trees
+ *   --jobs N       worker threads for the per-technique
+ *                  compile+simulate fan-out (default: hardware
+ *                  concurrency; 1 is serial). Output is identical
+ *                  for every N.
+ *   --no-cache     disable the structural compile cache
  *
  * Every live-in is bound to a small default value (f64: 0.5, i64: 3);
  * results are checked against the reference interpreter.
@@ -26,11 +31,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "driver/compilecache.hh"
 #include "driver/driver.hh"
 #include "driver/reportjson.hh"
 #include "lir/lir.hh"
 #include "machine/machine.hh"
 #include "pipeline/printer.hh"
+#include "support/stats.hh"
+#include "support/threadpool.hh"
+#include "support/trace.hh"
 
 namespace
 {
@@ -71,6 +80,7 @@ main(int argc, char **argv)
     Machine machine = paperMachine();
     DriverOptions driver_options;
     std::string json_path;
+    int jobs = 0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -86,6 +96,12 @@ main(int argc, char **argv)
             json_path = argv[++i];
         else if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
+        else if (arg == "--jobs" && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (arg.rfind("--jobs=", 0) == 0)
+            jobs = std::atoi(arg.c_str() + 7);
+        else if (arg == "--no-cache")
+            compileCacheSetEnabled(false);
         else
             positional.push_back(arg);
     }
@@ -117,6 +133,12 @@ main(int argc, char **argv)
     }
     JsonValue doc = benchDocument("selvec_explore", "full");
     JsonValue json_loops = JsonValue::array();
+    ThreadPool pool(resolveJobs(jobs));
+    const Technique kTechniques[] = {
+        Technique::ModuloOnly, Technique::Traditional, Technique::Full,
+        Technique::Selective, Technique::IterationSplit};
+    const size_t tn =
+        sizeof(kTechniques) / sizeof(kTechniques[0]);
     for (const Loop &loop : pr.module.loops) {
         std::printf("=== loop %s (%d ops, %lld iterations) ===\n",
                     loop.name.c_str(), loop.numOps(),
@@ -129,6 +151,38 @@ main(int argc, char **argv)
                                             : RtVal::scalarI(3);
         }
 
+        // The five techniques are independent: compile and simulate
+        // them in parallel (stats into per-task sinks merged in
+        // technique order), then print serially so the output is
+        // identical for every --jobs value.
+        struct TechOutcome
+        {
+            CompiledProgram program;
+            ExecResult run;
+            std::string diff;
+        };
+        std::vector<TechOutcome> outcomes(tn);
+        std::vector<StatsRegistry> sinks(tn);
+        TraceContext tctx = traceCurrentContext();
+        pool.parallelFor(tn, [&](size_t i) {
+            ScopedStatsSink sink(sinks[i]);
+            TraceContextScope tscope(tctx);
+            ArrayTable arrays = pr.module.arrays;
+            TechOutcome &out = outcomes[i];
+            out.program = compileLoop(loop, arrays, machine,
+                                      kTechniques[i], driver_options);
+            MemoryImage mem(arrays);
+            mem.fillPattern(17);
+            out.run = runCompiled(out.program, arrays, machine, mem,
+                                  env, n);
+            MemoryImage ref(arrays);
+            ref.fillPattern(17);
+            runReference(loop, arrays, machine, ref, env, n);
+            out.diff = mem.diff(ref);
+        });
+        for (const StatsRegistry &sink : sinks)
+            globalStats().mergeFrom(sink);
+
         std::printf("%-14s %8s %7s %7s %10s\n", "technique", "II/iter",
                     "stages", "loops", "cycles");
         JsonValue json_loop = JsonValue::object();
@@ -136,25 +190,13 @@ main(int argc, char **argv)
         json_loop.set("trip_count", n);
         JsonValue json_techniques = JsonValue::array();
         int64_t baseline = 0;
-        for (Technique t :
-             {Technique::ModuloOnly, Technique::Traditional,
-              Technique::Full, Technique::Selective,
-              Technique::IterationSplit}) {
-            ArrayTable arrays = pr.module.arrays;
-            CompiledProgram p =
-                compileLoop(loop, arrays, machine, t, driver_options);
-
-            MemoryImage mem(arrays);
-            mem.fillPattern(17);
-            ExecResult r = runCompiled(p, arrays, machine, mem, env, n);
-
-            MemoryImage ref(arrays);
-            ref.fillPattern(17);
-            runReference(loop, arrays, machine, ref, env, n);
-            std::string diff = mem.diff(ref);
-            if (!diff.empty()) {
+        for (size_t i = 0; i < tn; ++i) {
+            Technique t = kTechniques[i];
+            const CompiledProgram &p = outcomes[i].program;
+            const ExecResult &r = outcomes[i].run;
+            if (!outcomes[i].diff.empty()) {
                 std::printf("  %s DIVERGED: %s\n", techniqueName(t),
-                            diff.c_str());
+                            outcomes[i].diff.c_str());
                 return 1;
             }
 

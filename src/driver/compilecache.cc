@@ -1,0 +1,176 @@
+#include "driver/compilecache.hh"
+
+#include <sstream>
+
+#include "lir/lir.hh"
+#include "support/faultinject.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+bool g_cache_enabled = true;
+
+thread_local int tls_bypass_depth = 0;
+
+/** Every semantic field of the machine, never its name: two machines
+ *  that schedule identically must share cache entries. */
+void
+appendMachineKey(std::ostringstream &out, const Machine &machine)
+{
+    out << "machine";
+    for (int k = 0; k < kNumResKinds; ++k)
+        out << " " << machine.counts[k];
+    out << ";";
+    for (int c = 0; c < kNumOpClasses; ++c) {
+        const ClassDesc &cd = machine.classes[c];
+        out << " c" << c << ":" << cd.latency << ":";
+        for (const Reservation &r : cd.reservations) {
+            out << static_cast<int>(r.kind) << "x" << r.cycles << ",";
+        }
+    }
+    out << "; vl=" << machine.vectorLength
+        << " xfer=" << static_cast<int>(machine.transfer)
+        << " align=" << static_cast<int>(machine.alignment)
+        << " invoc=" << machine.invocationOverhead
+        << " loopov=" << machine.loopOverhead << "\n";
+}
+
+/** The array declarations, writeLir-style (writeLoop references
+ *  arrays by name only, so sizes/types/alignment enter here). */
+void
+appendArraysKey(std::ostringstream &out, const ArrayTable &arrays)
+{
+    for (ArrayId a = 0; a < arrays.size(); ++a) {
+        const ArrayInfo &info = arrays[a];
+        out << "array " << info.name << " "
+            << static_cast<int>(info.elemType) << " " << info.size
+            << " align " << info.baseAlign << " syn "
+            << info.synthesized << "\n";
+    }
+}
+
+void
+appendScheduleOptionsKey(std::ostringstream &out,
+                         const ScheduleOptions &options)
+{
+    out << "sched budget=" << options.budgetFactor
+        << " iifactor=" << options.maxIiFactor
+        << " iislack=" << options.maxIiSlack << "\n";
+}
+
+} // anonymous namespace
+
+bool
+compileCacheEnabled()
+{
+    return g_cache_enabled;
+}
+
+void
+compileCacheSetEnabled(bool enabled)
+{
+    g_cache_enabled = enabled;
+}
+
+bool
+compileCacheActive()
+{
+    return g_cache_enabled && tls_bypass_depth == 0 &&
+           !faultPlanArmed();
+}
+
+void
+compileCacheClear()
+{
+    compileCache().clear();
+    scheduleCache().clear();
+}
+
+CacheBypassScope::CacheBypassScope()
+{
+    ++tls_bypass_depth;
+}
+
+CacheBypassScope::~CacheBypassScope()
+{
+    --tls_bypass_depth;
+}
+
+std::string
+compileCacheKey(const Loop &loop, const ArrayTable &arrays,
+                const Machine &machine, Technique technique,
+                const DriverOptions &options)
+{
+    std::ostringstream out;
+    out << "compile " << techniqueName(technique) << "\n";
+    appendMachineKey(out, machine);
+    appendArraysKey(out, arrays);
+    // Only the knobs this technique consumes enter the key, so a
+    // sweep that flips a Selective-only flag (Table 4) still shares
+    // its ModuloOnly/Full compiles with the base sweep.
+    out << "opts";
+    if (technique == Technique::Traditional)
+        out << " expansion=" << options.expansionSize;
+    if (technique == Technique::Selective ||
+        technique == Technique::IterationSplit) {
+        out << " guard=" << options.vectorize.neighborGuard
+            << " reduce=" << options.vectorize.recognizeReductions;
+    }
+    if (technique == Technique::Selective) {
+        out << " comm=" << options.partition.cost.considerCommunication
+            << " kliters=" << options.partition.maxIterations;
+    }
+    if (technique == Technique::IterationSplit)
+        out << " itersplit=" << options.iterSplitUnroll;
+    out << "\n";
+    appendScheduleOptionsKey(out, options.scheduling);
+    out << writeLoop(loop, arrays);
+    return out.str();
+}
+
+std::string
+scheduleCacheKey(const Loop &body, const ArrayTable &arrays,
+                 const Machine &machine,
+                 const ScheduleOptions &options)
+{
+    std::ostringstream out;
+    out << "schedule\n";
+    appendMachineKey(out, machine);
+    appendArraysKey(out, arrays);
+    appendScheduleOptionsKey(out, options);
+    out << writeLoop(body, arrays);
+    return out.str();
+}
+
+StructuralCache<CompileCacheValue> &
+compileCache()
+{
+    static StructuralCache<CompileCacheValue> cache;
+    return cache;
+}
+
+StructuralCache<ScheduleCacheValue> &
+scheduleCache()
+{
+    static StructuralCache<ScheduleCacheValue> cache;
+    return cache;
+}
+
+std::vector<StatEntry>
+captureStatsDelta(const StatsRegistry &registry)
+{
+    std::vector<StatEntry> delta;
+    for (StatEntry &e : registry.snapshot()) {
+        // The inner run's own cache traffic stays out of the stored
+        // delta: replaying a hit must not re-report nested misses.
+        if (e.key.compare(0, 6, "cache.") == 0)
+            continue;
+        delta.push_back(std::move(e));
+    }
+    return delta;
+}
+
+} // namespace selvec

@@ -1,6 +1,9 @@
 #include "driver/driver.hh"
 
+#include <optional>
+
 #include "analysis/depgraph.hh"
+#include "driver/compilecache.hh"
 #include "analysis/recmii.hh"
 #include "core/itersplit.hh"
 #include "core/transform.hh"
@@ -11,6 +14,7 @@
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "support/threadpool.hh"
 #include "support/trace.hh"
 #include "vectorize/full.hh"
 #include "vectorize/traditional.hh"
@@ -69,10 +73,11 @@ namespace
 
 /** Lower, build dependences, schedule, and validate one loop. */
 Status
-scheduleInto(const Loop &body, const ArrayTable &arrays,
-             const Machine &machine, const ScheduleOptions &options,
-             Loop &lowered_out, ModuloSchedule &schedule_out,
-             int64_t *res_mii, int64_t *rec_mii)
+scheduleIntoImpl(const Loop &body, const ArrayTable &arrays,
+                 const Machine &machine,
+                 const ScheduleOptions &options, Loop &lowered_out,
+                 ModuloSchedule &schedule_out, int64_t *res_mii,
+                 int64_t *rec_mii)
 {
     Expected<Loop> lowered =
         tryLowerForScheduling(body, arrays, machine);
@@ -107,6 +112,50 @@ scheduleInto(const Loop &body, const ArrayTable &arrays,
         *res_mii = sr.resMii;
     if (rec_mii != nullptr)
         *rec_mii = sr.recMii;
+    return Status::success();
+}
+
+/**
+ * scheduleIntoImpl behind the schedule-level structural cache. This
+ * is where cross-technique sharing happens: ModuloOnly, Full and
+ * Selective all schedule the identical source loop as their cleanup,
+ * so the second and later techniques of a suite hit here.
+ */
+Status
+scheduleInto(const Loop &body, const ArrayTable &arrays,
+             const Machine &machine, const ScheduleOptions &options,
+             Loop &lowered_out, ModuloSchedule &schedule_out,
+             int64_t *res_mii, int64_t *rec_mii)
+{
+    if (!compileCacheActive()) {
+        return scheduleIntoImpl(body, arrays, machine, options,
+                                lowered_out, schedule_out, res_mii,
+                                rec_mii);
+    }
+
+    std::string key = scheduleCacheKey(body, arrays, machine, options);
+    std::shared_ptr<const ScheduleCacheValue> v =
+        scheduleCache().lookupOrCompute(key, [&] {
+            ScheduleCacheValue val;
+            StatsRegistry capture;
+            {
+                ScopedStatsSink sink(capture);
+                val.status = scheduleIntoImpl(
+                    body, arrays, machine, options, val.lowered,
+                    val.schedule, &val.resMii, &val.recMii);
+            }
+            val.statsDelta = captureStatsDelta(capture);
+            return val;
+        });
+    globalStats().applyEntries(v->statsDelta);
+    if (!v->status.ok())
+        return v->status;
+    lowered_out = v->lowered;
+    schedule_out = v->schedule;
+    if (res_mii != nullptr)
+        *res_mii = v->resMii;
+    if (rec_mii != nullptr)
+        *rec_mii = v->recMii;
     return Status::success();
 }
 
@@ -280,16 +329,50 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
         return loop_ok;
     }
 
-    // Compile against a scratch copy: a failed attempt must not leak
-    // scalar-expansion temporaries into the caller's table.
-    ArrayTable trial = arrays;
-    Expected<CompiledProgram> program =
-        tryCompileLoopImpl(loop, trial, machine, technique, options);
-    if (program.ok())
-        arrays = std::move(trial);
-    else
-        stats.add("driver.failures");
-    return program;
+    if (!compileCacheActive()) {
+        // Compile against a scratch copy: a failed attempt must not
+        // leak scalar-expansion temporaries into the caller's table.
+        ArrayTable trial = arrays;
+        Expected<CompiledProgram> program = tryCompileLoopImpl(
+            loop, trial, machine, technique, options);
+        if (program.ok())
+            arrays = std::move(trial);
+        else
+            stats.add("driver.failures");
+        return program;
+    }
+
+    std::string key =
+        compileCacheKey(loop, arrays, machine, technique, options);
+    std::shared_ptr<const CompileCacheValue> v =
+        compileCache().lookupOrCompute(key, [&] {
+            CompileCacheValue val;
+            StatsRegistry capture;
+            {
+                ScopedStatsSink sink(capture);
+                ArrayTable trial = arrays;
+                Expected<CompiledProgram> program = tryCompileLoopImpl(
+                    loop, trial, machine, technique, options);
+                val.ok = program.ok();
+                if (program.ok()) {
+                    val.program = program.takeValue();
+                    val.arrays = std::move(trial);
+                } else {
+                    val.status = program.status();
+                    globalStats().add("driver.failures");
+                }
+            }
+            val.statsDelta = captureStatsDelta(capture);
+            return val;
+        });
+    // Replaying the stored delta makes a hit's stats footprint equal
+    // to the compile it skipped, so merged registries do not depend
+    // on which request happened to execute.
+    globalStats().applyEntries(v->statsDelta);
+    if (!v->ok)
+        return v->status;
+    arrays = v->arrays;
+    return v->program;
 }
 
 CompiledProgram
@@ -326,7 +409,7 @@ CompileReport::str() const
 ResilientCompile
 compileLoopResilient(const Loop &loop, ArrayTable &arrays,
                      const Machine &machine, Technique technique,
-                     const DriverOptions &options)
+                     const DriverOptions &options, int jobs)
 {
     TraceSpan span("driver.resilient");
     globalStats().add("driver.resilient.runs");
@@ -342,9 +425,38 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
         if (t != technique)
             chain.push_back(t);
     }
+    size_t tiers = chain.size() + 1;
+
+    // Speculative fan-out: compile every tier concurrently, each
+    // against its own array-table copy and stats sink, then replay
+    // the serial walk over the finished results. Attempts past the
+    // first success are discarded with their sinks unobserved, so
+    // the report and merged stats match the serial chain exactly.
+    std::vector<std::optional<Expected<CompiledProgram>>> speculated;
+    std::vector<ArrayTable> tables;
+    std::vector<StatsRegistry> sinks(tiers);
+    if (jobs > 1 && !faultPlanArmed()) {
+        speculated.resize(tiers);
+        tables.assign(tiers, arrays);
+        TraceContext tctx = traceCurrentContext();
+        ThreadPool pool(jobs);
+        pool.parallelFor(tiers, [&](size_t i) {
+            ScopedStatsSink sink(sinks[i]);
+            TraceContextScope tscope(tctx);
+            // Discarded attempts must not seed the cache or shift
+            // its hit/miss accounting.
+            CacheBypassScope bypass;
+            bool scalar = i == chain.size();
+            speculated[i] =
+                scalar ? tryCompileScalar(loop, tables[i], machine,
+                                          options)
+                       : tryCompileLoop(loop, tables[i], machine,
+                                        chain[i], options);
+        });
+    }
 
     std::string reason;
-    for (size_t tier = 0; tier <= chain.size(); ++tier) {
+    for (size_t tier = 0; tier < tiers; ++tier) {
         bool scalar = tier == chain.size();
         CompileAttempt attempt;
         attempt.technique =
@@ -352,11 +464,21 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
         attempt.scalarFallback = scalar;
         attempt.fallbackReason = reason;
 
-        Expected<CompiledProgram> program =
-            scalar ? tryCompileScalar(loop, arrays, machine, options)
-                   : tryCompileLoop(loop, arrays, machine, chain[tier],
-                                    options);
+        std::optional<Expected<CompiledProgram>> attempted;
+        if (!speculated.empty()) {
+            globalStats().mergeFrom(sinks[tier]);
+            attempted = std::move(speculated[tier]);
+        } else if (scalar) {
+            attempted =
+                tryCompileScalar(loop, arrays, machine, options);
+        } else {
+            attempted = tryCompileLoop(loop, arrays, machine,
+                                       chain[tier], options);
+        }
+        Expected<CompiledProgram> &program = *attempted;
         if (program.ok()) {
+            if (!speculated.empty())
+                arrays = std::move(tables[tier]);
             attempt.status = Status::success();
             attempt.iiPerIteration =
                 program.value().iiPerIteration();

@@ -217,12 +217,22 @@ struct ResilientCompile
  * persistent fault injection or a degenerate machine), the report
  * carries the last status. `arrays` is only updated when a tier
  * succeeds, and only with that tier's temporaries.
+ *
+ * `jobs` > 1 compiles every tier speculatively in parallel and then
+ * replays the serial walk over the results, so the report (attempt
+ * order, fallback reasons, chosen tier, stats of adopted attempts)
+ * is identical to a serial run; tiers past the first success are
+ * discarded unobserved. Speculative tiers bypass the compile cache —
+ * discarded work must not perturb its contents or hit/miss counts —
+ * and a run with an armed fault plan always degrades to serial so
+ * hit windows stay ordered. Default 1: exactly today's serial chain.
  */
 ResilientCompile compileLoopResilient(const Loop &loop,
                                       ArrayTable &arrays,
                                       const Machine &machine,
                                       Technique technique,
-                                      const DriverOptions &options = {});
+                                      const DriverOptions &options = {},
+                                      int jobs = 1);
 
 /** Execution result of a compiled program. */
 struct ExecResult

@@ -1,11 +1,92 @@
 #include "driver/evaluate.hh"
 
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "support/threadpool.hh"
 #include "support/trace.hh"
 
 namespace selvec
 {
+
+namespace
+{
+
+/** Compile, simulate and (optionally) verify one workload loop. */
+LoopReport
+evaluateLoop(const Suite &suite, const WorkloadLoop &wl,
+             const Machine &machine, Technique technique,
+             const EvaluateOptions &options)
+{
+    const Loop &loop = suite.loopOf(wl);
+
+    // Compilation may add scalar-expansion temporaries; both the
+    // pipelined run and the reference run use the extended table
+    // so their memory images stay comparable.
+    ArrayTable arrays = suite.module.arrays;
+    DriverOptions dopt = options.driver;
+    dopt.expansionSize =
+        std::max<int64_t>(dopt.expansionSize, wl.tripCount + 8);
+    CompiledProgram program =
+        compileLoop(loop, arrays, machine, technique, dopt);
+
+    MemoryImage mem(arrays);
+    mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
+    ExecResult run = runCompiled(program, arrays, machine, mem,
+                                 wl.liveIns, wl.tripCount);
+
+    if (options.verify) {
+        MemoryImage ref_mem(arrays);
+        ref_mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
+        ExecResult ref = runReference(loop, arrays, machine, ref_mem,
+                                      wl.liveIns, wl.tripCount);
+        std::string diff = mem.diff(ref_mem);
+        if (!diff.empty()) {
+            // A divergence from the reference is a miscompile —
+            // an invariant bug, not bad input.
+            SV_PANIC("%s / %s / %s: memory diverged: %s",
+                     suite.name.c_str(), loop.name.c_str(),
+                     techniqueName(technique), diff.c_str());
+        }
+        for (ValueId v : loop.liveOuts) {
+            const std::string &name = loop.valueInfo(v).name;
+            if (!ref.env.count(name))
+                continue;
+            if (!run.env.count(name) ||
+                !(run.env.at(name) == ref.env.at(name))) {
+                SV_PANIC("%s / %s / %s: live-out '%s' diverged "
+                         "(%s vs %s)",
+                         suite.name.c_str(), loop.name.c_str(),
+                         techniqueName(technique), name.c_str(),
+                         run.env.count(name)
+                             ? run.env.at(name).str().c_str()
+                             : "<absent>",
+                         ref.env.at(name).str().c_str());
+            }
+        }
+    }
+
+    globalStats().add("evaluate.kernels");
+    if (options.verify)
+        globalStats().add("evaluate.verifications");
+
+    LoopReport lr;
+    lr.name = loop.name;
+    lr.technique = technique;
+    lr.tripCount = wl.tripCount;
+    lr.invocations = wl.invocations;
+    lr.resMiiPerIter = program.resMiiPerIteration();
+    lr.recMiiPerIter = program.recMiiPerIteration();
+    lr.iiPerIter = program.iiPerIteration();
+    lr.resourceLimited = program.resourceLimited;
+    lr.distributedLoops = static_cast<int>(program.loops.size());
+    lr.cyclesPerInvocation = run.cycles;
+    lr.weightedCycles = run.cycles * wl.invocations;
+    lr.partition = program.partition;
+    return lr;
+}
+
+} // anonymous namespace
 
 SuiteReport
 evaluateSuite(const Suite &suite, const Machine &machine,
@@ -17,73 +98,30 @@ evaluateSuite(const Suite &suite, const Machine &machine,
     report.suite = suite.name;
     report.technique = technique;
 
-    for (const WorkloadLoop &wl : suite.loops) {
-        const Loop &loop = suite.loopOf(wl);
+    // An armed fault plan hands hit windows out by arrival order;
+    // only a serial run keeps them deterministic per site.
+    int jobs =
+        faultPlanArmed() ? 1 : resolveJobs(options.jobs);
+    ThreadPool pool(jobs);
 
-        // Compilation may add scalar-expansion temporaries; both the
-        // pipelined run and the reference run use the extended table
-        // so their memory images stay comparable.
-        ArrayTable arrays = suite.module.arrays;
-        DriverOptions dopt = options.driver;
-        dopt.expansionSize =
-            std::max<int64_t>(dopt.expansionSize, wl.tripCount + 8);
-        CompiledProgram program =
-            compileLoop(loop, arrays, machine, technique, dopt);
+    size_t n = suite.loops.size();
+    std::vector<LoopReport> loop_reports(n);
+    std::vector<StatsRegistry> sinks(n);
+    TraceContext tctx = traceCurrentContext();
+    pool.parallelFor(n, [&](size_t i) {
+        // Each task records into a private sink and reports under
+        // the caller's open trace spans; the merge below runs in
+        // loop order, so the combined registry and trace tree are
+        // byte-identical to a serial run (see DESIGN.md §8).
+        ScopedStatsSink sink(sinks[i]);
+        TraceContextScope tscope(tctx);
+        loop_reports[i] = evaluateLoop(suite, suite.loops[i], machine,
+                                       technique, options);
+    });
 
-        MemoryImage mem(arrays);
-        mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
-        ExecResult run = runCompiled(program, arrays, machine, mem,
-                                     wl.liveIns, wl.tripCount);
-
-        if (options.verify) {
-            MemoryImage ref_mem(arrays);
-            ref_mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
-            ExecResult ref =
-                runReference(loop, arrays, machine, ref_mem,
-                             wl.liveIns, wl.tripCount);
-            std::string diff = mem.diff(ref_mem);
-            if (!diff.empty()) {
-                // A divergence from the reference is a miscompile —
-                // an invariant bug, not bad input.
-                SV_PANIC("%s / %s / %s: memory diverged: %s",
-                         suite.name.c_str(), loop.name.c_str(),
-                         techniqueName(technique), diff.c_str());
-            }
-            for (ValueId v : loop.liveOuts) {
-                const std::string &name = loop.valueInfo(v).name;
-                if (!ref.env.count(name))
-                    continue;
-                if (!run.env.count(name) ||
-                    !(run.env.at(name) == ref.env.at(name))) {
-                    SV_PANIC("%s / %s / %s: live-out '%s' diverged "
-                             "(%s vs %s)",
-                             suite.name.c_str(), loop.name.c_str(),
-                             techniqueName(technique), name.c_str(),
-                             run.env.count(name)
-                                 ? run.env.at(name).str().c_str()
-                                 : "<absent>",
-                             ref.env.at(name).str().c_str());
-                }
-            }
-        }
-
-        globalStats().add("evaluate.kernels");
-        if (options.verify)
-            globalStats().add("evaluate.verifications");
-
-        LoopReport lr;
-        lr.name = loop.name;
-        lr.technique = technique;
-        lr.tripCount = wl.tripCount;
-        lr.invocations = wl.invocations;
-        lr.resMiiPerIter = program.resMiiPerIteration();
-        lr.recMiiPerIter = program.recMiiPerIteration();
-        lr.iiPerIter = program.iiPerIteration();
-        lr.resourceLimited = program.resourceLimited;
-        lr.distributedLoops = static_cast<int>(program.loops.size());
-        lr.cyclesPerInvocation = run.cycles;
-        lr.weightedCycles = run.cycles * wl.invocations;
-        lr.partition = program.partition;
+    for (size_t i = 0; i < n; ++i)
+        globalStats().mergeFrom(sinks[i]);
+    for (LoopReport &lr : loop_reports) {
         report.totalCycles += lr.weightedCycles;
         report.loops.push_back(std::move(lr));
     }

@@ -50,6 +50,17 @@ struct EvaluateOptions
     /** Check pipelined results against the reference interpreter
      *  (memory and live-outs, bitwise). Fatal on mismatch. */
     bool verify = true;
+
+    /**
+     * Worker threads for per-loop compile+simulate. 1 (the default)
+     * runs inline on the calling thread; 0 or negative resolves to
+     * hardware concurrency; an armed fault plan forces 1. Reports and
+     * merged stats are byte-identical for every value — per-loop work
+     * is independent, task sinks merge in loop order, and the compile
+     * cache deduplicates concurrent identical requests (see
+     * DESIGN.md §8).
+     */
+    int jobs = 1;
 };
 
 /** Evaluate one suite under one technique. */

@@ -1,5 +1,7 @@
 #include "driver/reportjson.hh"
 
+#include <cstdlib>
+
 #include "support/stats.hh"
 #include "support/trace.hh"
 
@@ -166,7 +168,16 @@ benchDocument(const std::string &generator, const std::string &mode)
 void
 attachObservability(JsonValue &doc)
 {
-    doc.set("stats", globalStats().toJson());
+    // Wall-clock timer totals vary run to run and would break the
+    // documented byte-identity of --jobs 1 vs --jobs N documents;
+    // they are zeroed (sample counts stay) unless explicitly asked
+    // for. The trace tree is emitted in sorted sibling order for the
+    // same reason.
+    const char *timings = std::getenv("SELVEC_TIMINGS");
+    bool include_ns =
+        timings != nullptr && std::string(timings) != "0" &&
+        std::string(timings) != "";
+    doc.set("stats", globalStats().toJson(include_ns));
     doc.set("trace", traceToJson());
 }
 

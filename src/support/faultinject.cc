@@ -144,6 +144,11 @@ faultPointHit(const char *site)
               site);
     InjectState &s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
+    // The armed flag was read outside the lock: a concurrent
+    // clear/install may have landed in between, and a stale hit must
+    // not consume a window position of the plan now in force.
+    if (s.plan.empty())
+        return false;
     int hit = s.hits[site]++;
     auto it = s.plan.sites.find(site);
     if (it == s.plan.sites.end())
@@ -152,6 +157,12 @@ faultPointHit(const char *site)
     if (hit < fs.skip)
         return false;
     return fs.failures < 0 || hit - fs.skip < fs.failures;
+}
+
+bool
+faultPlanArmed()
+{
+    return g_armed.load(std::memory_order_acquire);
 }
 
 int

@@ -12,7 +12,13 @@
  *
  * With no plan installed every site is free: one branch on an atomic
  * flag, nothing else. Installation and hit accounting are mutex-
- * guarded, so concurrent compilations observe a consistent plan.
+ * guarded, so concurrent compilations observe a consistent plan, and
+ * a hit that raced past the armed check before a clear/install is
+ * re-validated under the lock so it can never consume a window
+ * position of the plan now in force. Hit *windows* are still ordered
+ * by arrival: a deterministic degradation chain additionally needs
+ * the compiles themselves serialized, which the driver guarantees by
+ * dropping to one job while faultPlanArmed() (see DESIGN.md §8).
  */
 
 #ifndef SELVEC_SUPPORT_FAULTINJECT_HH
@@ -66,6 +72,11 @@ bool faultPointHit(const char *site);
 
 /** Hits of one site since the last install/clear. */
 int faultHits(const std::string &site);
+
+/** Whether a plan is currently armed (one atomic load). The driver
+ *  bypasses its compile cache and runs serially while this is true,
+ *  keeping hit windows deterministic per site. */
+bool faultPlanArmed();
 
 /** Every registered injection-site name, for exhaustive sweeps. */
 const std::vector<std::string> &faultSiteNames();

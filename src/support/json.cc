@@ -1,6 +1,7 @@
 #include "support/json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -62,11 +63,34 @@ JsonValue::findPath(const std::string &dotted) const
     return nullptr;
 }
 
+namespace
+{
+
+/**
+ * Exact Int-vs-Double comparison. Converting the int64 to double
+ * would collapse distinct values above 2^53, so instead require the
+ * double to hold an integer in int64 range and compare in int64.
+ */
+bool
+intEqualsDouble(int64_t i, double d)
+{
+    if (!std::isfinite(d) || d != std::floor(d))
+        return false;
+    // 2^63 is exactly representable; INT64_MAX is not.
+    if (d < -9223372036854775808.0 || d >= 9223372036854775808.0)
+        return false;
+    return static_cast<int64_t>(d) == i;
+}
+
+} // anonymous namespace
+
 bool
 JsonValue::operator==(const JsonValue &other) const
 {
-    if (isNumber() && other.isNumber())
-        return numberValue() == other.numberValue();
+    if (isInt() && other.isDouble())
+        return intEqualsDouble(integer, other.real);
+    if (isDouble() && other.isInt())
+        return intEqualsDouble(other.integer, real);
     if (kind_ != other.kind_)
         return false;
     switch (kind_) {
@@ -115,8 +139,17 @@ formatDouble(double v)
 {
     if (!std::isfinite(v)) {
         // JSON has no inf/nan literals; null is the conventional
-        // stand-in and keeps the document parseable everywhere.
+        // stand-in for the unchecked dump() path — checkWritable()
+        // is how writers reject these before emission.
         return "null";
+    }
+    // An exactly-representable integer prints as an integer token:
+    // integral values are integers at the byte level regardless of
+    // which numeric kind carried them (they re-parse as Int, which
+    // operator== treats as equal to the Double).
+    if (v == std::floor(v) && v >= -9007199254740992.0 &&
+        v <= 9007199254740992.0) {
+        return strfmt("%" PRId64, static_cast<int64_t>(v));
     }
     char buf[40];
     for (int prec = 15; prec <= 17; ++prec) {
@@ -124,8 +157,8 @@ formatDouble(double v)
         if (std::strtod(buf, nullptr) == v)
             break;
     }
-    // A bare integer-looking literal would re-parse as Int; keep the
-    // kind stable across a round-trip.
+    // Keep a decimal marker so huge non-integral values (printed in
+    // exponent-free %g form) stay recognisably doubles.
     std::string s = buf;
     if (s.find_first_of(".eE") == std::string::npos)
         s += ".0";
@@ -201,6 +234,61 @@ JsonValue::dump(int indent) const
     std::string out;
     dumpTo(out, indent, 0);
     return out;
+}
+
+namespace
+{
+
+Status
+checkWritableAt(const JsonValue &v, const std::string &path)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Double:
+        if (!std::isfinite(v.numberValue())) {
+            return Status::error(
+                ErrorCode::InvalidInput, "json",
+                strfmt("non-finite double at %s",
+                       path.empty() ? "<root>" : path.c_str()));
+        }
+        return Status::success();
+      case JsonValue::Kind::Array: {
+        size_t i = 0;
+        for (const JsonValue &item : v.items()) {
+            Status st = checkWritableAt(
+                item, path + "[" + std::to_string(i++) + "]");
+            if (!st.ok())
+                return st;
+        }
+        return Status::success();
+      }
+      case JsonValue::Kind::Object:
+        for (const auto &[key, member] : v.members()) {
+            Status st = checkWritableAt(
+                member, path.empty() ? key : path + "." + key);
+            if (!st.ok())
+                return st;
+        }
+        return Status::success();
+      default:
+        return Status::success();
+    }
+}
+
+} // anonymous namespace
+
+Status
+JsonValue::checkWritable() const
+{
+    return checkWritableAt(*this, "");
+}
+
+Expected<std::string>
+JsonValue::dumpChecked(int indent) const
+{
+    Status st = checkWritable();
+    if (!st.ok())
+        return st;
+    return dump(indent);
 }
 
 namespace
@@ -452,8 +540,15 @@ class Parser
         if (is_double) {
             out = JsonValue(std::strtod(token.c_str(), nullptr));
         } else {
-            out = JsonValue(static_cast<int64_t>(
-                std::strtoll(token.c_str(), nullptr, 10)));
+            // strtoll silently saturates on overflow, which would
+            // alias every huge literal to INT64_MAX; reject instead.
+            errno = 0;
+            int64_t v = std::strtoll(token.c_str(), nullptr, 10);
+            if (errno == ERANGE) {
+                return fail("integer literal out of int64 range '" +
+                            token + "'");
+            }
+            out = JsonValue(v);
         }
         return Status::success();
     }
@@ -470,16 +565,32 @@ parseJson(const std::string &text)
     return Parser(text).parse();
 }
 
+Status
+writeJsonFileChecked(const std::string &path, const JsonValue &doc)
+{
+    Expected<std::string> text = doc.dumpChecked(2);
+    if (!text.ok())
+        return text.status();
+    std::ofstream out(path);
+    if (!out) {
+        return Status::error(ErrorCode::IoError, "json",
+                             "cannot open " + path + " for writing");
+    }
+    out << text.value() << "\n";
+    if (!out.good()) {
+        return Status::error(ErrorCode::IoError, "json",
+                             "write failed for " + path);
+    }
+    return Status::success();
+}
+
 bool
 writeJsonFile(const std::string &path, const JsonValue &doc)
 {
-    std::ofstream out(path);
-    if (!out) {
-        SV_WARN("cannot open %s for writing", path.c_str());
-        return false;
-    }
-    out << doc.dump(2) << "\n";
-    return out.good();
+    Status st = writeJsonFileChecked(path, doc);
+    if (!st.ok())
+        SV_WARN("%s", st.str().c_str());
+    return st.ok();
 }
 
 } // namespace selvec

@@ -8,7 +8,14 @@
  * Objects preserve insertion order so emitted documents are
  * deterministic (schema stability is part of the observability
  * contract; see DESIGN.md). Numbers are kept as either int64 or
- * double; doubles print with enough digits to round-trip.
+ * double; doubles print with enough digits to round-trip, and a
+ * double that holds an exactly-representable integer (|v| <= 2^53)
+ * prints as an integer token — int64 is the lossless carrier for
+ * cycle totals, which overflow double precision above 2^53, so
+ * integral values are integers at the byte level no matter which
+ * constructor produced them. Non-finite doubles have no JSON
+ * spelling; checkWritable()/writeJsonFile reject them with a Status
+ * instead of emitting a token strict parsers choke on.
  */
 
 #ifndef SELVEC_SUPPORT_JSON_HH
@@ -102,16 +109,32 @@ class JsonValue
                          : isObject() ? fields.size() : 0;
     }
 
-    /** Structural equality (Int and Double compare as distinct kinds
-     *  unless numerically equal). */
+    /**
+     * Structural equality. An Int and a Double are equal only when
+     * the double holds exactly that integer — the comparison is done
+     * in int64, never through a lossy double conversion, so Ints
+     * above 2^53 are distinguished correctly.
+     */
     bool operator==(const JsonValue &other) const;
     bool operator!=(const JsonValue &o) const { return !(*this == o); }
 
     /**
+     * Whether the document can be emitted losslessly: fails with
+     * InvalidInput naming the offending path when any Double is
+     * non-finite (JSON has no inf/nan spelling).
+     */
+    Status checkWritable() const;
+
+    /**
      * Serialize. `indent` > 0 pretty-prints with that many spaces per
-     * level; 0 emits the compact single-line form.
+     * level; 0 emits the compact single-line form. Non-finite doubles
+     * emit as `null`; use checkWritable()/dumpChecked() to reject
+     * them instead.
      */
     std::string dump(int indent = 0) const;
+
+    /** dump() gated by checkWritable(). */
+    Expected<std::string> dumpChecked(int indent = 0) const;
 
   private:
     static JsonValue
@@ -142,8 +165,14 @@ std::string jsonEscape(const std::string &s);
  */
 Expected<JsonValue> parseJson(const std::string &text);
 
-/** Write a document to a file (pretty, trailing newline); false and a
- *  warning on I/O failure. */
+/** Write a document to a file (pretty, trailing newline). Fails with
+ *  a Status on I/O errors and on non-finite doubles (checkWritable)
+ *  — nothing is written in the latter case. */
+Status writeJsonFileChecked(const std::string &path,
+                            const JsonValue &doc);
+
+/** writeJsonFileChecked, collapsed to a warn-and-false bool for
+ *  callers without Status plumbing. */
 bool writeJsonFile(const std::string &path, const JsonValue &doc);
 
 } // namespace selvec

@@ -84,8 +84,48 @@ StatsRegistry::reset()
     stats.clear();
 }
 
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other,
+                         const std::string &filterPrefix)
+{
+    // Snapshot first: self-merge aside, taking both mutexes in a
+    // fixed order is more ceremony than copying a small map.
+    applyEntries(other.snapshot(), filterPrefix);
+}
+
+void
+StatsRegistry::applyEntries(const std::vector<StatEntry> &entries,
+                            const std::string &filterPrefix)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const StatEntry &e : entries) {
+        if (!filterPrefix.empty() &&
+            e.key.compare(0, filterPrefix.size(), filterPrefix) == 0) {
+            continue;
+        }
+        Stat &s = stats[e.key];
+        s.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Counter:
+            s.value += e.value;
+            break;
+          case StatKind::Gauge:
+            s.value = e.value;
+            break;
+          case StatKind::MaxGauge:
+            if (e.value > s.value)
+                s.value = e.value;
+            break;
+          case StatKind::Timer:
+            s.value += e.value;
+            s.samples += e.samples;
+            break;
+        }
+    }
+}
+
 JsonValue
-StatsRegistry::toJson() const
+StatsRegistry::toJson(bool includeTimerNs) const
 {
     JsonValue root = JsonValue::object();
     for (const StatEntry &e : snapshot()) {
@@ -109,7 +149,7 @@ StatsRegistry::toJson() const
         std::string leaf = e.key.substr(start);
         if (e.kind == StatKind::Timer) {
             JsonValue timer = JsonValue::object();
-            timer.set("total_ns", e.value);
+            timer.set("total_ns", includeTimerNs ? e.value : int64_t{0});
             timer.set("samples", e.samples);
             node->set(leaf, std::move(timer));
         } else {
@@ -119,11 +159,35 @@ StatsRegistry::toJson() const
     return root;
 }
 
+namespace
+{
+
+thread_local StatsRegistry *tls_stats_sink = nullptr;
+
+} // anonymous namespace
+
 StatsRegistry &
-globalStats()
+processStats()
 {
     static StatsRegistry registry;
     return registry;
+}
+
+StatsRegistry &
+globalStats()
+{
+    return tls_stats_sink != nullptr ? *tls_stats_sink : processStats();
+}
+
+ScopedStatsSink::ScopedStatsSink(StatsRegistry &sink)
+    : previous(tls_stats_sink)
+{
+    tls_stats_sink = &sink;
+}
+
+ScopedStatsSink::~ScopedStatsSink()
+{
+    tls_stats_sink = previous;
 }
 
 ScopedStatTimer::ScopedStatTimer(const char *key)

@@ -18,6 +18,17 @@
  * Stage instrumentation calls these once per stage invocation, never
  * per inner-loop step, so the registry stays off the hot paths; inner
  * loops accumulate locally and report totals.
+ *
+ * Parallel runs and determinism. globalStats() resolves through a
+ * thread-local sink: a worker task wraps its work in a
+ * ScopedStatsSink over a private registry, and the orchestrator
+ * merges the per-task deltas back into the parent registry in task
+ * order (mergeFrom). Counters, max gauges and timers commute, and
+ * last-write gauges resolve to the same writer as a serial run, so
+ * the merged registry is byte-identical no matter how many threads
+ * executed the tasks. Only timer nanoseconds stay wall-clock
+ * dependent; toJson(false) zeroes them so emitted documents are
+ * byte-stable across runs (the sample counts remain).
  */
 
 #ifndef SELVEC_SUPPORT_STATS_HH
@@ -69,11 +80,30 @@ class StatsRegistry
     void reset();
 
     /**
+     * Fold another registry's contents into this one, by kind:
+     * counters and timers add, max gauges take the max, and plain
+     * gauges overwrite (so merging task deltas in task order yields
+     * the same final value as serial execution). `filterPrefix`, when
+     * non-empty, skips keys starting with it (the compile cache uses
+     * this to strip its own bookkeeping from replayed deltas).
+     */
+    void mergeFrom(const StatsRegistry &other,
+                   const std::string &filterPrefix = "");
+
+    /** mergeFrom for an already-captured snapshot — how the compile
+     *  cache replays a stored delta on a hit. */
+    void applyEntries(const std::vector<StatEntry> &entries,
+                      const std::string &filterPrefix = "");
+
+    /**
      * The registry as a nested JSON object: dotted keys become object
      * paths; timers serialize as {"total_ns", "samples"} leaves,
-     * everything else as integer leaves.
+     * everything else as integer leaves. With `includeTimerNs` false,
+     * timer total_ns leaves are emitted as 0 (sample counts are kept)
+     * so the document is byte-stable across runs — the report surface
+     * uses this unless SELVEC_TIMINGS opts into wall-clock values.
      */
-    JsonValue toJson() const;
+    JsonValue toJson(bool includeTimerNs = true) const;
 
   private:
     struct Stat
@@ -87,8 +117,35 @@ class StatsRegistry
     std::map<std::string, Stat> stats;
 };
 
-/** The process-wide registry every stage reports into. */
+/**
+ * The registry stage instrumentation reports into: the thread's
+ * active sink when a ScopedStatsSink is installed, the process-wide
+ * registry otherwise.
+ */
 StatsRegistry &globalStats();
+
+/** The process-wide registry itself, bypassing any thread-local
+ *  sink (report emission, tests). */
+StatsRegistry &processStats();
+
+/**
+ * Redirect this thread's globalStats() to a private registry for the
+ * scope's lifetime. Nests; the orchestrator that installed the sink
+ * is responsible for merging the captured delta back (in a
+ * deterministic order when tasks ran concurrently).
+ */
+class ScopedStatsSink
+{
+  public:
+    explicit ScopedStatsSink(StatsRegistry &sink);
+    ~ScopedStatsSink();
+
+    ScopedStatsSink(const ScopedStatsSink &) = delete;
+    ScopedStatsSink &operator=(const ScopedStatsSink &) = delete;
+
+  private:
+    StatsRegistry *previous;
+};
 
 /** RAII wall-clock timer feeding globalStats().addTimerNs(key). */
 class ScopedStatTimer

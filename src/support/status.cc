@@ -13,6 +13,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::ScheduleBudgetExhausted:
         return "schedule-budget-exhausted";
       case ErrorCode::PartitionFailed:         return "partition-failed";
+      case ErrorCode::IoError:                 return "io-error";
       case ErrorCode::Internal:                return "internal";
     }
     return "?";

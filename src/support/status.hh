@@ -26,6 +26,7 @@ enum class ErrorCode : uint8_t {
     VerifyFailed,               ///< IR or schedule validation rejected
     ScheduleBudgetExhausted,    ///< II search gave up
     PartitionFailed,            ///< selective partitioning failed
+    IoError,                    ///< file read/write failed
     Internal,                   ///< unexpected but recoverable
 };
 

@@ -1,0 +1,131 @@
+#include "support/threadpool.hh"
+
+#include "support/stats.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+// Set while a worker runs batch tasks, so a nested parallelFor from
+// inside a task runs inline instead of deadlocking on its own pool.
+thread_local bool tls_in_pool_task = false;
+
+} // anonymous namespace
+
+int
+hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+resolveJobs(int requested)
+{
+    return requested > 0 ? requested : hardwareJobs();
+}
+
+ThreadPool::ThreadPool(int jobs)
+    : jobCount(jobs < 1 ? 1 : jobs)
+{
+    if (jobCount <= 1)
+        return;
+    workers.reserve(static_cast<size_t>(jobCount));
+    for (int i = 0; i < jobCount; ++i)
+        workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        shutdown = true;
+    }
+    workCv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runInline(size_t n, const std::function<void(size_t)> &fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        fn(i);
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    // Counters are recorded on every path (inline included) so the
+    // emitted stats do not depend on --jobs.
+    globalStats().add("pool.batches");
+    globalStats().add("pool.tasks", static_cast<int64_t>(n));
+    if (n == 0)
+        return;
+    if (workers.empty() || n <= 1 || tls_in_pool_task) {
+        runInline(n, fn);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex);
+    batchFn = &fn;
+    batchTotal = n;
+    nextIndex.store(0, std::memory_order_relaxed);
+    doneCount = 0;
+    ++batchId;
+    lock.unlock();
+    workCv.notify_all();
+
+    lock.lock();
+    doneCv.wait(lock, [&] { return doneCount == batchTotal; });
+    batchFn = nullptr;
+    batchTotal = 0;
+    std::exception_ptr err = firstError;
+    firstError = nullptr;
+    lock.unlock();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::workerMain()
+{
+    uint64_t seenBatch = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+        workCv.wait(lock,
+                    [&] { return shutdown || batchId != seenBatch; });
+        if (shutdown)
+            return;
+        seenBatch = batchId;
+        const std::function<void(size_t)> *fn = batchFn;
+        size_t total = batchTotal;
+        lock.unlock();
+
+        size_t completed = 0;
+        tls_in_pool_task = true;
+        while (true) {
+            size_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                break;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(mutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            ++completed;
+        }
+        tls_in_pool_task = false;
+
+        lock.lock();
+        doneCount += completed;
+        if (doneCount == total)
+            doneCv.notify_all();
+    }
+}
+
+} // namespace selvec

@@ -1,5 +1,6 @@
 #include "support/trace.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -58,6 +59,39 @@ mergeNode(std::vector<TraceNode> &siblings, TraceNode &&incoming)
     siblings.push_back(std::move(incoming));
 }
 
+/** Close the top open frame into its parent (or the shared forest)
+ *  as a node carrying the given count and wall time. */
+void
+closeTopFrame(int64_t count, int64_t wallNs)
+{
+    OpenSpan span = std::move(open_stack.back());
+    open_stack.pop_back();
+
+    TraceNode node;
+    node.name = span.name;
+    node.count = count;
+    node.wallNs = wallNs;
+    node.children = std::move(span.children);
+
+    if (!open_stack.empty()) {
+        mergeNode(open_stack.back().children, std::move(node));
+    } else {
+        std::lock_guard<std::mutex> lock(forest_mutex);
+        mergeNode(forest, std::move(node));
+    }
+}
+
+void
+sortForest(std::vector<TraceNode> &nodes)
+{
+    std::sort(nodes.begin(), nodes.end(),
+              [](const TraceNode &a, const TraceNode &b) {
+                  return a.name < b.name;
+              });
+    for (TraceNode &node : nodes)
+        sortForest(node.children);
+}
+
 } // anonymous namespace
 
 bool
@@ -82,8 +116,13 @@ traceReset()
 std::vector<TraceNode>
 traceSnapshot()
 {
-    std::lock_guard<std::mutex> lock(forest_mutex);
-    return forest;
+    std::vector<TraceNode> copy;
+    {
+        std::lock_guard<std::mutex> lock(forest_mutex);
+        copy = forest;
+    }
+    sortForest(copy);
+    return copy;
 }
 
 JsonValue
@@ -121,21 +160,54 @@ TraceSpan::~TraceSpan()
         return;
     // traceSetEnabled(false) mid-span only stops new spans; this one
     // still closes so the stack stays balanced.
-    int64_t wall = nowNs() - startNs;
-    OpenSpan span = std::move(open_stack.back());
-    open_stack.pop_back();
+    closeTopFrame(1, nowNs() - startNs);
+}
 
-    TraceNode node;
-    node.name = span.name;
-    node.count = 1;
-    node.wallNs = wall;
-    node.children = std::move(span.children);
+TraceContext
+traceCurrentContext()
+{
+    TraceContext context;
+    if (!traceEnabled())
+        return context;
+    context.path.reserve(open_stack.size());
+    for (const OpenSpan &span : open_stack)
+        context.path.emplace_back(span.name);
+    return context;
+}
 
-    if (!open_stack.empty()) {
-        mergeNode(open_stack.back().children, std::move(node));
-    } else {
-        std::lock_guard<std::mutex> lock(forest_mutex);
-        mergeNode(forest, std::move(node));
+TraceContextScope::TraceContextScope(const TraceContext &context)
+{
+    if (!traceEnabled() || context.path.empty())
+        return;
+    // A task can run inline on the thread that captured the context
+    // (one-job pools); its spans are already positioned, and pushing
+    // synthetic frames would nest the path under itself.
+    if (open_stack.size() == context.path.size()) {
+        bool already_there = true;
+        for (size_t i = 0; i < context.path.size(); ++i) {
+            if (context.path[i] != open_stack[i].name) {
+                already_there = false;
+                break;
+            }
+        }
+        if (already_there)
+            return;
+    }
+    names = context.path;
+    for (const std::string &name : names)
+        open_stack.push_back(OpenSpan{name.c_str(), {}});
+    framesPushed = names.size();
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    for (size_t i = 0; i < framesPushed; ++i) {
+        // A frame with no children positioned nothing — discard it
+        // instead of minting an empty zero-count node.
+        if (open_stack.back().children.empty())
+            open_stack.pop_back();
+        else
+            closeTopFrame(0, 0);
     }
 }
 

@@ -14,6 +14,18 @@
  * SELVEC_TRACE environment variable (any value but "0") or
  * traceSetEnabled(true).
  *
+ * Threads. Each thread nests spans through its own thread-local
+ * stack; when a thread's outermost span closes it folds into the
+ * shared forest under a mutex, so spans opened on worker threads are
+ * never lost. By itself that would root a worker's spans at top
+ * level; a task that logically runs *inside* the caller's open spans
+ * captures traceCurrentContext() before dispatch and installs it
+ * with a TraceContextScope, which re-parents the worker's spans
+ * under the caller's open path (the synthetic parent frames carry no
+ * count and no wall time of their own — they aggregate with the real
+ * spans by name). traceSnapshot() orders siblings by name, so the
+ * reported tree does not depend on thread interleaving.
+ *
  * Span names are API: tools parse them out of the JSON report. See
  * DESIGN.md ("Observability") for the registered names.
  */
@@ -49,7 +61,8 @@ void traceSetEnabled(bool enabled);
  *  into the fresh tree when they close). */
 void traceReset();
 
-/** Copy of the completed-span forest (roots in first-seen order). */
+/** Copy of the completed-span forest, siblings sorted by name at
+ *  every level so the result is thread-schedule independent. */
 std::vector<TraceNode> traceSnapshot();
 
 /**
@@ -74,6 +87,37 @@ class TraceSpan
   private:
     bool active;        ///< tracing was enabled at construction
     int64_t startNs = 0;
+};
+
+/** The calling thread's open-span path, outermost first (empty when
+ *  tracing is disabled or no span is open). */
+struct TraceContext
+{
+    std::vector<std::string> path;
+};
+
+TraceContext traceCurrentContext();
+
+/**
+ * Adopt a caller's span path on this thread: spans opened inside the
+ * scope report as children of the captured path instead of as new
+ * roots. The synthetic parent frames contribute count 0 and wall
+ * time 0 — they only position the worker's spans; the real parent's
+ * numbers come from the caller's own TraceSpan. No-op for an empty
+ * context or when tracing is disabled.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const TraceContext &context);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    std::vector<std::string> names; ///< stable storage for frames
+    size_t framesPushed = 0;
 };
 
 } // namespace selvec

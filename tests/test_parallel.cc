@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the parallel-compilation layer: the fixed thread pool,
+ * thread-local stat sinks, the structural compile cache, and the
+ * headline determinism contract — evaluateSuite and the bench
+ * documents built from it are byte-identical for every --jobs value
+ * and for cold vs warm caches (stats.cache aside, which records the
+ * cache's own traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "driver/compilecache.hh"
+#include "driver/driver.hh"
+#include "driver/evaluate.hh"
+#include "driver/reportjson.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+#include "support/stats.hh"
+#include "support/threadpool.hh"
+#include "workloads/workloads.hh"
+
+namespace selvec
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Thread pool.
+
+TEST(ThreadPool, ResolveJobs)
+{
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_EQ(resolveJobs(7), 7);
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_GE(resolveJobs(-3), 1);
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce)
+{
+    for (int jobs : {1, 2, 8}) {
+        ThreadPool pool(jobs);
+        const size_t n = 100;
+        std::vector<std::atomic<int>> visits(n);
+        pool.parallelFor(n, [&](size_t i) { visits[i].fetch_add(1); });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(visits[i].load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::set<std::thread::id> seen;
+    pool.parallelFor(4, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(16,
+                         [&](size_t i) {
+                             if (i % 2 == 0)
+                                 throw std::runtime_error("task died");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed batch.
+    std::atomic<int> count{0};
+    pool.parallelFor(8, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool outer(4);
+    std::atomic<int> total{0};
+    outer.parallelFor(4, [&](size_t) {
+        ThreadPool inner(4);
+        std::thread::id me = std::this_thread::get_id();
+        inner.parallelFor(4, [&](size_t) {
+            // Re-entrant batches run inline on the worker itself;
+            // anything else risks deadlock through sink/trace state.
+            EXPECT_EQ(std::this_thread::get_id(), me);
+            total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, RecordsBatchAndTaskStats)
+{
+    StatsRegistry sink;
+    {
+        ScopedStatsSink scope(sink);
+        ThreadPool pool(1);
+        pool.parallelFor(5, [](size_t) {});
+    }
+    EXPECT_EQ(sink.value("pool.batches"), 1);
+    EXPECT_EQ(sink.value("pool.tasks"), 5);
+}
+
+// ---------------------------------------------------------------------
+// Thread-local stat sinks.
+
+TEST(StatsSink, RedirectsAndMergesInOrder)
+{
+    StatsRegistry outer;
+    StatsRegistry a, b;
+    {
+        ScopedStatsSink sa(a);
+        globalStats().add("x.counter", 2);
+        globalStats().setGauge("x.gauge", 10);
+        {
+            // Nesting restores the previous sink, not the process
+            // registry.
+            ScopedStatsSink sb(b);
+            globalStats().add("x.counter", 5);
+            globalStats().setGauge("x.gauge", 20);
+        }
+        globalStats().add("x.counter", 1);
+    }
+    EXPECT_EQ(a.value("x.counter"), 3);
+    EXPECT_EQ(b.value("x.counter"), 5);
+
+    outer.mergeFrom(a);
+    outer.mergeFrom(b);
+    EXPECT_EQ(outer.value("x.counter"), 8);
+    EXPECT_EQ(outer.value("x.gauge"), 20);   // last merge wins
+}
+
+TEST(StatsSink, MergeFilterPrefixDropsKeys)
+{
+    StatsRegistry src, dst;
+    src.add("cache.hit", 3);
+    src.add("driver.compiles", 2);
+    dst.mergeFrom(src, "cache.");
+    EXPECT_EQ(dst.value("cache.hit"), 0);
+    EXPECT_EQ(dst.value("driver.compiles"), 2);
+}
+
+TEST(StatsSink, ToJsonCanZeroTimerNs)
+{
+    StatsRegistry reg;
+    reg.addTimerNs("time.compile", 1234);
+    JsonValue with = reg.toJson(true);
+    JsonValue without = reg.toJson(false);
+    EXPECT_EQ(with.findPath("time.compile.total_ns")->intValue(), 1234);
+    EXPECT_EQ(without.findPath("time.compile.total_ns")->intValue(), 0);
+    // Sample counts are deterministic and stay.
+    EXPECT_EQ(without.findPath("time.compile.samples")->intValue(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Structural compile cache.
+
+const char *kCacheSaxpy = R"(
+array X f64 4096
+array Y f64 4096
+loop saxpy {
+    livein a f64
+    body {
+        x = load X[i]
+        y = load Y[i]
+        ax = fmul a x
+        s = fadd ax y
+        store Y[i] = s
+    }
+}
+)";
+
+class CompileCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled = compileCacheEnabled();
+        compileCacheSetEnabled(true);
+        compileCacheClear();
+    }
+
+    void
+    TearDown() override
+    {
+        compileCacheClear();
+        compileCacheSetEnabled(wasEnabled);
+    }
+
+    bool wasEnabled = true;
+};
+
+TEST_F(CompileCacheTest, StructuralCacheComputesOncePerKey)
+{
+    StructuralCache<int> cache;
+    std::atomic<int> computed{0};
+    auto compute = [&] {
+        computed.fetch_add(1);
+        return 42;
+    };
+    int64_t hits0 = processStats().value("cache.hit");
+    EXPECT_EQ(*cache.lookupOrCompute("k", compute), 42);
+    EXPECT_EQ(*cache.lookupOrCompute("k", compute), 42);
+    EXPECT_EQ(computed.load(), 1);
+    EXPECT_EQ(processStats().value("cache.hit"), hits0 + 1);
+
+    // Concurrent requests for one key deduplicate.
+    ThreadPool pool(8);
+    pool.parallelFor(16, [&](size_t) {
+        EXPECT_EQ(*cache.lookupOrCompute("k2", compute), 42);
+    });
+    EXPECT_EQ(computed.load(), 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(CompileCacheTest, KeySeparatesStructureNotNames)
+{
+    Module m = parseLirOrDie(kCacheSaxpy);
+    Machine a = paperMachine();
+    Machine b = paperMachine();
+    b.name = "renamed-but-identical";
+    DriverOptions options;
+    const Loop &loop = m.loops[0];
+    // The machine name is presentation, not structure.
+    EXPECT_EQ(compileCacheKey(loop, m.arrays, a, Technique::Selective,
+                              options),
+              compileCacheKey(loop, m.arrays, b, Technique::Selective,
+                              options));
+
+    Machine c = paperMachine();
+    c.vectorLength *= 2;
+    EXPECT_NE(compileCacheKey(loop, m.arrays, a, Technique::Selective,
+                              options),
+              compileCacheKey(loop, m.arrays, c, Technique::Selective,
+                              options));
+
+    // A knob that cannot reach the ModuloOnly codepath does not
+    // fragment its key...
+    DriverOptions comm_off;
+    comm_off.partition.cost.considerCommunication = false;
+    EXPECT_EQ(compileCacheKey(loop, m.arrays, a, Technique::ModuloOnly,
+                              options),
+              compileCacheKey(loop, m.arrays, a, Technique::ModuloOnly,
+                              comm_off));
+    // ...but does separate Selective compiles, where it changes the
+    // partition.
+    EXPECT_NE(compileCacheKey(loop, m.arrays, a, Technique::Selective,
+                              options),
+              compileCacheKey(loop, m.arrays, a, Technique::Selective,
+                              comm_off));
+}
+
+TEST_F(CompileCacheTest, HitReturnsBitIdenticalProgram)
+{
+    Module m = parseLirOrDie(kCacheSaxpy);
+    Machine machine = paperMachine();
+    for (Technique t :
+         {Technique::ModuloOnly, Technique::Traditional, Technique::Full,
+          Technique::Selective}) {
+        compileCacheClear();
+        int64_t miss0 = processStats().value("cache.miss");
+        int64_t hit0 = processStats().value("cache.hit");
+
+        ArrayTable cold_arrays = m.arrays;
+        Expected<CompiledProgram> cold = tryCompileLoop(
+            m.loops[0], cold_arrays, machine, t);
+        ASSERT_TRUE(cold.ok());
+        EXPECT_GT(processStats().value("cache.miss"), miss0);
+
+        ArrayTable warm_arrays = m.arrays;
+        Expected<CompiledProgram> warm = tryCompileLoop(
+            m.loops[0], warm_arrays, machine, t);
+        ASSERT_TRUE(warm.ok());
+        EXPECT_GT(processStats().value("cache.hit"), hit0);
+
+        // The replayed program and array table are bit-identical to
+        // the first compile's.
+        EXPECT_EQ(jsonOfCompiledProgram(cold.value()).dump(),
+                  jsonOfCompiledProgram(warm.value()).dump())
+            << techniqueName(t);
+        ASSERT_EQ(cold_arrays.size(), warm_arrays.size());
+        for (ArrayId a = 0; a < cold_arrays.size(); ++a) {
+            EXPECT_EQ(cold_arrays[a].name, warm_arrays[a].name);
+            EXPECT_EQ(cold_arrays[a].size, warm_arrays[a].size);
+        }
+    }
+}
+
+TEST_F(CompileCacheTest, HitReplaysStatsDelta)
+{
+    Module m = parseLirOrDie(kCacheSaxpy);
+    Machine machine = paperMachine();
+
+    StatsRegistry cold_stats;
+    {
+        ScopedStatsSink sink(cold_stats);
+        ArrayTable arrays = m.arrays;
+        ASSERT_TRUE(
+            tryCompileLoop(m.loops[0], arrays, machine,
+                           Technique::Selective).ok());
+    }
+    StatsRegistry warm_stats;
+    {
+        ScopedStatsSink sink(warm_stats);
+        ArrayTable arrays = m.arrays;
+        ASSERT_TRUE(
+            tryCompileLoop(m.loops[0], arrays, machine,
+                           Technique::Selective).ok());
+    }
+    // The warm run's compile stats are the replayed delta: identical
+    // to the cold run's, so merged reports are independent of which
+    // requests hit. (cache.* itself goes to the process registry.)
+    EXPECT_EQ(cold_stats.toJson(false).dump(),
+              warm_stats.toJson(false).dump());
+}
+
+TEST_F(CompileCacheTest, BypassScopeDisablesCaching)
+{
+    EXPECT_TRUE(compileCacheActive());
+    {
+        CacheBypassScope bypass;
+        EXPECT_FALSE(compileCacheActive());
+        CacheBypassScope nested;
+        EXPECT_FALSE(compileCacheActive());
+    }
+    EXPECT_TRUE(compileCacheActive());
+
+    compileCacheSetEnabled(false);
+    EXPECT_FALSE(compileCacheActive());
+    compileCacheSetEnabled(true);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism.
+
+/** The full selvec-bench-v1 document a bench binary would emit for
+ *  one suite, with stats taken from `sink` (timers zeroed: wall time
+ *  is the one legitimately nondeterministic quantity). */
+std::string
+documentOf(const SuiteReport &base,
+           const std::vector<SuiteReport> &techniques,
+           const StatsRegistry &sink)
+{
+    JsonValue doc = benchDocument("test_parallel", "quick");
+    JsonValue suites = JsonValue::array();
+    suites.append(jsonOfSuiteComparison(base, techniques));
+    doc.set("suites", std::move(suites));
+    doc.set("stats", sink.toJson(false));
+    return doc.dump(2);
+}
+
+std::string
+runSuiteDocument(const Suite &suite, const Machine &machine, int jobs)
+{
+    StatsRegistry sink;
+    ScopedStatsSink scope(sink);
+    EvaluateOptions options;
+    options.jobs = jobs;
+    SuiteReport base =
+        evaluateSuite(suite, machine, Technique::ModuloOnly, options);
+    SuiteReport full =
+        evaluateSuite(suite, machine, Technique::Full, options);
+    SuiteReport sel =
+        evaluateSuite(suite, machine, Technique::Selective, options);
+    return documentOf(base, {full, sel}, sink);
+}
+
+TEST_F(CompileCacheTest, SuiteDocumentsAreJobCountInvariant)
+{
+    Suite suite = makeSuite("171.swim");
+    for (WorkloadLoop &wl : suite.loops) {
+        wl.tripCount = std::min<int64_t>(wl.tripCount, 96);
+        wl.invocations = std::max<int64_t>(1, wl.invocations / 4);
+    }
+    Machine machine = paperMachine();
+
+    compileCacheClear();
+    std::string serial = runSuiteDocument(suite, machine, 1);
+    compileCacheClear();
+    std::string parallel = runSuiteDocument(suite, machine, 8);
+    EXPECT_EQ(serial, parallel);
+
+    // Warm cache (no clear): the merged documents are still
+    // byte-identical — hits replay the cold run's stats delta.
+    std::string warm = runSuiteDocument(suite, machine, 8);
+    EXPECT_EQ(serial, warm);
+
+    // And with the cache off entirely.
+    compileCacheSetEnabled(false);
+    std::string uncached = runSuiteDocument(suite, machine, 8);
+    compileCacheSetEnabled(true);
+    EXPECT_EQ(serial, uncached);
+}
+
+TEST_F(CompileCacheTest, ResilientCompileReportIsJobCountInvariant)
+{
+    Module m = parseLirOrDie(kCacheSaxpy);
+    Machine machine = paperMachine();
+    for (Technique t : {Technique::Selective, Technique::ModuloOnly}) {
+        ArrayTable serial_arrays = m.arrays;
+        ResilientCompile serial = compileLoopResilient(
+            m.loops[0], serial_arrays, machine, t, {}, 1);
+        ArrayTable parallel_arrays = m.arrays;
+        ResilientCompile parallel = compileLoopResilient(
+            m.loops[0], parallel_arrays, machine, t, {}, 4);
+
+        ASSERT_TRUE(serial.ok());
+        ASSERT_TRUE(parallel.ok());
+        EXPECT_EQ(serial.report.str(), parallel.report.str());
+        EXPECT_EQ(jsonOfCompiledProgram(serial.program).dump(),
+                  jsonOfCompiledProgram(parallel.program).dump());
+        EXPECT_EQ(jsonOfCompileReport(serial.report).dump(),
+                  jsonOfCompileReport(parallel.report).dump());
+        EXPECT_EQ(serial_arrays.size(), parallel_arrays.size());
+    }
+}
+
+} // anonymous namespace
+} // namespace selvec

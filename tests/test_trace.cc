@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/json.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -28,10 +30,16 @@ TEST(Json, ScalarDump)
     EXPECT_EQ(JsonValue(int64_t{42}).dump(), "42");
     EXPECT_EQ(JsonValue(-7).dump(), "-7");
     EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
-    // Doubles always carry a fractional marker so a reader cannot
-    // reparse them as integers.
     EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
-    EXPECT_EQ(JsonValue(2.0).dump(), "2.0");
+    // Integral doubles within the exactly-representable range emit
+    // as integer tokens (the value is exact either way; the integer
+    // form is canonical and survives int/double round-trips).
+    EXPECT_EQ(JsonValue(2.0).dump(), "2");
+    EXPECT_EQ(JsonValue(-3.0).dump(), "-3");
+    // Beyond 2^53 an integral double is not exact; it keeps the
+    // fractional marker so a reader cannot mistake it for an exact
+    // integer.
+    EXPECT_NE(JsonValue(1e300).dump().find('e'), std::string::npos);
 }
 
 TEST(Json, EscapesControlAndQuoteCharacters)
@@ -116,6 +124,72 @@ TEST(Json, DoublesRoundTripExactly)
     }
 }
 
+TEST(Json, IntegersAbove2To53RoundTripExactly)
+{
+    // Cycle totals overflow double precision on long sweeps; int64
+    // values must survive dump -> parse untruncated well above 2^53.
+    for (int64_t v : {int64_t{1} << 53, (int64_t{1} << 53) + 1,
+                      int64_t{9007199254740993},
+                      int64_t{9223372036854775807},
+                      int64_t{-9223372036854775807} - 1}) {
+        Expected<JsonValue> back = parseJson(JsonValue(v).dump());
+        ASSERT_TRUE(back.ok()) << v;
+        EXPECT_TRUE(back.value().isInt()) << v;
+        EXPECT_EQ(back.value().intValue(), v);
+    }
+}
+
+TEST(Json, IntDoubleEqualityIsExact)
+{
+    // 2^53 + 1 is not representable as a double; the nearest double
+    // (2^53) must not compare equal to it.
+    EXPECT_EQ(JsonValue(int64_t{1} << 53),
+              JsonValue(9007199254740992.0));
+    EXPECT_NE(JsonValue((int64_t{1} << 53) + 1),
+              JsonValue(9007199254740992.0));
+    EXPECT_EQ(JsonValue(int64_t{3}), JsonValue(3.0));
+    EXPECT_NE(JsonValue(int64_t{3}), JsonValue(3.5));
+}
+
+TEST(Json, ParseRejectsIntegerOverflow)
+{
+    for (const char *bad :
+         {"9223372036854775808", "-9223372036854775809",
+          "99999999999999999999"}) {
+        Expected<JsonValue> doc = parseJson(bad);
+        EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+    }
+}
+
+TEST(Json, NonFiniteDoublesAreRejectedAtWriteTime)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+
+    JsonValue doc = JsonValue::object();
+    doc.set("fine", 1.5);
+    EXPECT_TRUE(doc.checkWritable().ok());
+
+    JsonValue arr = JsonValue::array();
+    arr.append(0.0);
+    arr.append(inf);
+    doc.set("broken", std::move(arr));
+    Status st = doc.checkWritable();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::InvalidInput);
+    // The status names the offending path.
+    EXPECT_NE(st.str().find("broken[1]"), std::string::npos)
+        << st.str();
+
+    Expected<std::string> text = doc.dumpChecked();
+    EXPECT_FALSE(text.ok());
+
+    EXPECT_FALSE(JsonValue(nan).checkWritable().ok());
+    Status write = writeJsonFileChecked("/nonexistent-dir/x.json",
+                                        JsonValue(nan));
+    EXPECT_FALSE(write.ok());
+}
+
 // ---------------------------------------------------------------------
 // Scoped-span tracing.
 
@@ -181,8 +255,11 @@ TEST_F(TraceTest, SpansNestAndAggregate)
     EXPECT_LE(modsched->wallNs + checker->wallNs, compile.wallNs);
 }
 
-TEST_F(TraceTest, SiblingRootsStayInFirstSeenOrder)
+TEST_F(TraceTest, SnapshotSortsSiblingsByName)
 {
+    // First-seen order depends on which thread reaches the forest
+    // first; the snapshot sorts siblings by name so reported trees
+    // are deterministic under parallel evaluation.
     {
         TraceSpan a("parse");
     }
@@ -194,10 +271,10 @@ TEST_F(TraceTest, SiblingRootsStayInFirstSeenOrder)
     }
     std::vector<TraceNode> forest = traceSnapshot();
     ASSERT_EQ(forest.size(), 2u);
-    EXPECT_EQ(forest[0].name, "parse");
-    EXPECT_EQ(forest[0].count, 2);
-    EXPECT_EQ(forest[1].name, "evaluate");
-    EXPECT_EQ(forest[1].count, 1);
+    EXPECT_EQ(forest[0].name, "evaluate");
+    EXPECT_EQ(forest[0].count, 1);
+    EXPECT_EQ(forest[1].name, "parse");
+    EXPECT_EQ(forest[1].count, 2);
 }
 
 TEST_F(TraceTest, DisabledModeHasZeroSideEffects)

@@ -104,8 +104,15 @@ def main():
 
     ratios = []
     for path in shared:
-        if base[path] > 0 and cand[path] > 0:
-            ratios.append((cand[path] / base[path], path))
+        if base[path] <= 0 or cand[path] <= 0:
+            # A zero cycle count is a degenerate document (empty
+            # suite, failed run), not a 0-cost loop; a silent skip
+            # would let such a metric vanish from the geomean.
+            print(f"warning: skipping {path}: non-positive cycles "
+                  f"(baseline {base[path]:g}, "
+                  f"candidate {cand[path]:g})")
+            continue
+        ratios.append((cand[path] / base[path], path))
     if not ratios:
         sys.exit("bench_compare: no comparable cycle metrics found")
 

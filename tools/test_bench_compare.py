@@ -5,8 +5,10 @@ Usage: test_bench_compare.py BENCH_baseline.json
 
 Checks that the comparator (a) passes a document against itself,
 (b) detects a synthetically injected 10% cycle regression under
---strict, (c) stays warn-only (exit 0) without --strict, and
-(d) refuses to compare documents from different modes.
+--strict, (c) stays warn-only (exit 0) without --strict, (d) refuses
+to compare documents from different modes, and (e) skips
+zero-baseline cycle metrics with a warning instead of dividing by
+zero or silently dropping them.
 """
 
 import copy
@@ -36,6 +38,23 @@ def inflate(node, factor):
     elif isinstance(node, list):
         for value in node:
             inflate(value, factor)
+
+
+def zero_first_cycle(node):
+    """Zero one cycle metric in-place; returns True when done."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in ("weighted_cycles", "cycles") and \
+                    isinstance(value, (int, float)):
+                node[key] = 0
+                return True
+            if zero_first_cycle(value):
+                return True
+    elif isinstance(node, list):
+        for value in node:
+            if zero_first_cycle(value):
+                return True
+    return False
 
 
 def main():
@@ -93,6 +112,19 @@ def main():
         r = run(baseline, mode_path, "--strict")
         check("mode mismatch is rejected",
               r.returncode != 0 and "mode mismatch" in r.stderr)
+
+        zeroed = copy.deepcopy(doc)
+        assert zero_first_cycle(zeroed), "document has no cycle metrics"
+        zero_path = os.path.join(tmp, "zeroed.json")
+        with open(zero_path, "w", encoding="utf-8") as f:
+            json.dump(zeroed, f)
+
+        r = run(zero_path, baseline, "--strict")
+        check("zero-baseline metric skipped with warning",
+              r.returncode == 0
+              and "warning: skipping" in r.stdout
+              and "non-positive cycles" in r.stdout
+              and "ok: within threshold" in r.stdout)
 
     if failures:
         sys.exit(f"{len(failures)} check(s) failed")

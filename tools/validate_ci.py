@@ -3,11 +3,12 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the four
+Checks that the workflow parses as YAML and still carries the five
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
-(fuzzish label under ASan/UBSan), format, and bench-smoke (JSON
-artifact + baseline comparison) — so a refactor of the workflow
-cannot silently drop one.  Registered as a ctest.
+(fuzzish label under ASan/UBSan), tsan (parallel + fuzzish labels
+under ThreadSanitizer), format, and bench-smoke (jobs-determinism
+check, JSON artifact + baseline comparison) — so a refactor of the
+workflow cannot silently drop one.  Registered as a ctest.
 """
 
 import os
@@ -51,7 +52,8 @@ def main():
     if not isinstance(jobs, dict):
         fail("workflow has no jobs")
 
-    for required in ("build-test", "sanitize", "format", "bench-smoke"):
+    for required in ("build-test", "sanitize", "tsan", "format",
+                     "bench-smoke"):
         if required not in jobs:
             fail(f"required job missing: {required}")
 
@@ -73,11 +75,18 @@ def main():
         fail("sanitize must configure -DSELVEC_SANITIZE=address,undefined")
     if "-L fuzzish" not in san:
         fail("sanitize must run the fuzzish ctest label")
+    tsan = steps_text("tsan")
+    if "SELVEC_SANITIZE=thread" not in tsan:
+        fail("tsan must configure -DSELVEC_SANITIZE=thread")
+    if "parallel" not in tsan or "fuzzish" not in tsan:
+        fail("tsan must run the parallel and fuzzish ctest labels")
     if "clang-format" not in steps_text("format"):
         fail("format job must invoke clang-format")
     bench = steps_text("bench-smoke")
     if "--json" not in bench:
         fail("bench-smoke must produce a --json document")
+    if "--jobs 1" not in bench or "--jobs 8" not in bench:
+        fail("bench-smoke must assert --jobs 1 vs --jobs 8 determinism")
     if "upload-artifact" not in bench:
         fail("bench-smoke must upload the JSON artifact")
     if "bench_compare.py" not in bench:
@@ -85,7 +94,7 @@ def main():
     if "BENCH_baseline.json" not in bench:
         fail("bench-smoke must reference BENCH_baseline.json")
 
-    print(f"ok: {os.path.relpath(path)} has all four contract lanes")
+    print(f"ok: {os.path.relpath(path)} has all five contract lanes")
 
 
 if __name__ == "__main__":
