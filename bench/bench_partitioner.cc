@@ -39,14 +39,21 @@ BM_Partition(benchmark::State &state)
     VectAnalysis va = analyzeVectorizable(g.loop(), graph, machine);
 
     int iterations = 0;
+    int64_t moves = 0;
     for (auto _ : state) {
         PartitionResult pr = partitionOps(g.loop(), va, machine);
         iterations = pr.iterations;
+        moves += pr.movesEvaluated;
         benchmark::DoNotOptimize(pr.bestCost);
     }
     state.counters["ops"] =
         static_cast<double>(g.loop().numOps());
     state.counters["kl_iterations"] = iterations;
+    state.counters["moves_evaluated"] =
+        static_cast<double>(moves) /
+        static_cast<double>(state.iterations());
+    state.counters["moves_per_second"] = benchmark::Counter(
+        static_cast<double>(moves), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Partition)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
@@ -115,4 +122,36 @@ BENCHMARK(BM_TestRepartition)->Arg(16)->Arg(64)->Arg(128);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+/**
+ * Accepts `--json <path>` with the same spelling as the table benches
+ * (translated to google-benchmark's JSON writer; counters such as
+ * moves_per_second are included per benchmark).
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") +
+                           argv[++i]);
+            args.push_back("--benchmark_out_format=json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            args.push_back("--benchmark_out=" + arg.substr(7));
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char *> cargs;
+    for (std::string &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/checkmode.hh"
 #include "support/logging.hh"
 
 namespace selvec
@@ -18,6 +19,44 @@ PartitionCostModel::PartitionCostModel(const Loop &loop,
       xferLedger(static_cast<size_t>(loop.numValues())),
       xferDir(static_cast<size_t>(loop.numValues()), XferDir::None)
 {
+    // Freeze every bag the inner loop consumes. The vector-side bag
+    // exists only for ops with a vector form; asking for a missing
+    // one later is the same programming error opcodesFor() asserts.
+    size_t n = static_cast<size_t>(loop.numOps());
+    scalarBags.reserve(n);
+    vectorBags.resize(n);
+    adjacency.reserve(n);
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        scalarBags.push_back(opcodesFor(op, false));
+        if (vectorOpcode(loop.op(op).opcode) != Opcode::Nop)
+            vectorBags[static_cast<size_t>(op)] = opcodesFor(op, true);
+        adjacency.push_back(adjacentValues(op));
+    }
+    xferBags[0] = transferOpcodes(XferDir::ScalarToVector, machine);
+    xferBags[1] = transferOpcodes(XferDir::VectorToScalar, machine);
+    overheadBag = overheadOpcodes();
+
+    // packingOrder() sort keys of each op's first opcode, per side.
+    auto key_for = [&](Opcode oc) {
+        int f = INT32_MAX;
+        int w = 0;
+        for (const Reservation &r : machine.reservations(oc)) {
+            f = std::min(f, machine.unitCount(r.kind));
+            w += r.cycles;
+        }
+        return std::pair<int, int>(f == INT32_MAX ? 0 : f, w);
+    };
+    scalarKeys.reserve(n);
+    vectorKeys.resize(n);
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        scalarKeys.push_back(
+            key_for(scalarBags[static_cast<size_t>(op)].front()));
+        if (!vectorBags[static_cast<size_t>(op)].empty()) {
+            vectorKeys[static_cast<size_t>(op)] =
+                key_for(vectorBags[static_cast<size_t>(op)].front());
+        }
+    }
+
     rebuild(current);
 }
 
@@ -46,6 +85,24 @@ PartitionCostModel::opcodesFor(OpId op, bool vector) const
             bag.push_back(Opcode::VLoad);
     }
     return bag;
+}
+
+const std::vector<Opcode> &
+PartitionCostModel::cachedOpcodes(OpId op, bool vector) const
+{
+    if (!vector)
+        return scalarBags[static_cast<size_t>(op)];
+    const std::vector<Opcode> &bag = vectorBags[static_cast<size_t>(op)];
+    SV_ASSERT(!bag.empty(), "op %d (%s) has no vector form", op,
+              opName(loop.op(op).opcode));
+    return bag;
+}
+
+const std::vector<Opcode> &
+PartitionCostModel::transferBag(XferDir dir) const
+{
+    SV_ASSERT(dir != XferDir::None, "no bag for a non-crossing value");
+    return xferBags[dir == XferDir::ScalarToVector ? 0 : 1];
 }
 
 std::vector<Opcode>
@@ -137,22 +194,54 @@ PartitionCostModel::recurrenceFloor(OpId flipped) const
 }
 
 void
-PartitionCostModel::reserveOp(OpId op, bool vector)
+PartitionCostModel::packInto(
+    const std::vector<bool> &vectorize, ReservationBins &b,
+    std::vector<std::vector<Placement>> &op_ledger,
+    std::vector<std::vector<Placement>> &xfer_ledger,
+    std::vector<XferDir> &xfer_dir,
+    std::vector<int> *order_out) const
 {
-    auto &ledger = opLedger[static_cast<size_t>(op)];
-    SV_ASSERT(ledger.empty(), "op %d reserved twice", op);
-    for (Opcode opcode : opcodesFor(op, vector))
-        bins.reserve(opcode, ledger);
-}
+    // Fixed loop-control overhead (placements are never released, so
+    // their ledger is not kept).
+    std::vector<Placement> overhead;
+    for (Opcode opcode : overheadBag)
+        b.reserve(opcode, overhead);
 
-void
-PartitionCostModel::reserveTransfer(ValueId v, XferDir dir)
-{
-    auto &ledger = xferLedger[static_cast<size_t>(v)];
-    SV_ASSERT(ledger.empty(), "value %d transfer reserved twice", v);
-    for (Opcode opcode : transferOpcodes(dir, machine))
-        bins.reserve(opcode, ledger);
-    xferDir[static_cast<size_t>(v)] = dir;
+    // Operations with the least scheduling freedom first (section 3.2).
+    std::vector<Opcode> first_opcode;
+    first_opcode.reserve(static_cast<size_t>(loop.numOps()));
+    for (OpId op = 0; op < loop.numOps(); ++op) {
+        bool vec = vectorize[static_cast<size_t>(op)];
+        first_opcode.push_back(cachedOpcodes(op, vec).front());
+    }
+    std::vector<int> order = packingOrder(machine, first_opcode);
+    if (order_out != nullptr)
+        *order_out = order;
+
+    std::vector<XferDir> plan =
+        planTransfers(loop, du, vectorize, &va.reduction);
+    for (int idx : order) {
+        OpId op = idx;
+        auto &ledger = op_ledger[static_cast<size_t>(op)];
+        SV_ASSERT(ledger.empty(), "op %d reserved twice", op);
+        bool vec = vectorize[static_cast<size_t>(op)];
+        for (Opcode opcode : cachedOpcodes(op, vec))
+            b.reserve(opcode, ledger);
+        if (!options.considerCommunication)
+            continue;
+        // Bin this op's pending operand transfers (Figure 2 ln 46-48).
+        for (ValueId v : adjacency[static_cast<size_t>(op)]) {
+            XferDir dir = plan[static_cast<size_t>(v)];
+            if (dir == XferDir::None)
+                continue;
+            auto &xfer = xfer_ledger[static_cast<size_t>(v)];
+            if (!xfer.empty())
+                continue;   // transferred at most once
+            for (Opcode opcode : transferBag(dir))
+                b.reserve(opcode, xfer);
+            xfer_dir[static_cast<size_t>(v)] = dir;
+        }
+    }
 }
 
 void
@@ -168,35 +257,8 @@ PartitionCostModel::rebuild(const std::vector<bool> &vectorize)
         l.clear();
     std::fill(xferDir.begin(), xferDir.end(), XferDir::None);
 
-    // Fixed loop-control overhead.
-    for (Opcode opcode : overheadOpcodes())
-        bins.reserve(opcode);
-
-    // Operations with the least scheduling freedom first (section 3.2).
-    std::vector<Opcode> first_opcode;
-    first_opcode.reserve(static_cast<size_t>(loop.numOps()));
-    for (OpId op = 0; op < loop.numOps(); ++op) {
-        auto bag = opcodesFor(op, current[static_cast<size_t>(op)]);
-        first_opcode.push_back(bag.front());
-    }
-    std::vector<int> order = packingOrder(machine, first_opcode);
-
-    std::vector<XferDir> plan =
-        planTransfers(loop, du, current, &va.reduction);
-    for (int idx : order) {
-        OpId op = idx;
-        reserveOp(op, current[static_cast<size_t>(op)]);
-        if (!options.considerCommunication)
-            continue;
-        // Bin this op's pending operand transfers (Figure 2 ln 46-48).
-        for (ValueId v : adjacentValues(op)) {
-            if (plan[static_cast<size_t>(v)] == XferDir::None)
-                continue;
-            if (!xferLedger[static_cast<size_t>(v)].empty())
-                continue;   // transferred at most once
-            reserveTransfer(v, plan[static_cast<size_t>(v)]);
-        }
-    }
+    packInto(current, bins, opLedger, xferLedger, xferDir,
+             &orderCache);
 }
 
 int64_t
@@ -204,32 +266,98 @@ PartitionCostModel::testSwitch(OpId op)
 {
     bool new_side = !current[static_cast<size_t>(op)];
 
-    // Checkpoint: remember what we release and what we add.
-    std::vector<Placement> released_op =
+    // TEST-REPARTITION as a read-only simulation: copy the unit
+    // weights (a few machine words), replay the release/reserve
+    // sequence on the copy, read the maximum. Nothing to undo, no
+    // histogram or ledger maintenance — the greedy choice only ever
+    // needs the weights themselves (the lowest-indexed minimum-weight
+    // unit of each kind wins; see ReservationBins::reserve).
+    scratchWeights.assign(bins.weightsRef().begin(),
+                          bins.weightsRef().end());
+
+    auto sim_release = [&](const std::vector<Placement> &ledger) {
+        for (const Placement &p : ledger)
+            scratchWeights[static_cast<size_t>(p.unit)] -= p.cycles;
+    };
+    auto sim_reserve = [&](Opcode opcode) {
+        for (const Reservation &res : machine.reservations(opcode)) {
+            int first = machine.firstUnit(res.kind);
+            int count = machine.unitCount(res.kind);
+            int best = first;
+            for (int a = first + 1; a < first + count; ++a) {
+                if (scratchWeights[static_cast<size_t>(a)] <
+                    scratchWeights[static_cast<size_t>(best)]) {
+                    best = a;
+                }
+            }
+            scratchWeights[static_cast<size_t>(best)] += res.cycles;
+        }
+    };
+
+    sim_release(opLedger[static_cast<size_t>(op)]);
+    for (Opcode opcode : cachedOpcodes(op, new_side))
+        sim_reserve(opcode);
+
+    if (options.considerCommunication) {
+        for (ValueId v : adjacency[static_cast<size_t>(op)]) {
+            XferDir now = xferDir[static_cast<size_t>(v)];
+            XferDir then = neededTransfer(v, op);
+            if (now == then)
+                continue;
+            if (now != XferDir::None)
+                sim_release(xferLedger[static_cast<size_t>(v)]);
+            if (then != XferDir::None) {
+                for (Opcode opcode : transferBag(then))
+                    sim_reserve(opcode);
+            }
+        }
+    }
+
+    int64_t high = 0;
+    for (int64_t w : scratchWeights)
+        high = std::max(high, w);
+    int64_t result = std::max(high, recurrenceFloor(op));
+
+    if (checkIncrementalEnabled()) {
+        int64_t mutated = testSwitchViaBins(op);
+        SV_ASSERT(mutated == result,
+                  "simulated testSwitch diverged on op %d: %lld vs "
+                  "mutate-and-restore %lld",
+                  op, static_cast<long long>(result),
+                  static_cast<long long>(mutated));
+    }
+    return result;
+}
+
+int64_t
+PartitionCostModel::testSwitchViaBins(OpId op)
+{
+    bool new_side = !current[static_cast<size_t>(op)];
+
+    // Checkpoint: the op's own ledger stays put; only the bins move.
+    const std::vector<Placement> &released_op =
         opLedger[static_cast<size_t>(op)];
     bins.release(released_op);
-    opLedger[static_cast<size_t>(op)].clear();
 
-    std::vector<Placement> added;
-    for (Opcode opcode : opcodesFor(op, new_side))
-        bins.reserve(opcode, added);
+    scratchAdded.clear();
+    for (Opcode opcode : cachedOpcodes(op, new_side))
+        bins.reserve(opcode, scratchAdded);
 
-    std::vector<std::pair<ValueId, std::vector<Placement>>> released_x;
-    std::vector<Placement> added_x;
+    scratchAddedX.clear();
+    scratchReleasedX.clear();
     if (options.considerCommunication) {
-        for (ValueId v : adjacentValues(op)) {
+        for (ValueId v : adjacency[static_cast<size_t>(op)]) {
             XferDir now = xferDir[static_cast<size_t>(v)];
             XferDir then = neededTransfer(v, op);
             if (now == then)
                 continue;
             if (now != XferDir::None) {
-                released_x.emplace_back(
-                    v, xferLedger[static_cast<size_t>(v)]);
+                scratchReleasedX.push_back(v);
                 bins.release(xferLedger[static_cast<size_t>(v)]);
             }
             if (then != XferDir::None) {
-                for (Opcode opcode : transferOpcodes(then, machine))
-                    bins.reserve(opcode, added_x);
+                for (Opcode opcode : transferBag(then))
+                    bins.reserve(opcode, scratchAddedX);
             }
         }
     }
@@ -238,23 +366,152 @@ PartitionCostModel::testSwitch(OpId op)
         std::max(bins.highWaterMark(), recurrenceFloor(op));
 
     // Restore the checkpoint exactly.
-    bins.release(added);
-    bins.release(added_x);
+    bins.release(scratchAdded);
+    bins.release(scratchAddedX);
     bins.restore(released_op);
-    opLedger[static_cast<size_t>(op)] = std::move(released_op);
-    for (auto &[v, ledger] : released_x) {
-        bins.restore(ledger);
-        xferLedger[static_cast<size_t>(v)] = std::move(ledger);
-    }
+    for (ValueId v : scratchReleasedX)
+        bins.restore(xferLedger[static_cast<size_t>(v)]);
     return result;
 }
 
 void
 PartitionCostModel::commitSwitch(OpId op)
 {
-    std::vector<bool> next = current;
-    next[static_cast<size_t>(op)] = !next[static_cast<size_t>(op)];
-    rebuild(next);
+    bool new_side = !current[static_cast<size_t>(op)];
+
+    // SWITCH-OP replays the full packing sequence: greedy packing is
+    // order-sensitive, so releasing only the winning move's placements
+    // would strand the bins in a state no fresh pack reaches
+    // (DESIGN.md §9). Everything the sequence needs is cached or
+    // recomputed for the flipped op alone — the replay allocates
+    // nothing in steady state.
+
+    // The new transfer plan differs from the packed xferDir only on
+    // values adjacent to the flipped op.
+    planScratch.assign(xferDir.begin(), xferDir.end());
+    if (options.considerCommunication) {
+        for (ValueId v : adjacency[static_cast<size_t>(op)])
+            planScratch[static_cast<size_t>(v)] = neededTransfer(v, op);
+    }
+    current[static_cast<size_t>(op)] = new_side;
+
+    bins.clear();
+    for (auto &l : opLedger)
+        l.clear();
+    for (auto &l : xferLedger)
+        l.clear();
+    std::fill(xferDir.begin(), xferDir.end(), XferDir::None);
+
+    scratchAdded.clear();
+    for (Opcode opcode : overheadBag)
+        bins.reserve(opcode, scratchAdded);
+
+    // packingOrder() is invariant except for the flipped op's key
+    // (freedom ascending, reserved cycles descending, stable on op
+    // index — a total order), so splice that one element to its new
+    // position instead of re-sorting.
+    auto key = [&](int o) -> const std::pair<int, int> & {
+        return current[static_cast<size_t>(o)]
+                   ? vectorKeys[static_cast<size_t>(o)]
+                   : scalarKeys[static_cast<size_t>(o)];
+    };
+    auto before = [&](int a, int b) {
+        const std::pair<int, int> &ka = key(a);
+        const std::pair<int, int> &kb = key(b);
+        if (ka.first != kb.first)
+            return ka.first < kb.first;
+        if (ka.second != kb.second)
+            return ka.second > kb.second;
+        return a < b;
+    };
+    orderCache.erase(
+        std::find(orderCache.begin(), orderCache.end(), op));
+    orderCache.insert(std::lower_bound(orderCache.begin(),
+                                       orderCache.end(), op, before),
+                      op);
+
+    for (int idx : orderCache) {
+        OpId o = idx;
+        auto &ledger = opLedger[static_cast<size_t>(o)];
+        bool vec = current[static_cast<size_t>(o)];
+        for (Opcode opcode : cachedOpcodes(o, vec))
+            bins.reserve(opcode, ledger);
+        if (!options.considerCommunication)
+            continue;
+        for (ValueId v : adjacency[static_cast<size_t>(o)]) {
+            XferDir dir = planScratch[static_cast<size_t>(v)];
+            if (dir == XferDir::None)
+                continue;
+            auto &xfer = xferLedger[static_cast<size_t>(v)];
+            if (!xfer.empty())
+                continue;   // transferred at most once
+            for (Opcode opcode : transferBag(dir))
+                bins.reserve(opcode, xfer);
+            xferDir[static_cast<size_t>(v)] = dir;
+        }
+    }
+
+    ++replays;
+
+    if (checkIncrementalEnabled())
+        crossCheckAgainstRebuild();
+}
+
+void
+PartitionCostModel::crossCheckAgainstRebuild() const
+{
+    ReservationBins fresh(machine);
+    std::vector<std::vector<Placement>> op_ledger(
+        static_cast<size_t>(loop.numOps()));
+    std::vector<std::vector<Placement>> xfer_ledger(
+        static_cast<size_t>(loop.numValues()));
+    std::vector<XferDir> xfer_dir(
+        static_cast<size_t>(loop.numValues()), XferDir::None);
+    packInto(current, fresh, op_ledger, xfer_ledger, xfer_dir);
+
+    SV_ASSERT(fresh.highWaterMark() == bins.highWaterMark() &&
+                  fresh.sumSquares() == bins.sumSquares(),
+              "incremental commit diverged: high %lld/%lld "
+              "sumSq %lld/%lld",
+              static_cast<long long>(bins.highWaterMark()),
+              static_cast<long long>(fresh.highWaterMark()),
+              static_cast<long long>(bins.sumSquares()),
+              static_cast<long long>(fresh.sumSquares()));
+    for (int u = 0; u < bins.numBins(); ++u) {
+        SV_ASSERT(fresh.weight(u) == bins.weight(u),
+                  "incremental commit diverged on %s: %lld vs "
+                  "rebuild %lld",
+                  machine.unitName(u).c_str(),
+                  static_cast<long long>(bins.weight(u)),
+                  static_cast<long long>(fresh.weight(u)));
+    }
+    for (ValueId v = 0; v < loop.numValues(); ++v) {
+        SV_ASSERT(xfer_dir[static_cast<size_t>(v)] ==
+                      xferDir[static_cast<size_t>(v)],
+                  "incremental commit diverged on value %d transfer",
+                  v);
+    }
+
+    auto same = [](const std::vector<Placement> &a,
+                   const std::vector<Placement> &b) {
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].unit != b[i].unit || a[i].cycles != b[i].cycles)
+                return false;
+        }
+        return true;
+    };
+    for (OpId o = 0; o < loop.numOps(); ++o) {
+        SV_ASSERT(same(op_ledger[static_cast<size_t>(o)],
+                       opLedger[static_cast<size_t>(o)]),
+                  "incremental commit diverged on op %d ledger", o);
+    }
+    for (ValueId v = 0; v < loop.numValues(); ++v) {
+        SV_ASSERT(same(xfer_ledger[static_cast<size_t>(v)],
+                       xferLedger[static_cast<size_t>(v)]),
+                  "incremental commit diverged on value %d ledger", v);
+    }
 }
 
 } // namespace selvec

@@ -17,11 +17,27 @@
  *  - the per-iteration loop overhead (induction update + branch) is
  *    reserved as a fixed background load.
  *
- * testSwitch() implements TEST-REPARTITION: checkpoint, release the
- * op's reservations (and any transfer reservations its adjacent values
- * no longer need), reserve the new partition's resources, read the
- * high-water mark, restore. commitSwitch() implements SWITCH-OP
- * followed by a fresh BIN-PACK (Figure 2 line 14).
+ * testSwitch() implements TEST-REPARTITION as a read-only simulation
+ * on a scratch copy of the unit weights: release the op's
+ * reservations (and any transfer reservations its adjacent values no
+ * longer need), reserve the new partition's resources, read the
+ * maximum — nothing to undo. commitSwitch() implements SWITCH-OP as an
+ * in-place replay of the full packing sequence out of cached state:
+ * only the flipped op's transfer plan entries and ordering key are
+ * recomputed; bags, adjacency, plan and packing order are otherwise
+ * reused. Replaying just the winning move's placements would be
+ * unsound — greedy packing is order-sensitive, so releasing an op's
+ * placements mid-history does not reach the state a fresh pack of the
+ * remaining ops would (DESIGN.md §9 works the counterexample).
+ *
+ * Hot-path contract (DESIGN.md §9): opcode bags, transfer bags, value
+ * adjacency and ordering keys are cached per (op, side) at
+ * construction, and testSwitch/commitSwitch work exclusively out of
+ * reusable scratch ledgers — in steady state neither performs any
+ * heap allocation. Under SELVEC_CHECK_INCREMENTAL every commit is
+ * cross-checked against a fresh BIN-PACK of the new configuration
+ * (Figure 2 line 14): the replayed bins, ledgers and transfer
+ * directions must match the rebuilt ones exactly.
  */
 
 #ifndef SELVEC_CORE_COSTMODEL_HH
@@ -65,13 +81,21 @@ class PartitionCostModel
     }
 
     /** Cost if `op` were moved to the other partition; bins restored
-     *  before returning. */
+     *  before returning. Allocation-free in steady state. */
     int64_t testSwitch(OpId op);
 
-    /** Move `op` to the other partition and re-pack from scratch. */
+    /** Move `op` to the other partition by replaying the packing
+     *  sequence in place from cached state (allocation-free). */
     void commitSwitch(OpId op);
 
     const std::vector<bool> &partition() const { return current; }
+
+    /** Commits applied as delta replays since construction (the
+     *  partition.commitReplays stat). */
+    int64_t commitReplays() const { return replays; }
+
+    /** The packed bins (tests and cross-checks read weights). */
+    const ReservationBins &binsRef() const { return bins; }
 
     /**
      * Opcode bag an operation reserves on the given side (VL scalar
@@ -101,8 +125,32 @@ class PartitionCostModel
     /** Values adjacent to an op (dest + unique srcs). */
     std::vector<ValueId> adjacentValues(OpId op) const;
 
-    void reserveOp(OpId op, bool vector);
-    void reserveTransfer(ValueId v, XferDir dir);
+    /** The cached bag for one (op, side); the vector-side bag of an
+     *  op without a vector form is a construction-time assert. */
+    const std::vector<Opcode> &cachedOpcodes(OpId op, bool vector) const;
+
+    /** The cached transfer bag for one crossing direction. */
+    const std::vector<Opcode> &transferBag(XferDir dir) const;
+
+    /**
+     * The fresh BIN-PACK of Figure 2: pack `vectorize` into `b` in
+     * packing order, recording per-op and per-value ledgers. rebuild()
+     * runs it on the member state; the SELVEC_CHECK_INCREMENTAL
+     * cross-check runs it on scratch state and diffs.
+     */
+    void packInto(const std::vector<bool> &vectorize,
+                  ReservationBins &b,
+                  std::vector<std::vector<Placement>> &op_ledger,
+                  std::vector<std::vector<Placement>> &xfer_ledger,
+                  std::vector<XferDir> &xfer_dir,
+                  std::vector<int> *order_out = nullptr) const;
+
+    /** Die unless the incremental state equals a fresh rebuild. */
+    void crossCheckAgainstRebuild() const;
+
+    /** TEST-REPARTITION by mutating and restoring the real bins — the
+     *  reference testSwitch() is cross-checked against. */
+    int64_t testSwitchViaBins(OpId op);
 
     const Loop &loop;
     const VectAnalysis &va;
@@ -115,6 +163,34 @@ class PartitionCostModel
     std::vector<std::vector<Placement>> opLedger;     ///< per op
     std::vector<std::vector<Placement>> xferLedger;   ///< per value
     std::vector<XferDir> xferDir;                     ///< per value
+
+    // Construction-time caches: the partitioner's inner loop never
+    // recomputes a bag, an adjacency list or an ordering key.
+    std::vector<std::vector<Opcode>> scalarBags;      ///< per op
+    std::vector<std::vector<Opcode>> vectorBags;      ///< per op
+    std::vector<std::vector<ValueId>> adjacency;      ///< per op
+    std::vector<Opcode> xferBags[2];                  ///< per XferDir
+    std::vector<Opcode> overheadBag;
+
+    /** packingOrder() sort key of one op's first opcode on one side:
+     *  (scheduling freedom, total reserved cycles). */
+    std::vector<std::pair<int, int>> scalarKeys;      ///< per op
+    std::vector<std::pair<int, int>> vectorKeys;      ///< per op
+
+    // Reusable testSwitch/commitSwitch scratch (capacity survives
+    // across calls).
+    std::vector<Placement> scratchAdded;
+    std::vector<Placement> scratchAddedX;
+    std::vector<ValueId> scratchReleasedX;
+    std::vector<XferDir> planScratch;
+    std::vector<int64_t> scratchWeights;    ///< simulated bins
+
+    /** The current partition's packing order, kept sorted across
+     *  commits (only the flipped op's key changes, so SWITCH-OP
+     *  splices one element instead of re-sorting). */
+    std::vector<int> orderCache;
+
+    int64_t replays = 0;    ///< delta-replayed commits
 };
 
 } // namespace selvec

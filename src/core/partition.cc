@@ -53,7 +53,7 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
     if (any_reduction)
         model.rebuild(result.vectorize);
 
-    {
+    if (options.probeAllVectorCost) {
         // Informational: the fully vectorized configuration's cost.
         std::vector<bool> all_vec(static_cast<size_t>(n), false);
         for (OpId op : candidates)
@@ -123,6 +123,7 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
     stats.add("partition.iterations", result.iterations);
     stats.add("partition.movesEvaluated", result.movesEvaluated);
     stats.add("partition.movesCommitted", result.movesCommitted);
+    stats.add("partition.commitReplays", model.commitReplays());
     stats.setGauge("partition.lastCost", result.bestCost);
     stats.setGauge("partition.lastCut", result.crossingValues);
     return result;

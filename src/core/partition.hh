@@ -29,6 +29,16 @@ struct PartitionOptions
     /** Cap on outer iterations (0 = run until convergence). The paper
      *  notes convergence typically takes only a few iterations. */
     int maxIterations = 0;
+
+    /**
+     * Compute PartitionResult::allVectorCost, the purely informational
+     * cost of vectorizing every candidate. It builds (and packs) a
+     * second full cost model per partition run, so throughput-critical
+     * callers — the hot-path benchmarks, replayed compiles — turn it
+     * off; the result field then stays 0. Default on: the probe
+     * appears in every JSON partition detail.
+     */
+    bool probeAllVectorCost = true;
 };
 
 struct PartitionResult

@@ -9,8 +9,30 @@ namespace selvec
 {
 
 ReservationBins::ReservationBins(const Machine &m)
-    : machine(m), bins(static_cast<size_t>(m.totalUnits()), 0)
+    : machine(m), bins(static_cast<size_t>(m.totalUnits()), 0),
+      histogram(1, static_cast<int32_t>(m.totalUnits()))
 {
+}
+
+void
+ReservationBins::bump(int unit, int delta)
+{
+    int64_t &w = bins[static_cast<size_t>(unit)];
+    int64_t old = w;
+    w += delta;
+    SV_ASSERT(w >= 0, "bin %s moved below zero",
+              machine.unitName(unit).c_str());
+    sumSq += w * w - old * old;
+    --histogram[static_cast<size_t>(old)];
+    if (w >= static_cast<int64_t>(histogram.size()))
+        histogram.resize(static_cast<size_t>(w) + 1, 0);
+    ++histogram[static_cast<size_t>(w)];
+    if (w > high) {
+        high = w;
+    } else if (old == high) {
+        while (high > 0 && histogram[static_cast<size_t>(high)] == 0)
+            --high;
+    }
 }
 
 void
@@ -22,34 +44,19 @@ ReservationBins::reserve(Opcode op, std::vector<Placement> &ledger)
         SV_ASSERT(count > 0, "opcode %s reserves absent resource %s",
                   opName(op), resKindName(res.kind));
 
-        // Evaluate every alternative unit: minimize the resulting
-        // high-water mark, break ties on the sum of squared weights
-        // (Figure 2 lines 50-66). Only the candidate bin changes, so
-        // the global maximum and squared sum are computed once and
-        // adjusted per alternative.
-        int64_t global_high = 0;
-        int64_t global_cost = 0;
-        for (int64_t w : bins) {
-            global_high = std::max(global_high, w);
-            global_cost += w * w;
-        }
-
-        int best = -1;
-        int64_t best_high = INT64_MAX;
-        int64_t best_cost = INT64_MAX;
-        for (int a = first; a < first + count; ++a) {
-            int64_t w = bins[static_cast<size_t>(a)];
-            int64_t grown = w + res.cycles;
-            int64_t high = std::max(global_high, grown);
-            int64_t cost = global_cost - w * w + grown * grown;
-            if (high < best_high ||
-                (high == best_high && cost < best_cost)) {
-                best_high = high;
-                best_cost = cost;
+        // Minimize the resulting high-water mark, break ties on the
+        // sum of squared weights (Figure 2 lines 50-66). Both the
+        // resulting maximum and the squared-sum growth are strictly
+        // monotone in the chosen bin's weight, so the winner is
+        // always the lowest-indexed minimum-weight unit of the kind.
+        int best = first;
+        for (int a = first + 1; a < first + count; ++a) {
+            if (bins[static_cast<size_t>(a)] <
+                bins[static_cast<size_t>(best)]) {
                 best = a;
             }
         }
-        bins[static_cast<size_t>(best)] += res.cycles;
+        bump(best, res.cycles);
         ledger.push_back(Placement{best, res.cycles});
     }
 }
@@ -67,10 +74,7 @@ ReservationBins::release(const std::vector<Placement> &ledger)
 {
     for (const Placement &p : ledger) {
         SV_ASSERT(p.unit >= 0 && p.unit < numBins(), "bad placement");
-        int64_t &w = bins[static_cast<size_t>(p.unit)];
-        w -= p.cycles;
-        SV_ASSERT(w >= 0, "bin %s released below zero",
-                  machine.unitName(p.unit).c_str());
+        bump(p.unit, -p.cycles);
     }
 }
 
@@ -79,26 +83,8 @@ ReservationBins::restore(const std::vector<Placement> &ledger)
 {
     for (const Placement &p : ledger) {
         SV_ASSERT(p.unit >= 0 && p.unit < numBins(), "bad placement");
-        bins[static_cast<size_t>(p.unit)] += p.cycles;
+        bump(p.unit, p.cycles);
     }
-}
-
-int64_t
-ReservationBins::highWaterMark() const
-{
-    int64_t high = 0;
-    for (int64_t w : bins)
-        high = std::max(high, w);
-    return high;
-}
-
-int64_t
-ReservationBins::sumSquares() const
-{
-    int64_t cost = 0;
-    for (int64_t w : bins)
-        cost += w * w;
-    return cost;
 }
 
 int64_t
@@ -112,6 +98,10 @@ void
 ReservationBins::clear()
 {
     std::fill(bins.begin(), bins.end(), 0);
+    std::fill(histogram.begin(), histogram.end(), 0);
+    histogram[0] = static_cast<int32_t>(bins.size());
+    high = 0;
+    sumSq = 0;
 }
 
 std::vector<int>

@@ -38,6 +38,13 @@ struct Placement
 /**
  * The set of resource bins for one machine. Weights are cycles per
  * kernel iteration.
+ *
+ * The high-water mark and the sum of squared weights are maintained
+ * incrementally through a value-count histogram (how many bins carry
+ * each weight), so reserve/release/restore never rescan the bins and
+ * highWaterMark()/sumSquares() are O(1). This is what keeps the KL
+ * partitioner's TEST-REPARTITION probe allocation-free and cheap: a
+ * trial move is a handful of histogram bumps, not a full repack.
  */
 class ReservationBins
 {
@@ -63,14 +70,20 @@ class ReservationBins
      */
     void restore(const std::vector<Placement> &ledger);
 
-    /** HIGH-WATER-MARK: weight of the most heavily used resource. */
-    int64_t highWaterMark() const;
+    /** HIGH-WATER-MARK: weight of the most heavily used resource.
+     *  O(1): tracked through the weight histogram. */
+    int64_t highWaterMark() const { return high; }
 
-    /** Sum of squared bin weights (the balancing tiebreak metric). */
-    int64_t sumSquares() const;
+    /** Sum of squared bin weights (the balancing tiebreak metric).
+     *  O(1): maintained incrementally. */
+    int64_t sumSquares() const { return sumSq; }
 
     /** Weight of one concrete unit. */
     int64_t weight(int unit) const;
+
+    /** All unit weights, indexed by concrete unit (read-only view for
+     *  the partitioner's simulated TEST-REPARTITION probe). */
+    const std::vector<int64_t> &weightsRef() const { return bins; }
 
     /** Reset every bin to zero. */
     void clear();
@@ -80,8 +93,19 @@ class ReservationBins
     const Machine &machineRef() const { return machine; }
 
   private:
+    /** Move one bin's weight by `delta`, keeping the histogram, the
+     *  high-water mark and the squared sum consistent. */
+    void bump(int unit, int delta);
+
     const Machine &machine;
     std::vector<int64_t> bins;
+
+    /** histogram[w] = number of bins with weight w. Grows to the
+     *  largest weight ever seen and is then reused (no steady-state
+     *  allocation). */
+    std::vector<int32_t> histogram;
+    int64_t high = 0;       ///< cached highWaterMark()
+    int64_t sumSq = 0;      ///< cached sumSquares()
 };
 
 /**

@@ -1,10 +1,12 @@
 #include "pipeline/modsched.hh"
 
 #include <algorithm>
+#include <queue>
 #include <vector>
 
 #include "analysis/recmii.hh"
 #include "machine/binpack.hh"
+#include "support/checkmode.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -20,6 +22,14 @@ namespace
  * Modulo reservation table: occupancy of every concrete unit in every
  * of the II kernel rows, with per-op records so displacement can
  * release reservations exactly.
+ *
+ * Occupancy is mirrored in per-unit bitmasks (one bit per kernel row)
+ * so the free-slot probes of canPlace()/pickUnit() test word-wide
+ * ranges instead of walking cells cycle-by-cycle, and in per-row
+ * fullness counts so rowFullness() is O(1). The cell array remains the
+ * source of occupant identity for displacement. Under
+ * SELVEC_CHECK_INCREMENTAL every mask answer is cross-checked against
+ * the cell walk it replaced.
  */
 class Mrt
 {
@@ -28,7 +38,11 @@ class Mrt
         : machine(m), ii(ii),
           cells(static_cast<size_t>(ii * m.totalUnits()), kNoOp),
           held(static_cast<size_t>(num_ops)),
-          issue(static_cast<size_t>(num_ops), 0)
+          issue(static_cast<size_t>(num_ops), 0),
+          words((ii + 63) / 64),
+          occ(static_cast<size_t>(words * m.totalUnits()), 0),
+          rowUsed(static_cast<size_t>(ii), 0),
+          check(checkIncrementalEnabled())
     {
     }
 
@@ -99,8 +113,12 @@ class Mrt
         for (const Reservation &res : machine.reservations(opcode)) {
             int unit = pickUnit(res, t);
             SV_ASSERT(unit >= 0, "placing op %d with conflicts", op);
-            for (int64_t c = 0; c < res.cycles; ++c)
-                at((t + c) % ii, unit) = op;
+            for (int64_t c = 0; c < res.cycles; ++c) {
+                int64_t row = (t + c) % ii;
+                at(row, unit) = op;
+                setBit(unit, row);
+                ++rowUsed[static_cast<size_t>(row)];
+            }
             uses.push_back(UnitUse{unit, 0, res.cycles});
         }
         issue[static_cast<size_t>(op)] = t;
@@ -114,9 +132,12 @@ class Mrt
         int64_t t = issue[static_cast<size_t>(op)];
         for (const UnitUse &use : uses) {
             for (int64_t c = 0; c < use.cycles; ++c) {
-                OpId &cell = at((t + c) % ii, use.unit);
+                int64_t row = (t + c) % ii;
+                OpId &cell = at(row, use.unit);
                 SV_ASSERT(cell == op, "MRT cell not held by op %d", op);
                 cell = kNoOp;
+                clearBit(use.unit, row);
+                --rowUsed[static_cast<size_t>(row)];
             }
         }
         uses.clear();
@@ -132,12 +153,12 @@ class Mrt
     int
     rowFullness(int64_t t) const
     {
-        int64_t row = t % ii;
-        int used = 0;
-        for (int u = 0; u < machine.totalUnits(); ++u)
-            used += at(row, u) != kNoOp ? 1 : 0;
-        return used;
+        return rowUsed[static_cast<size_t>(t % ii)];
     }
+
+    /** Occupancy probes the bitmasks answered "occupied" (the
+     *  mrt.maskHits stat). */
+    int64_t maskHitCount() const { return hits; }
 
   private:
     OpId &
@@ -154,6 +175,51 @@ class Mrt
                                          unit)];
     }
 
+    void
+    setBit(int unit, int64_t row)
+    {
+        occ[static_cast<size_t>(unit * words + (row >> 6))] |=
+            uint64_t{1} << (row & 63);
+    }
+
+    void
+    clearBit(int unit, int64_t row)
+    {
+        occ[static_cast<size_t>(unit * words + (row >> 6))] &=
+            ~(uint64_t{1} << (row & 63));
+    }
+
+    /** Any occupied row in [lo, hi) of one unit's mask. */
+    bool
+    anyBits(int unit, int64_t lo, int64_t hi) const
+    {
+        const uint64_t *w = &occ[static_cast<size_t>(unit * words)];
+        int64_t wlo = lo >> 6;
+        int64_t whi = (hi - 1) >> 6;
+        uint64_t first = ~uint64_t{0} << (lo & 63);
+        uint64_t last = ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+        if (wlo == whi)
+            return (w[wlo] & first & last) != 0;
+        if ((w[wlo] & first) != 0)
+            return true;
+        for (int64_t i = wlo + 1; i < whi; ++i) {
+            if (w[i] != 0)
+                return true;
+        }
+        return (w[whi] & last) != 0;
+    }
+
+    /** Any occupied row in the wrapped window [t, t+len) mod II. */
+    bool
+    rangeOccupied(int unit, int64_t t, int64_t len) const
+    {
+        int64_t start = t % ii;
+        if (start + len <= ii)
+            return anyBits(unit, start, start + len);
+        return anyBits(unit, start, ii) ||
+               anyBits(unit, 0, start + len - ii);
+    }
+
     /** Least-loaded free unit for a reservation at cycle t, or -1. */
     int
     pickUnit(const Reservation &res, int64_t t) const
@@ -163,11 +229,19 @@ class Mrt
         if (res.cycles > ii)
             return -1;
         for (int u = first; u < first + count; ++u) {
-            bool free = true;
-            for (int64_t c = 0; c < res.cycles && free; ++c)
-                free = at((t + c) % ii, u) == kNoOp;
-            if (free)
+            bool busy = rangeOccupied(u, t, res.cycles);
+            if (check) {
+                bool cell_busy = false;
+                for (int64_t c = 0; c < res.cycles && !cell_busy; ++c)
+                    cell_busy = at((t + c) % ii, u) != kNoOp;
+                SV_ASSERT(busy == cell_busy,
+                          "MRT mask diverged from cells: unit %d "
+                          "cycle %lld span %d",
+                          u, static_cast<long long>(t), res.cycles);
+            }
+            if (!busy)
                 return u;
+            ++hits;
         }
         return -1;
     }
@@ -177,6 +251,12 @@ class Mrt
     std::vector<OpId> cells;
     std::vector<std::vector<UnitUse>> held;
     std::vector<int64_t> issue;
+
+    int64_t words;                  ///< 64-bit words per unit mask
+    std::vector<uint64_t> occ;      ///< per-unit row-occupancy bits
+    std::vector<int32_t> rowUsed;   ///< occupied cells per kernel row
+    bool check;                     ///< cross-check mode, latched once
+    mutable int64_t hits = 0;       ///< mask probes answered occupied
 };
 
 /**
@@ -206,6 +286,25 @@ computeHeights(const DepGraph &graph, int64_t ii)
     return height;
 }
 
+/** Ready-heap entry: max height first, lowest op index on ties — the
+ *  exact order the seed's linear scan produced. */
+struct ReadyEntry
+{
+    int64_t height;
+    OpId op;
+};
+
+struct ReadyOrder
+{
+    bool
+    operator()(const ReadyEntry &a, const ReadyEntry &b) const
+    {
+        if (a.height != b.height)
+            return a.height < b.height;
+        return a.op > b.op;
+    }
+};
+
 /**
  * One candidate-II scheduling attempt.
  *
@@ -217,15 +316,20 @@ computeHeights(const DepGraph &graph, int64_t ii)
  * balancing instinct as the partitioner's squared-weight tiebreak. The
  * driver tries earliest-fit first and balanced-fit on failure before
  * giving up on an II.
+ *
+ * The highest-priority unscheduled op comes off a ready heap holding
+ * exactly one entry per unscheduled op (ops re-enter only when
+ * displaced), replacing the seed's O(n) scan per placement. `height`
+ * is computed once per candidate II and shared by the earliest-fit and
+ * balanced attempts.
  */
 bool
 tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
                 const Machine &machine, int64_t ii, int budget,
-                bool balanced, ModuloSchedule &out,
-                int64_t &backtracks)
+                bool balanced, const std::vector<int64_t> &height,
+                ModuloSchedule &out, ScheduleResult &counters)
 {
     int n = loop.numOps();
-    std::vector<int64_t> height = computeHeights(graph, ii);
     Mrt mrt(machine, ii, n);
 
     std::vector<int64_t> time(static_cast<size_t>(n), -1);
@@ -233,21 +337,40 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
     std::vector<bool> ever(static_cast<size_t>(n), false);
     int unscheduled = n;
 
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        ReadyOrder>
+        ready;
+    for (OpId op = 0; op < n; ++op)
+        ready.push(ReadyEntry{height[static_cast<size_t>(op)], op});
+    counters.readyPushes += n;
+
     while (unscheduled > 0) {
-        if (budget-- <= 0)
+        if (budget-- <= 0) {
+            counters.maskHits += mrt.maskHitCount();
             return false;
+        }
 
         // Highest-priority unscheduled op (height, then op order).
-        OpId op = kNoOp;
-        for (OpId cand = 0; cand < n; ++cand) {
-            if (time[static_cast<size_t>(cand)] >= 0)
-                continue;
-            if (op == kNoOp || height[static_cast<size_t>(cand)] >
-                                   height[static_cast<size_t>(op)]) {
-                op = cand;
+        SV_ASSERT(!ready.empty(), "worklist accounting broken");
+        OpId op = ready.top().op;
+        ready.pop();
+        SV_ASSERT(time[static_cast<size_t>(op)] < 0,
+                  "scheduled op %d on the ready heap", op);
+        if (checkIncrementalEnabled()) {
+            OpId scan = kNoOp;
+            for (OpId cand = 0; cand < n; ++cand) {
+                if (time[static_cast<size_t>(cand)] >= 0)
+                    continue;
+                if (scan == kNoOp ||
+                    height[static_cast<size_t>(cand)] >
+                        height[static_cast<size_t>(scan)]) {
+                    scan = cand;
+                }
             }
+            SV_ASSERT(scan == op,
+                      "ready heap diverged from scan: op %d vs %d", op,
+                      scan);
         }
-        SV_ASSERT(op != kNoOp, "worklist accounting broken");
 
         // Earliest start from scheduled predecessors.
         int64_t estart = 0;
@@ -291,12 +414,16 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
             for (OpId victim : mrt.conflicts(opcode, slot)) {
                 mrt.remove(victim);
                 time[static_cast<size_t>(victim)] = -1;
+                ready.push(ReadyEntry{
+                    height[static_cast<size_t>(victim)], victim});
+                ++counters.readyPushes;
                 ++unscheduled;
-                ++backtracks;
+                ++counters.backtracks;
             }
         }
 
         mrt.place(op, opcode, slot);
+        ++counters.placements;
         time[static_cast<size_t>(op)] = slot;
         prev_time[static_cast<size_t>(op)] = slot;
         ever[static_cast<size_t>(op)] = true;
@@ -311,12 +438,16 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
             if (ts >= 0 && ts + ii * e.distance < slot + e.latency) {
                 mrt.remove(e.dst);
                 time[static_cast<size_t>(e.dst)] = -1;
+                ready.push(ReadyEntry{
+                    height[static_cast<size_t>(e.dst)], e.dst});
+                ++counters.readyPushes;
                 ++unscheduled;
-                ++backtracks;
+                ++counters.backtracks;
             }
         }
     }
 
+    counters.maskHits += mrt.maskHitCount();
     out.ii = ii;
     out.time = std::move(time);
     out.units.resize(static_cast<size_t>(n));
@@ -381,15 +512,20 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
 
     for (int64_t ii = result.mii; ii <= max_ii; ++ii) {
         ++result.attempts;
+        // Heights depend only on the candidate II: compute once and
+        // share between the earliest-fit and balanced attempts.
+        std::vector<int64_t> height = computeHeights(graph, ii);
         if (tryScheduleAtIi(lowered, graph, machine, ii, budget,
-                            /*balanced=*/false, result.schedule,
-                            result.backtracks) ||
+                            /*balanced=*/false, height,
+                            result.schedule, result) ||
             tryScheduleAtIi(lowered, graph, machine, ii, budget,
-                            /*balanced=*/true, result.schedule,
-                            result.backtracks)) {
+                            /*balanced=*/true, height,
+                            result.schedule, result)) {
             result.ok = true;
             stats.add("modsched.attempts", result.attempts);
             stats.add("modsched.backtracks", result.backtracks);
+            stats.add("modsched.readyPushes", result.readyPushes);
+            stats.add("mrt.maskHits", result.maskHits);
             stats.setGauge("modsched.lastIi", result.schedule.ii);
             stats.maxGauge("modsched.maxIi", result.schedule.ii);
             return result;
@@ -397,6 +533,8 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
     }
     stats.add("modsched.attempts", result.attempts);
     stats.add("modsched.backtracks", result.backtracks);
+    stats.add("modsched.readyPushes", result.readyPushes);
+    stats.add("mrt.maskHits", result.maskHits);
     stats.add("modsched.failures");
     result.code = ErrorCode::ScheduleBudgetExhausted;
     result.error = strfmt(

@@ -54,6 +54,9 @@ struct ScheduleResult
     int attempts = 0;       ///< candidate IIs tried
     int64_t maxIi = 0;      ///< top of the II search window
     int64_t backtracks = 0; ///< displacements across all attempts
+    int64_t placements = 0; ///< MRT placements across all attempts
+    int64_t readyPushes = 0; ///< ready-heap insertions (modsched.readyPushes)
+    int64_t maskHits = 0;   ///< occupancy answered by MRT masks (mrt.maskHits)
 };
 
 /**

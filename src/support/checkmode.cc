@@ -1,0 +1,44 @@
+#include "support/checkmode.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace selvec
+{
+
+namespace
+{
+
+/** -1: not yet resolved from the environment; 0/1: resolved. */
+std::atomic<int> g_check{-1};
+
+} // anonymous namespace
+
+bool
+checkIncrementalEnabled()
+{
+    int state = g_check.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char *env = std::getenv("SELVEC_CHECK_INCREMENTAL");
+        state = env != nullptr && std::string(env) != "0" &&
+                        std::string(env) != ""
+                    ? 1
+                    : 0;
+        // Racing first calls resolve to the same value; the exchange
+        // only keeps later setCheckIncremental() wins intact.
+        int expected = -1;
+        g_check.compare_exchange_strong(expected, state,
+                                        std::memory_order_relaxed);
+        state = g_check.load(std::memory_order_relaxed);
+    }
+    return state == 1;
+}
+
+void
+setCheckIncremental(bool enabled)
+{
+    g_check.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace selvec

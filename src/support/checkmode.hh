@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The SELVEC_CHECK_INCREMENTAL debug/CI mode.
+ *
+ * The hot paths maintain derived state incrementally (the
+ * partitioner's delta-replayed commits, the scheduler's MRT occupancy
+ * masks and ready heap) instead of recomputing it from scratch. With
+ * SELVEC_CHECK_INCREMENTAL set (any value but "0"), every incremental
+ * step is cross-checked against the from-scratch computation it
+ * replaced and the process dies on the first divergence — the mode CI
+ * and the `hotpath` test label run to prove the fast paths are exact.
+ *
+ * The flag is resolved from the environment on first query and cached;
+ * tests flip it deterministically through setCheckIncremental().
+ */
+
+#ifndef SELVEC_SUPPORT_CHECKMODE_HH
+#define SELVEC_SUPPORT_CHECKMODE_HH
+
+namespace selvec
+{
+
+/** True when incremental cross-checking is on. Cheap after the first
+ *  call (one relaxed atomic load). */
+bool checkIncrementalEnabled();
+
+/** Force the mode on or off, overriding the environment (tests). */
+void setCheckIncremental(bool enabled);
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_CHECKMODE_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Hot-path contract tests (ctest label `hotpath`, DESIGN.md §9):
+ *
+ *  - randomized property: after arbitrary testSwitch/commitSwitch
+ *    sequences over generated loops, the incrementally maintained
+ *    cost-model state (bins, high-water mark, squared sum) equals a
+ *    fresh rebuild of the same partition — with the
+ *    SELVEC_CHECK_INCREMENTAL cross-check armed, so every commit also
+ *    self-verifies ledgers and transfer directions;
+ *  - testSwitch restores its checkpoint exactly;
+ *  - moduloSchedule produces identical schedules with the cross-check
+ *    mode on and off (the mode additionally asserts, per placement,
+ *    that the ready heap matches a priority scan and the MRT masks
+ *    match the cells);
+ *  - steady-state testSwitch/commitSwitch perform zero heap
+ *    allocations.
+ *
+ * This binary overrides the global operator new to count allocations,
+ * which is why these tests live apart from selvec_tests.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hh"
+#include "analysis/vectorizable.hh"
+#include "core/costmodel.hh"
+#include "core/partition.hh"
+#include "machine/machine.hh"
+#include "pipeline/lowering.hh"
+#include "pipeline/modsched.hh"
+#include "support/checkmode.hh"
+#include "support/random.hh"
+#include "workloads/generator.hh"
+
+namespace
+{
+
+std::atomic<uint64_t> g_allocations{0};
+
+} // anonymous namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace selvec;
+
+struct TestLoop
+{
+    GeneratedLoop gen;
+    VectAnalysis va;
+    std::vector<OpId> candidates;
+
+    explicit TestLoop(uint64_t seed, int ops, const Machine &machine)
+    {
+        Rng rng(seed);
+        GeneratorOptions options;
+        options.minOps = ops;
+        options.maxOps = ops;
+        gen = generateLoop(rng, options);
+        DepGraph graph(gen.module.arrays, gen.loop(), machine);
+        va = analyzeVectorizable(gen.loop(), graph, machine);
+        for (OpId op = 0; op < gen.loop().numOps(); ++op) {
+            if (va.vectorizable[static_cast<size_t>(op)])
+                candidates.push_back(op);
+        }
+    }
+};
+
+void
+expectBinsEqual(const ReservationBins &a, const ReservationBins &b)
+{
+    ASSERT_EQ(a.numBins(), b.numBins());
+    for (int u = 0; u < a.numBins(); ++u)
+        EXPECT_EQ(a.weight(u), b.weight(u)) << "unit " << u;
+    EXPECT_EQ(a.highWaterMark(), b.highWaterMark());
+    EXPECT_EQ(a.sumSquares(), b.sumSquares());
+}
+
+TEST(Hotpath, IncrementalStateMatchesRebuildAfterRandomMoves)
+{
+    Machine machine = paperMachine();
+    setCheckIncremental(true);
+    for (uint64_t seed : {11u, 23u, 47u, 91u}) {
+        TestLoop tl(0xB00000u ^ (seed * 7919u), 24, machine);
+        if (tl.candidates.empty())
+            continue;
+        PartitionCostModel model(tl.gen.loop(), tl.va, machine);
+
+        Rng rng(seed);
+        for (int step = 0; step < 200; ++step) {
+            OpId op = tl.candidates[static_cast<size_t>(rng.range(
+                0, static_cast<int64_t>(tl.candidates.size()) - 1))];
+            if (rng.chance(0.7)) {
+                model.testSwitch(op);
+            } else {
+                // Self-verifies against a fresh rebuild (check mode).
+                model.commitSwitch(op);
+            }
+            if (step % 25 == 0) {
+                PartitionCostModel fresh(tl.gen.loop(), tl.va,
+                                         machine);
+                fresh.rebuild(model.partition());
+                expectBinsEqual(model.binsRef(), fresh.binsRef());
+                EXPECT_EQ(model.cost(), fresh.cost());
+            }
+        }
+    }
+    setCheckIncremental(false);
+}
+
+TEST(Hotpath, TestSwitchRestoresCheckpointExactly)
+{
+    Machine machine = paperMachine();
+    for (uint64_t seed : {5u, 17u}) {
+        TestLoop tl(0xC0FFEEu + seed, 20, machine);
+        if (tl.candidates.empty())
+            continue;
+        PartitionCostModel model(tl.gen.loop(), tl.va, machine);
+        PartitionCostModel witness(tl.gen.loop(), tl.va, machine);
+        for (OpId op : tl.candidates) {
+            model.testSwitch(op);
+            expectBinsEqual(model.binsRef(), witness.binsRef());
+        }
+    }
+}
+
+TEST(Hotpath, ModuloScheduleUnchangedUnderCheckMode)
+{
+    Machine machine = paperMachine();
+    for (int ops : {8, 24, 48}) {
+        Rng rng(0x5C4ED0u + static_cast<uint64_t>(ops));
+        GeneratorOptions options;
+        options.minOps = ops;
+        options.maxOps = ops;
+        GeneratedLoop g = generateLoop(rng, options);
+        Loop lowered = lowerForScheduling(g.loop(), machine);
+        DepGraph graph(g.module.arrays, lowered, machine);
+
+        setCheckIncremental(false);
+        ScheduleResult fast = moduloSchedule(lowered, graph, machine);
+        setCheckIncremental(true);
+        ScheduleResult checked =
+            moduloSchedule(lowered, graph, machine);
+        setCheckIncremental(false);
+
+        ASSERT_EQ(fast.ok, checked.ok);
+        EXPECT_EQ(fast.schedule.ii, checked.schedule.ii);
+        EXPECT_EQ(fast.schedule.time, checked.schedule.time);
+        EXPECT_EQ(fast.attempts, checked.attempts);
+        EXPECT_EQ(fast.backtracks, checked.backtracks);
+        EXPECT_EQ(fast.placements, checked.placements);
+        EXPECT_EQ(fast.readyPushes, checked.readyPushes);
+        EXPECT_EQ(fast.maskHits, checked.maskHits);
+    }
+}
+
+TEST(Hotpath, PartitionerIsDeterministicUnderCheckMode)
+{
+    Machine machine = paperMachine();
+    TestLoop tl(0xDE7E12u, 28, machine);
+    setCheckIncremental(false);
+    PartitionResult fast = partitionOps(tl.gen.loop(), tl.va, machine);
+    setCheckIncremental(true);
+    PartitionResult checked =
+        partitionOps(tl.gen.loop(), tl.va, machine);
+    setCheckIncremental(false);
+    EXPECT_EQ(fast.vectorize, checked.vectorize);
+    EXPECT_EQ(fast.bestCost, checked.bestCost);
+    EXPECT_EQ(fast.movesEvaluated, checked.movesEvaluated);
+    EXPECT_EQ(fast.movesCommitted, checked.movesCommitted);
+}
+
+TEST(Hotpath, SteadyStateMovesAllocateNothing)
+{
+    Machine machine = paperMachine();
+    TestLoop tl(0xA110Cu, 24, machine);
+    ASSERT_FALSE(tl.candidates.empty());
+    setCheckIncremental(false);
+    PartitionCostModel model(tl.gen.loop(), tl.va, machine);
+
+    // One full sequence: probe every candidate, then commit each once.
+    // Running it twice returns every op to its starting side, so the
+    // measured pass retraces the warm pass exactly — every scratch
+    // vector, ledger and histogram has already reached its high-water
+    // capacity.
+    auto sequence = [&] {
+        for (OpId commit_op : tl.candidates) {
+            for (OpId op : tl.candidates)
+                model.testSwitch(op);
+            model.commitSwitch(commit_op);
+        }
+    };
+    sequence();
+    sequence();
+
+    uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    sequence();
+    sequence();
+    uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(before, after)
+        << "testSwitch/commitSwitch allocated in steady state";
+}
+
+} // anonymous namespace

@@ -21,6 +21,13 @@ threshold into a gate.  Cycle counts come from the deterministic
 simulator, so any same-mode documents are comparable across machines;
 quick-mode and full-mode documents are NOT comparable (different
 workload weights) and the script refuses to compare them.
+
+--counters switches to exact-match mode for documents that carry no
+cycle metrics (bench_hotpath): every numeric leaf shared by the two
+documents must be exactly equal, and a leaf present on only one side
+is an error.  Timing leaves (ns_*, *_per_second, *_ns keys) are
+excluded — they are zeroed in CI documents and nondeterministic
+elsewhere.  Exits 1 on any mismatch.
 """
 
 import argparse
@@ -53,6 +60,63 @@ def collect(node, path, out):
             collect(value, f"{path}[{i}]", out)
 
 
+def is_timing_key(key):
+    """Timing leaves are excluded from --counters exact matching."""
+    return (key.startswith("ns_") or key.endswith("_per_second")
+            or key.endswith("_ns"))
+
+
+def collect_counters(node, path, out):
+    """Map every non-timing numeric leaf to its value, by JSON path."""
+    if isinstance(node, dict):
+        label = node.get("name") or node.get("suite")
+        for key, value in node.items():
+            leaf = f"{path}[{label}].{key}" if label else (
+                f"{path}.{key}" if path else key)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                if not is_timing_key(key):
+                    out[leaf] = value
+            else:
+                collect_counters(value, leaf, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect_counters(value, f"{path}[{i}]", out)
+
+
+def compare_counters(base_doc, cand_doc, base_name, cand_name):
+    """Exact-match every shared non-timing numeric leaf; exit 1 on
+    any mismatch or any one-sided leaf."""
+    base, cand = {}, {}
+    collect_counters(base_doc, "", base)
+    collect_counters(cand_doc, "", cand)
+
+    failures = []
+    for path in sorted(set(base) - set(cand)):
+        failures.append(f"only in baseline: {path} = {base[path]}")
+    for path in sorted(set(cand) - set(base)):
+        failures.append(f"only in candidate: {path} = {cand[path]}")
+    shared = sorted(set(base) & set(cand))
+    for path in shared:
+        if base[path] != cand[path]:
+            failures.append(f"mismatch: {path}: "
+                            f"{base[path]} -> {cand[path]}")
+
+    print(f"{len(shared)} counter metrics compared "
+          f"({base_doc.get('generator')}, "
+          f"mode={base_doc.get('mode')})")
+    if failures:
+        for line in failures:
+            print(f"  {line}")
+        sys.exit(f"bench_compare: {len(failures)} counter "
+                 f"difference(s) between {base_name} and {cand_name}")
+    if not shared:
+        sys.exit("bench_compare: no counter metrics found")
+    print("ok: all counters exactly equal")
+    return 0
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -79,6 +143,11 @@ def main():
     ap.add_argument("--top", type=int, default=10,
                     help="how many of the worst per-loop regressions "
                          "to print (default: 10)")
+    ap.add_argument("--counters", action="store_true",
+                    help="exact-match every non-timing numeric leaf "
+                         "instead of comparing cycle ratios (for "
+                         "documents without cycle metrics, e.g. "
+                         "bench_hotpath); exits 1 on any difference")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -89,6 +158,10 @@ def main():
                  f"({base_doc.get('mode')!r} vs {cand_doc.get('mode')!r}); "
                  f"quick- and full-mode cycle counts use different "
                  f"workload weights and are not comparable")
+
+    if args.counters:
+        return compare_counters(base_doc, cand_doc,
+                                args.baseline, args.candidate)
 
     base, cand = {}, {}
     collect(base_doc, "", base)

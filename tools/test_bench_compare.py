@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Unit test for bench_compare.py.
 
-Usage: test_bench_compare.py BENCH_baseline.json
+Usage: test_bench_compare.py BENCH_baseline.json [BENCH_hotpath.json]
 
 Checks that the comparator (a) passes a document against itself,
 (b) detects a synthetically injected 10% cycle regression under
@@ -9,6 +9,11 @@ Checks that the comparator (a) passes a document against itself,
 to compare documents from different modes, and (e) skips
 zero-baseline cycle metrics with a warning instead of dividing by
 zero or silently dropping them.
+
+Given the hot-path document, additionally checks --counters mode:
+(f) self-compare passes, (g) a single off-by-one counter fails,
+(h) a leaf present on only one side fails, and (i) timing leaves
+(ns_*, *_per_second) are ignored even when they differ.
 """
 
 import copy
@@ -57,9 +62,84 @@ def zero_first_cycle(node):
     return False
 
 
+def bump_first_counter(node):
+    """Off-by-one the first non-timing integer leaf; True when done."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int) and not (
+                    key.startswith("ns_")
+                    or key.endswith("_per_second")
+                    or key.endswith("_ns")
+                    or key in ("schema",)):
+                node[key] = value + 1
+                return True
+            if bump_first_counter(value):
+                return True
+    elif isinstance(node, list):
+        for value in node:
+            if bump_first_counter(value):
+                return True
+    return False
+
+
+def perturb_timings(node):
+    """Overwrite every timing leaf with an arbitrary value."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if (key.startswith("ns_") or key.endswith("_per_second")
+                    or key.endswith("_ns")) and \
+                    isinstance(value, (int, float)):
+                node[key] = 123456789
+            else:
+                perturb_timings(value)
+    elif isinstance(node, list):
+        for value in node:
+            perturb_timings(value)
+
+
+def check_counters(hotpath, check):
+    with open(hotpath, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        r = run(hotpath, hotpath, "--counters")
+        check("counters: self-compare passes",
+              r.returncode == 0 and "all counters exactly equal"
+              in r.stdout)
+
+        bumped = copy.deepcopy(doc)
+        assert bump_first_counter(bumped), "no counter leaf found"
+        bump_path = os.path.join(tmp, "bumped.json")
+        with open(bump_path, "w", encoding="utf-8") as f:
+            json.dump(bumped, f)
+        r = run(hotpath, bump_path, "--counters")
+        check("counters: off-by-one counter fails",
+              r.returncode == 1 and "mismatch:" in r.stdout)
+
+        extra = copy.deepcopy(doc)
+        extra["extraCounter"] = 7
+        extra_path = os.path.join(tmp, "extra.json")
+        with open(extra_path, "w", encoding="utf-8") as f:
+            json.dump(extra, f)
+        r = run(hotpath, extra_path, "--counters")
+        check("counters: one-sided leaf fails",
+              r.returncode == 1 and "only in candidate" in r.stdout)
+
+        timed = copy.deepcopy(doc)
+        perturb_timings(timed)
+        timed_path = os.path.join(tmp, "timed.json")
+        with open(timed_path, "w", encoding="utf-8") as f:
+            json.dump(timed, f)
+        r = run(hotpath, timed_path, "--counters")
+        check("counters: timing leaves ignored", r.returncode == 0)
+
+
 def main():
-    if len(sys.argv) != 2:
-        sys.exit(f"usage: {sys.argv[0]} BENCH_baseline.json")
+    if len(sys.argv) not in (2, 3):
+        sys.exit(f"usage: {sys.argv[0]} BENCH_baseline.json "
+                 f"[BENCH_hotpath.json]")
     baseline = sys.argv[1]
     with open(baseline, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -125,6 +205,9 @@ def main():
               and "warning: skipping" in r.stdout
               and "non-positive cycles" in r.stdout
               and "ok: within threshold" in r.stdout)
+
+    if len(sys.argv) == 3:
+        check_counters(sys.argv[2], check)
 
     if failures:
         sys.exit(f"{len(failures)} check(s) failed")

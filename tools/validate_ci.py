@@ -3,12 +3,14 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the five
+Checks that the workflow parses as YAML and still carries the six
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
 (fuzzish label under ASan/UBSan), tsan (parallel + fuzzish labels
-under ThreadSanitizer), format, and bench-smoke (jobs-determinism
-check, JSON artifact + baseline comparison) — so a refactor of the
-workflow cannot silently drop one.  Registered as a ctest.
+under ThreadSanitizer), format, bench-smoke (jobs-determinism check,
+JSON artifact + baseline comparison), and perf-smoke (hotpath tests,
+SELVEC_CHECK_INCREMENTAL cross-check run, artifact upload and the
+exact-counter gate against BENCH_hotpath.json) — so a refactor of
+the workflow cannot silently drop one.  Registered as a ctest.
 """
 
 import os
@@ -53,7 +55,7 @@ def main():
         fail("workflow has no jobs")
 
     for required in ("build-test", "sanitize", "tsan", "format",
-                     "bench-smoke"):
+                     "bench-smoke", "perf-smoke"):
         if required not in jobs:
             fail(f"required job missing: {required}")
 
@@ -93,8 +95,22 @@ def main():
         fail("bench-smoke must diff against the checked-in baseline")
     if "BENCH_baseline.json" not in bench:
         fail("bench-smoke must reference BENCH_baseline.json")
+    perf = steps_text("perf-smoke")
+    if "-L hotpath" not in perf:
+        fail("perf-smoke must run the hotpath ctest label")
+    if "bench_hotpath" not in perf:
+        fail("perf-smoke must run bench_hotpath")
+    if "upload-artifact" not in perf:
+        fail("perf-smoke must upload the hot-path JSON artifact")
+    if "--counters" not in perf or "BENCH_hotpath.json" not in perf:
+        fail("perf-smoke must gate counters against BENCH_hotpath.json")
+    perf_env = "\n".join(
+        str(step.get("env", ""))
+        for step in jobs["perf-smoke"].get("steps", []))
+    if "SELVEC_CHECK_INCREMENTAL" not in perf_env:
+        fail("perf-smoke must run under SELVEC_CHECK_INCREMENTAL")
 
-    print(f"ok: {os.path.relpath(path)} has all five contract lanes")
+    print(f"ok: {os.path.relpath(path)} has all six contract lanes")
 
 
 if __name__ == "__main__":
