@@ -19,7 +19,20 @@
  *                   documents are byte-identical for every N;
  *   --no-cache      disable the structural compile cache (every
  *                   request compiles from scratch; results are
- *                   unchanged, only cache.* stats disappear).
+ *                   unchanged, only cache.* stats disappear);
+ *   --deadline-ms N per-loop wall-clock budget: a kernel that blows
+ *                   it is quarantined into the report's failures[]
+ *                   array while its siblings complete normally
+ *                   (DESIGN.md §10);
+ *   --max-cycles-factor N
+ *                   simulator watchdog factor (default 16): a
+ *                   pipelined run is aborted (WatchdogTripped) past
+ *                   N x its schedule-predicted cycle count;
+ *   --repro-dir D   write a replayable repro bundle under D for
+ *                   every quarantined loop (see selvec_replay);
+ *   --faults SPEC   arm a fault-injection plan (parseFaultPlan
+ *                   syntax, e.g. "modsched.stall:2+1") — the
+ *                   containment-demo hook.
  */
 
 #ifndef SELVEC_BENCH_BENCH_COMMON_HH
@@ -34,6 +47,7 @@
 #include "driver/compilecache.hh"
 #include "driver/evaluate.hh"
 #include "driver/reportjson.hh"
+#include "support/faultinject.hh"
 #include "workloads/workloads.hh"
 
 namespace selvec
@@ -44,16 +58,24 @@ struct BenchCli
     std::string jsonPath;       ///< empty: no JSON output
     bool quick = false;
     int jobs = 0;               ///< 0: hardware concurrency
+    int64_t deadlineMs = 0;     ///< per-loop budget (0: unlimited)
+    int64_t maxCyclesFactor = 0;    ///< watchdog factor (0: default)
+    std::string reproDir;       ///< empty: no repro bundles
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     const char *mode() const { return quick ? "quick" : "full"; }
 
-    /** EvaluateOptions carrying the parsed --jobs value. */
+    /** EvaluateOptions carrying the parsed containment knobs. */
     EvaluateOptions
     evalOptions() const
     {
         EvaluateOptions options;
         options.jobs = jobs;
+        options.deadlineMs = deadlineMs;
+        options.reproDir = reproDir;
+        if (maxCyclesFactor > 0)
+            options.driver.scheduling.watchdogFactor =
+                maxCyclesFactor;
         return options;
     }
 
@@ -61,6 +83,15 @@ struct BenchCli
     parse(int argc, char **argv)
     {
         BenchCli cli;
+        auto armFaults = [](const std::string &spec) {
+            Expected<FaultPlan> plan = parseFaultPlan(spec);
+            if (!plan.ok()) {
+                std::fprintf(stderr, "--faults: %s\n",
+                             plan.status().str().c_str());
+                std::exit(2);
+            }
+            installFaultPlan(plan.value());
+        };
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--quick") {
@@ -73,6 +104,22 @@ struct BenchCli
                 cli.jobs = std::atoi(argv[++i]);
             } else if (arg.rfind("--jobs=", 0) == 0) {
                 cli.jobs = std::atoi(arg.c_str() + 7);
+            } else if (arg == "--deadline-ms" && i + 1 < argc) {
+                cli.deadlineMs = std::atoll(argv[++i]);
+            } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+                cli.deadlineMs = std::atoll(arg.c_str() + 14);
+            } else if (arg == "--max-cycles-factor" && i + 1 < argc) {
+                cli.maxCyclesFactor = std::atoll(argv[++i]);
+            } else if (arg.rfind("--max-cycles-factor=", 0) == 0) {
+                cli.maxCyclesFactor = std::atoll(arg.c_str() + 20);
+            } else if (arg == "--repro-dir" && i + 1 < argc) {
+                cli.reproDir = argv[++i];
+            } else if (arg.rfind("--repro-dir=", 0) == 0) {
+                cli.reproDir = arg.substr(12);
+            } else if (arg == "--faults" && i + 1 < argc) {
+                armFaults(argv[++i]);
+            } else if (arg.rfind("--faults=", 0) == 0) {
+                armFaults(arg.substr(9));
             } else if (arg == "--no-cache") {
                 compileCacheSetEnabled(false);
             } else {

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * selvec_fuzz: randomized end-to-end sweep against the reference
+ * oracle, with failure containment and replayable repro bundles.
+ *
+ *   selvec_fuzz [--seeds N] [--seed-start N] [--deadline-ms N]
+ *               [--repro-dir D] [--force-fault SPEC] [--replay-check]
+ *
+ * Each seed deterministically derives a generated loop, a randomized
+ * stock-machine variant, a technique, a trip count and (for ~30% of
+ * seeds, unless --force-fault pins one) a fault-injection plan, then
+ * runs the full pipeline under a per-seed deadline and the simulator
+ * watchdog — compile, bounded pipelined execution, bitwise
+ * verification against the reference interpreter.
+ *
+ * Outcomes per seed:
+ *   clean      — compiled, ran, verified;
+ *   contained  — a structured failure (injected fault, deadline,
+ *                watchdog, schedule/partition exhaustion) that the
+ *                containment layer absorbed; expected, not a bug;
+ *   finding    — a verification divergence or an escape below the
+ *                Status layer: a real bug. Findings are minimized by
+ *                greedy body-line deletion and exit the sweep with
+ *                status 1.
+ *
+ * With --repro-dir every non-clean seed writes a selvec-repro-v1
+ * bundle (seed<N>.repro.json); --replay-check re-loads each written
+ * bundle and asserts selvec_replay-style reproduction, closing the
+ * loop on bundle fidelity.
+ *
+ * The sweep is serial by design: fault plans are process-global.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "driver/repro.hh"
+#include "lir/lir.hh"
+#include "support/faultinject.hh"
+#include "support/random.hh"
+#include "workloads/generator.hh"
+
+using namespace selvec;
+
+namespace
+{
+
+struct FuzzConfig
+{
+    uint64_t seedStart = 1;
+    int seeds = 50;
+    int64_t deadlineMs = 2000;
+    std::string reproDir;
+    std::string forceFault;
+    bool replayCheck = false;
+};
+
+enum class OutcomeClass { Clean, Contained, Finding };
+
+/** Classify a replay status: a divergence or an escape below the
+ *  Status layer is a finding; any other structured failure is the
+ *  containment layer doing its job. An injected fault is always
+ *  contained, whatever its code — fault sites deliberately surface
+ *  Internal (lowering) and VerifyFailed (checker) to prove those
+ *  codes propagate, and every injection message names its site. */
+OutcomeClass
+classify(const Status &status)
+{
+    if (status.ok())
+        return OutcomeClass::Clean;
+    if (status.message().find("fault injected at") !=
+        std::string::npos)
+        return OutcomeClass::Contained;
+    if (status.code() == ErrorCode::Internal ||
+        status.code() == ErrorCode::InvalidInput ||
+        (status.code() == ErrorCode::VerifyFailed &&
+         status.stage() == "replay"))
+        return OutcomeClass::Finding;
+    return OutcomeClass::Contained;
+}
+
+/** The candidate configuration a seed deterministically derives. */
+ReproBundle
+candidateForSeed(uint64_t seed, const FuzzConfig &config)
+{
+    Rng rng(seed);
+    GeneratorOptions gopt;
+    GeneratedLoop gen = generateLoop(rng, gopt);
+
+    ReproBundle bundle;
+    bundle.name = gen.loop().name;
+    bundle.module = gen.module;
+    bundle.liveIns = gen.liveIns;
+    bundle.seed = seed;
+    bundle.tripCount = rng.range(1, gopt.maxTrip);
+    bundle.invocations = 1;
+    bundle.memPattern =
+        static_cast<int64_t>(0xC0FFEEULL ^ seed);
+    bundle.deadlineMs = config.deadlineMs;
+
+    // A randomized variant of a stock machine; revert any tweak that
+    // makes the description invalid.
+    Machine stock;
+    switch (rng.range(0, 3)) {
+    case 0: stock = paperMachine(); break;
+    case 1: stock = directMoveMachine(); break;
+    case 2: stock = wideMachine(); break;
+    default: stock = embeddedMachine(); break;
+    }
+    Machine machine = stock;
+    if (rng.chance(0.25))
+        machine.alignment =
+            machine.alignment == AlignPolicy::AssumeAligned
+                ? AlignPolicy::AssumeMisaligned
+                : AlignPolicy::AssumeAligned;
+    machine.invocationOverhead =
+        static_cast<int>(rng.range(0, 24));
+    if (!machine.check().empty())
+        machine = stock;
+    bundle.machine = machine;
+
+    bundle.technique =
+        static_cast<Technique>(rng.range(
+            0, static_cast<int>(Technique::IterationSplit)));
+
+    if (!config.forceFault.empty()) {
+        bundle.faultPlan = config.forceFault;
+    } else if (rng.chance(0.3)) {
+        // Only instant sites: modsched.stall sleeps out the whole
+        // deadline, which would make a wide sweep crawl.
+        static const char *const kSites[] = {
+            "partition.kl", "modsched.search", "lowering.lower",
+            "checker.validate", "sim.watchdog",
+        };
+        const char *site = kSites[rng.range(0, 4)];
+        bundle.faultPlan =
+            std::string(site) + ":" +
+            std::to_string(rng.range(0, 2)) + "+1";
+    }
+    return bundle;
+}
+
+/**
+ * Greedy minimizer: repeatedly delete single LIR lines while the
+ * failure keeps the same class and error code. Structural deletions
+ * fail to re-parse and are skipped automatically.
+ */
+ReproBundle
+minimizeFinding(const ReproBundle &finding)
+{
+    ReproBundle best = finding;
+    Status want = replayBundle(best).status;
+    if (classify(want) != OutcomeClass::Finding)
+        return best;
+
+    // Greedy restart-scan is O(lines^2) replays; a budget keeps a
+    // pathological finding from stalling the whole sweep.
+    int replaysLeft = 400;
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        std::string text = writeLir(best.module);
+        std::vector<std::string> lines;
+        size_t pos = 0;
+        while (pos <= text.size()) {
+            size_t nl = text.find('\n', pos);
+            if (nl == std::string::npos) {
+                if (pos < text.size())
+                    lines.push_back(text.substr(pos));
+                break;
+            }
+            lines.push_back(text.substr(pos, nl - pos));
+            pos = nl + 1;
+        }
+        for (size_t drop = 0; drop < lines.size(); ++drop) {
+            std::string candidate;
+            for (size_t i = 0; i < lines.size(); ++i)
+                if (i != drop)
+                    candidate += lines[i] + "\n";
+            Expected<Module> reparsed = tryParseLir(candidate);
+            if (!reparsed.ok() || reparsed.value().loops.empty())
+                continue;
+            if (--replaysLeft < 0)
+                return best;
+            ReproBundle trial = best;
+            trial.module = reparsed.value();
+            trial.name = trial.module.loops.front().name;
+            Status got = replayBundle(trial).status;
+            if (classify(got) == OutcomeClass::Finding &&
+                got.code() == want.code()) {
+                best = trial;
+                want = got;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    best.failure = want;
+    return best;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](const char *name, int64_t *out) {
+            std::string prefix = std::string(name) + "=";
+            if (arg == name && i + 1 < argc) {
+                *out = std::atoll(argv[++i]);
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                *out = std::atoll(arg.c_str() + prefix.size());
+                return true;
+            }
+            return false;
+        };
+        auto strArg = [&](const char *name, std::string *out) {
+            std::string prefix = std::string(name) + "=";
+            if (arg == name && i + 1 < argc) {
+                *out = argv[++i];
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                *out = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        int64_t n = 0;
+        if (intArg("--seeds", &n)) {
+            config.seeds = static_cast<int>(n);
+        } else if (intArg("--seed-start", &n)) {
+            config.seedStart = static_cast<uint64_t>(n);
+        } else if (intArg("--deadline-ms", &n)) {
+            config.deadlineMs = n;
+        } else if (strArg("--repro-dir", &config.reproDir) ||
+                   strArg("--force-fault", &config.forceFault)) {
+            // consumed
+        } else if (arg == "--replay-check") {
+            config.replayCheck = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: selvec_fuzz [--seeds N] [--seed-start N] "
+                "[--deadline-ms N] [--repro-dir D] "
+                "[--force-fault SPEC] [--replay-check]\n");
+            return 2;
+        }
+    }
+    if (!config.forceFault.empty()) {
+        Expected<FaultPlan> plan = parseFaultPlan(config.forceFault);
+        if (!plan.ok()) {
+            std::fprintf(stderr, "--force-fault: %s\n",
+                         plan.status().str().c_str());
+            return 2;
+        }
+    }
+
+    int clean = 0, contained = 0;
+    int findings = 0, bundles = 0, replayMismatches = 0;
+    for (int i = 0; i < config.seeds; ++i) {
+        uint64_t seed = config.seedStart + static_cast<uint64_t>(i);
+        ReproBundle bundle = candidateForSeed(seed, config);
+        Status status = replayBundle(bundle).status;
+        OutcomeClass cls = classify(status);
+
+        if (cls == OutcomeClass::Clean) {
+            ++clean;
+            continue;
+        }
+        if (cls == OutcomeClass::Contained) {
+            ++contained;
+            std::printf("seed %llu: contained: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        status.str().c_str());
+        } else {
+            ++findings;
+            std::printf("seed %llu: FINDING: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        status.str().c_str());
+            bundle = minimizeFinding(bundle);
+            status = bundle.failure;
+            std::printf("seed %llu: minimized to %d-op loop\n",
+                        static_cast<unsigned long long>(seed),
+                        bundle.module.loops.front().numOps());
+        }
+        bundle.failure = status;
+
+        if (config.reproDir.empty())
+            continue;
+        std::string path = config.reproDir + "/seed" +
+                           std::to_string(seed) + ".repro.json";
+        Status written = writeReproBundle(path, bundle);
+        if (!written) {
+            std::fprintf(stderr, "seed %llu: bundle not written: %s\n",
+                         static_cast<unsigned long long>(seed),
+                         written.str().c_str());
+            continue;
+        }
+        ++bundles;
+        if (config.replayCheck) {
+            Expected<ReproBundle> loaded = loadReproBundle(path);
+            if (!loaded.ok() ||
+                !replayBundle(loaded.value()).reproduced) {
+                ++replayMismatches;
+                std::fprintf(stderr,
+                             "seed %llu: bundle did not reproduce\n",
+                             static_cast<unsigned long long>(seed));
+            }
+        }
+    }
+
+    std::printf("fuzz: %d seeds, %d clean, %d contained, %d findings, "
+                "%d bundles%s\n",
+                config.seeds, clean, contained, findings, bundles,
+                replayMismatches != 0 ? " (replay mismatches!)" : "");
+    return findings != 0 || replayMismatches != 0 ? 1 : 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * selvec_replay: deterministically re-run a repro bundle.
+ *
+ *   selvec_replay <bundle.json> [--verbose]
+ *
+ * Loads a selvec-repro-v1 bundle (written by evaluateSuite under
+ * --repro-dir, or by selvec_fuzz), re-arms the recorded fault plan
+ * and deadline, re-compiles the loop with its exact options and
+ * machine, re-executes bounded, and verifies against the reference
+ * interpreter.
+ *
+ * Exit status: 0 when the replay reproduces the recorded error code
+ * (the bundle is a faithful repro), 1 when it does not (the failure
+ * was environmental, or the bug moved), 2 on usage or load errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "driver/repro.hh"
+
+using namespace selvec;
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verbose") == 0)
+            verbose = true;
+        else if (path == nullptr)
+            path = argv[i];
+        else
+            path = "";
+    }
+    if (path == nullptr || *path == '\0') {
+        std::fprintf(stderr,
+                     "usage: selvec_replay <bundle.json> [--verbose]\n");
+        return 2;
+    }
+
+    Expected<ReproBundle> loaded = loadReproBundle(path);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "selvec_replay: %s\n",
+                     loaded.status().str().c_str());
+        return 2;
+    }
+    const ReproBundle &bundle = loaded.value();
+
+    std::printf("replaying %s: loop '%s', technique %s, trip %lld\n",
+                path, bundle.name.c_str(),
+                techniqueName(bundle.technique),
+                static_cast<long long>(bundle.tripCount));
+    std::printf("  recorded: %s\n", bundle.failure.str().c_str());
+    if (verbose) {
+        std::printf("  machine: %s\n", bundle.machine.name.c_str());
+        std::printf("  fault plan: %s\n",
+                    bundle.faultPlan.empty() ? "(none)"
+                                             : bundle.faultPlan.c_str());
+        std::printf("  deadline: %lld ms\n",
+                    static_cast<long long>(bundle.deadlineMs));
+    }
+
+    ReplayOutcome outcome = replayBundle(bundle);
+    std::printf("  replayed: %s\n", outcome.status.str().c_str());
+    if (outcome.reproduced) {
+        std::printf("reproduced: error code '%s' matches\n",
+                    errorCodeName(bundle.failure.code()));
+        return 0;
+    }
+    std::printf("NOT reproduced: recorded '%s', replay produced '%s'\n",
+                errorCodeName(bundle.failure.code()),
+                errorCodeName(outcome.status.code()));
+    return 1;
+}

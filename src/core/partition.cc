@@ -1,6 +1,7 @@
 #include "core/partition.hh"
 
 #include "core/comm.hh"
+#include "support/deadline.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -77,6 +78,12 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
 
         std::vector<bool> locked(static_cast<size_t>(n), false);
         for (size_t step = 0; step < candidates.size(); ++step) {
+            // KL is an anytime search: a deadline trip keeps the best
+            // configuration seen so far instead of discarding work.
+            if (deadlineArmed() && !checkDeadline("partition")) {
+                result.deadlineStopped = true;
+                break;
+            }
             // FIND-OP-TO-SWITCH: the unlocked move with lowest cost.
             OpId best_op = kNoOp;
             int64_t move_cost = INT64_MAX;
@@ -102,6 +109,8 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
                 best = model.partition();
             }
         }
+        if (result.deadlineStopped)
+            break;
         // Restart the next iteration from the best configuration.
         model.rebuild(best);
     }
@@ -133,6 +142,12 @@ Expected<PartitionResult>
 tryPartitionOps(const Loop &loop, const VectAnalysis &va,
                 const Machine &machine, const PartitionOptions &options)
 {
+    if (options.maxIterations < 0) {
+        return Status::error(
+            ErrorCode::InvalidInput, "partition",
+            strfmt("maxIterations must be >= 0 (got %d)",
+                   options.maxIterations));
+    }
     if (faultPointHit("partition.kl")) {
         return Status::error(
             ErrorCode::PartitionFailed, "partition",
@@ -148,7 +163,15 @@ tryPartitionOps(const Loop &loop, const VectAnalysis &va,
                    loop.name.c_str(), va.vectorizable.size(),
                    static_cast<int>(loop.numOps())));
     }
-    return partitionOps(loop, va, machine, options);
+    PartitionResult result = partitionOps(loop, va, machine, options);
+    if (result.deadlineStopped) {
+        Status trip = checkDeadline("partition");
+        if (trip)
+            trip = Status::error(ErrorCode::DeadlineExceeded,
+                                 "partition", "deadline exceeded");
+        return trip;
+    }
+    return result;
 }
 
 } // namespace selvec

@@ -58,6 +58,13 @@ struct PartitionResult
      *  transfer — the communication cut of the configuration). */
     int crossingValues = 0;
 
+    /** True when the ambient deadline (or cancellation) stopped the
+     *  KL search early. The result is still the best configuration
+     *  seen — partitioning is an anytime algorithm — but callers that
+     *  must honor the containment contract (tryPartitionOps) convert
+     *  the flag into a DeadlineExceeded / Cancelled status. */
+    bool deadlineStopped = false;
+
     /** True when at least one op ended up vectorized. */
     bool
     anyVector() const
@@ -83,9 +90,11 @@ PartitionResult partitionOps(const Loop &loop, const VectAnalysis &va,
 
 /**
  * Partitioning as a recoverable stage: validates the inputs (the
- * analysis must describe exactly this loop), carries the
- * "partition.kl" fault injection point, and reports PartitionFailed
- * instead of dying — the driver degrades to full vectorization.
+ * analysis must describe exactly this loop, options knobs must be
+ * sane), carries the "partition.kl" fault injection point, reports
+ * PartitionFailed instead of dying — the driver degrades to full
+ * vectorization — and converts a deadline-stopped search into a
+ * DeadlineExceeded / Cancelled status.
  */
 Expected<PartitionResult>
 tryPartitionOps(const Loop &loop, const VectAnalysis &va,

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "lir/lir.hh"
+#include "support/deadline.hh"
 #include "support/faultinject.hh"
 
 namespace selvec
@@ -78,8 +79,13 @@ compileCacheSetEnabled(bool enabled)
 bool
 compileCacheActive()
 {
+    // An armed deadline/cancellation context bypasses the cache for
+    // the same reason an armed fault plan does: the outcome of such a
+    // compile depends on wall-clock time (or the caller's whim), and
+    // a cached DeadlineExceeded status would replay as a permanent
+    // failure long after the deadline that caused it.
     return g_cache_enabled && tls_bypass_depth == 0 &&
-           !faultPlanArmed();
+           !faultPlanArmed() && !deadlineArmed();
 }
 
 void

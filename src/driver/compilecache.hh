@@ -178,7 +178,8 @@ struct ScheduleCacheValue
 };
 
 /** Whether tryCompileLoop/scheduleInto may consult the cache on this
- *  thread (enabled, no fault plan armed, no bypass scope). */
+ *  thread (enabled, no fault plan armed, no deadline/cancellation
+ *  context armed, no bypass scope). */
 bool compileCacheActive();
 
 /** Globally enable/disable the cache (--no-cache; default on). */

@@ -328,6 +328,33 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
         stats.add("driver.failures");
         return loop_ok;
     }
+    // Knob validation happens before any cache key is formed: a
+    // nonsense option set must fail loudly, not misbehave (or get
+    // cached) quietly.
+    // Zero stays meaningful (empty budget/window, watchdog off);
+    // only negative knobs are rejected.
+    const ScheduleOptions &sched = options.scheduling;
+    if (sched.budgetFactor < 0 || sched.maxIiFactor < 0 ||
+        sched.maxIiSlack < 0 || sched.watchdogFactor < 0) {
+        stats.add("driver.failures");
+        return Status::error(
+            ErrorCode::InvalidInput, "driver",
+            strfmt("invalid schedule options: budgetFactor %d, "
+                   "maxIiFactor %lld, maxIiSlack %lld and "
+                   "watchdogFactor %lld must all be >= 0",
+                   sched.budgetFactor,
+                   static_cast<long long>(sched.maxIiFactor),
+                   static_cast<long long>(sched.maxIiSlack),
+                   static_cast<long long>(sched.watchdogFactor)));
+    }
+    if (options.partition.maxIterations < 0) {
+        stats.add("driver.failures");
+        return Status::error(
+            ErrorCode::InvalidInput, "driver",
+            strfmt("invalid partition options: maxIterations must be "
+                   ">= 0 (got %d)",
+                   options.partition.maxIterations));
+    }
 
     if (!compileCacheActive()) {
         // Compile against a scratch copy: a failed attempt must not
@@ -618,7 +645,8 @@ checkBindings(const std::vector<std::string> &missing,
 Expected<ExecResult>
 tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
                const Machine &machine, MemoryImage &mem,
-               const LiveEnv &live_ins, int64_t n)
+               const LiveEnv &live_ins, int64_t n,
+               const ExecLimits &limits)
 {
     // Later loops in a distributed sequence may consume earlier
     // loops' live-outs; only bindings satisfied by neither source are
@@ -632,18 +660,84 @@ tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
         for (ValueId id : cl.main.liveOuts)
             available[cl.main.valueInfo(id).name] = RtVal{};
     }
-    return runCompiled(program, arrays, machine, mem, live_ins, n);
+
+    // The bounded mirror of runCompiled: same chaining, but every
+    // constituent execution can trip the watchdog or the ambient
+    // deadline and surface it as a status.
+    ExecResult result;
+    result.env = live_ins;
+    for (const CompiledLoop &cl : program.loops) {
+        int64_t cover = cl.coverage;
+        int64_t j_main = n / cover;
+        int64_t remainder = n - j_main * cover;
+
+        result.cycles += machine.invocationOverhead;
+
+        LiveEnv carried_bridge;
+        if (j_main > 0) {
+            Expected<RunOutput> out = tryExecuteLoop(
+                arrays, cl.main, machine, mem, result.env, j_main, 0,
+                &cl.mainSchedule, limits);
+            if (!out.ok())
+                return out.status();
+            result.cycles += out.value().cycles;
+            for (auto &[name, v] : out.value().liveOuts)
+                result.env[name] = v;
+            carried_bridge = std::move(out.value().carriedFinal);
+            if (out.value().exited) {
+                // The loop terminated itself: the executor already
+                // selected the exiting replica's observable state.
+                continue;
+            }
+        }
+
+        if (remainder > 0) {
+            LiveEnv cleanup_env = result.env;
+            // The cleanup loop resumes every carried chain from the
+            // main loop's continuation state.
+            if (j_main > 0) {
+                for (const CarriedValue &cv : cl.cleanup.carried) {
+                    const std::string &in_name =
+                        cl.cleanup.valueInfo(cv.in).name;
+                    auto it = carried_bridge.find(in_name);
+                    if (it != carried_bridge.end()) {
+                        cleanup_env[cl.cleanup.valueInfo(cv.init)
+                                        .name] = it->second;
+                    }
+                }
+            }
+            Expected<RunOutput> out = tryExecuteLoop(
+                arrays, cl.cleanup, machine, mem, cleanup_env,
+                remainder, j_main * cover, &cl.cleanupSchedule,
+                limits);
+            if (!out.ok())
+                return out.status();
+            result.cycles += out.value().cycles;
+            for (auto &[name, v] : out.value().liveOuts)
+                result.env[name] = v;
+        }
+    }
+    return result;
 }
 
 Expected<ExecResult>
 tryRunReference(const Loop &loop, const ArrayTable &arrays,
                 const Machine &machine, MemoryImage &mem,
-                const LiveEnv &live_ins, int64_t n)
+                const LiveEnv &live_ins, int64_t n,
+                const ExecLimits &limits)
 {
     Status st = checkBindings(unboundLiveIns(loop, live_ins), loop.name);
     if (!st.ok())
         return st;
-    return runReference(loop, arrays, machine, mem, live_ins, n);
+    Expected<RunOutput> out = tryExecuteLoop(
+        arrays, loop, machine, mem, live_ins, n, 0, nullptr, limits);
+    if (!out.ok())
+        return out.status();
+    ExecResult result;
+    result.env = live_ins;
+    for (auto &[name, v] : out.value().liveOuts)
+        result.env[name] = v;
+    return result;
 }
 
 } // namespace selvec

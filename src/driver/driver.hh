@@ -268,23 +268,31 @@ std::vector<std::string> unboundLiveIns(const Loop &loop,
                                         const LiveEnv &live_ins);
 
 /**
- * runCompiled with the bindings checked first: an incomplete LiveEnv
- * (a malformed request, in service terms) is an InvalidInput status,
- * not a process death.
+ * runCompiled with the bindings checked first (an incomplete LiveEnv
+ * — a malformed request, in service terms — is an InvalidInput
+ * status, not a process death) and the execution bounded: every
+ * constituent loop runs under `limits` and the ambient
+ * deadline/cancellation context (see tryExecuteLoop). On a
+ * mid-sequence failure `mem` is partially executed; quarantine
+ * callers must discard the loop's results.
  */
 Expected<ExecResult> tryRunCompiled(const CompiledProgram &program,
                                     const ArrayTable &arrays,
                                     const Machine &machine,
                                     MemoryImage &mem,
-                                    const LiveEnv &live_ins, int64_t n);
+                                    const LiveEnv &live_ins, int64_t n,
+                                    const ExecLimits &limits = {});
 
-/** runReference with the bindings checked first. */
+/** runReference with the bindings checked first and the run bounded
+ *  (sequential mode: deadline/cancellation only — no cycle
+ *  watchdog). */
 Expected<ExecResult> tryRunReference(const Loop &loop,
                                      const ArrayTable &arrays,
                                      const Machine &machine,
                                      MemoryImage &mem,
                                      const LiveEnv &live_ins,
-                                     int64_t n);
+                                     int64_t n,
+                                     const ExecLimits &limits = {});
 
 } // namespace selvec
 

@@ -10,6 +10,7 @@
 #define SELVEC_DRIVER_EVALUATE_HH
 
 #include "driver/driver.hh"
+#include "support/deadline.hh"
 #include "workloads/workloads.hh"
 
 namespace selvec
@@ -35,12 +36,43 @@ struct LoopReport
     PartitionResult partition;
 };
 
+/**
+ * One quarantined loop: a kernel whose compile or bounded run failed
+ * (deadline, watchdog, cancellation, injected fault, bad bindings).
+ * Sibling loops complete normally; the suite report carries these
+ * entries instead of dying (DESIGN.md §10).
+ */
+struct LoopFailure
+{
+    std::string name;
+    Technique technique = Technique::ModuloOnly;
+
+    /** The failure itself (never Ok). */
+    Status status;
+
+    /** Wall-clock spent on the loop before it failed. Nondeterminism
+     *  stays out of documents: reportjson zeroes it unless
+     *  SELVEC_TIMINGS is set. */
+    int64_t elapsedNs = 0;
+
+    /** Degradation audit: which fallback tiers were attempted after
+     *  the primary compile failed, and how each fared. Compile
+     *  failures only (hasAudit false for simulation failures). */
+    CompileReport audit;
+    bool hasAudit = false;
+};
+
 struct SuiteReport
 {
     std::string suite;
     Technique technique = Technique::ModuloOnly;
     int64_t totalCycles = 0;
     std::vector<LoopReport> loops;
+
+    /** Quarantined loops, in suite order (empty on a clean run; such
+     *  a report is byte-identical to one from before quarantine
+     *  existed). */
+    std::vector<LoopFailure> failures;
 };
 
 struct EvaluateOptions
@@ -61,6 +93,25 @@ struct EvaluateOptions
      * DESIGN.md §8).
      */
     int jobs = 1;
+
+    /**
+     * Per-loop wall-clock budget in milliseconds (0: unlimited). The
+     * budget is PER LOOP, not per suite, so which loops trip it does
+     * not depend on sibling loops or on --jobs: every task gets a
+     * fresh deadline, and exactly the pathological kernels land in
+     * failures[] while the rest finish byte-identical to a clean run.
+     */
+    int64_t deadlineMs = 0;
+
+    /** Cooperative cancellation: when cancelled, unstarted loop tasks
+     *  (and in-flight long loops at their next poll) fail into
+     *  failures[] with ErrorCode::Cancelled. */
+    CancelToken cancel;
+
+    /** When non-empty: write a self-contained repro bundle (LIR +
+     *  machine + options + fault plan) for every failure under this
+     *  directory, replayable with selvec_replay. */
+    std::string reproDir;
 };
 
 /** Evaluate one suite under one technique. */

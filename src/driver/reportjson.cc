@@ -45,6 +45,39 @@ jsonOfLoopReport(const LoopReport &lr)
     return obj;
 }
 
+namespace
+{
+
+/** Whether wall-clock values may enter documents (SELVEC_TIMINGS).
+ *  Default off: timings vary run to run and would break the
+ *  documented byte-identity of --jobs 1 vs --jobs N documents. */
+bool
+includeTimings()
+{
+    const char *timings = std::getenv("SELVEC_TIMINGS");
+    return timings != nullptr && std::string(timings) != "0" &&
+           std::string(timings) != "";
+}
+
+} // anonymous namespace
+
+JsonValue
+jsonOfLoopFailure(const LoopFailure &failure)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", failure.name);
+    obj.set("technique", techniqueName(failure.technique));
+    obj.set("error_code", errorCodeName(failure.status.code()));
+    obj.set("stage", failure.status.stage());
+    obj.set("message", failure.status.message());
+    obj.set("elapsed_ms",
+            includeTimings() ? failure.elapsedNs / 1000000
+                             : static_cast<int64_t>(0));
+    if (failure.hasAudit)
+        obj.set("audit", jsonOfCompileReport(failure.audit));
+    return obj;
+}
+
 JsonValue
 jsonOfSuiteReport(const SuiteReport &sr)
 {
@@ -56,6 +89,14 @@ jsonOfSuiteReport(const SuiteReport &sr)
     for (const LoopReport &lr : sr.loops)
         loops.append(jsonOfLoopReport(lr));
     obj.set("loops", std::move(loops));
+    // Quarantined loops. The key appears only when a failure exists,
+    // so clean documents stay byte-identical to pre-quarantine ones.
+    if (!sr.failures.empty()) {
+        JsonValue failures = JsonValue::array();
+        for (const LoopFailure &failure : sr.failures)
+            failures.append(jsonOfLoopFailure(failure));
+        obj.set("failures", std::move(failures));
+    }
     return obj;
 }
 
@@ -173,11 +214,7 @@ attachObservability(JsonValue &doc)
     // they are zeroed (sample counts stay) unless explicitly asked
     // for. The trace tree is emitted in sorted sibling order for the
     // same reason.
-    const char *timings = std::getenv("SELVEC_TIMINGS");
-    bool include_ns =
-        timings != nullptr && std::string(timings) != "0" &&
-        std::string(timings) != "";
-    doc.set("stats", globalStats().toJson(include_ns));
+    doc.set("stats", globalStats().toJson(includeTimings()));
     doc.set("trace", traceToJson());
 }
 

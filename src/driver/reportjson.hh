@@ -29,7 +29,16 @@ extern const char *const kBenchSchema;
  *  cycles and weights. */
 JsonValue jsonOfLoopReport(const LoopReport &lr);
 
-/** One suite under one technique (loops in suite order). */
+/** One quarantined loop: name, technique, structured error code,
+ *  stage, message, elapsed_ms (zeroed unless SELVEC_TIMINGS — see
+ *  attachObservability) and the degradation audit when the failure
+ *  happened at compile time. */
+JsonValue jsonOfLoopFailure(const LoopFailure &failure);
+
+/** One suite under one technique (loops in suite order). A
+ *  "failures" array of jsonOfLoopFailure entries is appended only
+ *  when loops were quarantined: clean documents are byte-identical
+ *  to pre-quarantine ones. */
 JsonValue jsonOfSuiteReport(const SuiteReport &sr);
 
 /**

@@ -1,12 +1,15 @@
 #include "pipeline/modsched.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "analysis/recmii.hh"
 #include "machine/binpack.hh"
 #include "support/checkmode.hh"
+#include "support/deadline.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -349,6 +352,18 @@ tryScheduleAtIi(const Loop &loop, const DepGraph &graph,
             counters.maskHits += mrt.maskHitCount();
             return false;
         }
+        if (deadlineArmed()) {
+            // Checked alongside the placement budget: the budget
+            // bounds work per candidate II, the deadline bounds the
+            // whole search in wall-clock time (DESIGN.md §10).
+            Status trip = checkDeadline("modsched");
+            if (!trip) {
+                counters.code = trip.code();
+                counters.error = trip.str();
+                counters.maskHits += mrt.maskHitCount();
+                return false;
+            }
+        }
 
         // Highest-priority unscheduled op (height, then op order).
         SV_ASSERT(!ready.empty(), "worklist accounting broken");
@@ -465,6 +480,22 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
     TraceSpan span("modsched");
     ScheduleResult result;
 
+    // Zero is meaningful for every knob (an empty budget or search
+    // window, a disabled watchdog); only negative values are nonsense.
+    if (options.budgetFactor < 0 || options.maxIiFactor < 0 ||
+        options.maxIiSlack < 0 || options.watchdogFactor < 0) {
+        result.code = ErrorCode::InvalidInput;
+        result.error = strfmt(
+            "invalid schedule options: budgetFactor %d, maxIiFactor "
+            "%lld, maxIiSlack %lld and watchdogFactor %lld must all "
+            "be >= 0",
+            options.budgetFactor,
+            static_cast<long long>(options.maxIiFactor),
+            static_cast<long long>(options.maxIiSlack),
+            static_cast<long long>(options.watchdogFactor));
+        return result;
+    }
+
     std::vector<Opcode> opcodes;
     opcodes.reserve(static_cast<size_t>(lowered.numOps()));
     for (const Operation &op : lowered.ops)
@@ -510,6 +541,35 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
         return result;
     }
 
+    if (faultPointHit("modsched.stall")) {
+        // Simulated scheduler hang. Under an armed containment
+        // context this spins (sleeping) until the ambient deadline or
+        // cancellation trips — the test vehicle for "a pathological
+        // loop hangs the scheduler". Without one it fails instantly,
+        // so exhaustive fault sweeps stay fast and never wedge.
+        if (deadlineArmed()) {
+            Status trip = checkDeadline("modsched");
+            while (trip) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                trip = checkDeadline("modsched");
+            }
+            result.code = trip.code();
+            result.error = strfmt(
+                "fault injected at modsched.stall: scheduler hang on "
+                "loop '%s' contained: %s",
+                lowered.name.c_str(), trip.message().c_str());
+        } else {
+            result.code = ErrorCode::ScheduleBudgetExhausted;
+            result.error = strfmt(
+                "fault injected at modsched.stall: II search for loop "
+                "'%s' forced to fail (no deadline armed)",
+                lowered.name.c_str());
+        }
+        stats.add("modsched.failures");
+        return result;
+    }
+
     for (int64_t ii = result.mii; ii <= max_ii; ++ii) {
         ++result.attempts;
         // Heights depend only on the candidate II: compute once and
@@ -530,12 +590,21 @@ moduloSchedule(const Loop &lowered, const DepGraph &graph,
             stats.maxGauge("modsched.maxIi", result.schedule.ii);
             return result;
         }
+        if (result.code == ErrorCode::DeadlineExceeded ||
+            result.code == ErrorCode::Cancelled) {
+            // Retrying larger IIs cannot recover a tripped deadline.
+            break;
+        }
     }
     stats.add("modsched.attempts", result.attempts);
     stats.add("modsched.backtracks", result.backtracks);
     stats.add("modsched.readyPushes", result.readyPushes);
     stats.add("mrt.maskHits", result.maskHits);
     stats.add("modsched.failures");
+    if (result.code == ErrorCode::DeadlineExceeded ||
+        result.code == ErrorCode::Cancelled) {
+        return result;
+    }
     result.code = ErrorCode::ScheduleBudgetExhausted;
     result.error = strfmt(
         "no schedule found for loop '%s': tried II %lld..%lld "

@@ -35,6 +35,16 @@ struct ScheduleOptions
     /** Give up above mii * maxIiFactor + maxIiSlack. */
     int64_t maxIiFactor = 4;
     int64_t maxIiSlack = 64;
+
+    /**
+     * Simulator cycle-watchdog multiplier: a bounded run aborts with
+     * WatchdogTripped after watchdogFactor x the schedule's expected
+     * cycle count (see sim/executor.hh). Carried here so one options
+     * struct travels from the driver into both the scheduler and the
+     * bounded simulator; it does not influence the schedule itself
+     * and therefore stays out of the compile-cache key.
+     */
+    int64_t watchdogFactor = 16;
 };
 
 struct ScheduleResult

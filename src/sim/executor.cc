@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "sim/semantics.hh"
+#include "support/deadline.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -15,15 +17,23 @@ namespace selvec
 namespace
 {
 
+/** Internal unwind of a bounded run; caught by tryExecuteLoop. */
+struct ExecAbort
+{
+    Status status;
+};
+
 class Engine
 {
   public:
     Engine(const ArrayTable &arrays, const Loop &loop,
            const Machine &machine, MemoryImage &mem,
            const LiveEnv &live_ins, int64_t n_body, int64_t base,
-           const ModuloSchedule *schedule)
+           const ModuloSchedule *schedule,
+           const ExecLimits *limits = nullptr)
         : arrays(arrays), loop(loop), machine(machine), mem(mem),
           nBody(n_body), base(base), schedule(schedule),
+          limits(limits),
           globals(static_cast<size_t>(loop.numValues())),
           hasGlobal(static_cast<size_t>(loop.numValues()), false)
     {
@@ -430,6 +440,11 @@ class Engine
     runSequential()
     {
         for (int64_t j = 0; j < nBody; ++j) {
+            if (limits != nullptr && deadlineArmed()) {
+                Status trip = checkDeadline("sim");
+                if (!trip)
+                    throw ExecAbort{trip};
+            }
             for (OpId id = 0; id < loop.numOps(); ++id)
                 executeOp(j, id, -1);
         }
@@ -480,8 +495,51 @@ class Engine
                       return a.op < b.op;
                   });
 
+        // Cycle watchdog (bounded runs only): the expected completion
+        // comes from the schedule itself, so a valid schedule cannot
+        // trip the derived bound — it contains mis-scheduled
+        // pipelines whose event cycles run away, and the explicit
+        // maxCycles ceiling covers genuine-trip tests and replays.
+        int64_t max_cycles = 0;
+        if (limits != nullptr) {
+            int64_t expected = nBody * schedule->ii + completionSpan();
+            max_cycles = limits->maxCycles;
+            if (max_cycles <= 0 && limits->watchdogFactor > 0) {
+                max_cycles = limits->watchdogFactor *
+                             std::max<int64_t>(1, expected);
+            }
+            if (max_cycles > 0 && faultPointHit("sim.watchdog")) {
+                throw ExecAbort{Status::error(
+                    ErrorCode::WatchdogTripped, "sim",
+                    strfmt("fault injected at sim.watchdog: pipelined "
+                           "run of loop '%s' forced past its cycle "
+                           "bound of %lld",
+                           loop.name.c_str(),
+                           static_cast<long long>(max_cycles)))};
+            }
+        }
+
         int64_t completion = 0;
+        size_t processed = 0;
         for (const Event &e : events) {
+            if (max_cycles > 0 && e.cycle > max_cycles) {
+                throw ExecAbort{Status::error(
+                    ErrorCode::WatchdogTripped, "sim",
+                    strfmt("loop '%s': event due at cycle %lld "
+                           "exceeds the watchdog bound of %lld "
+                           "(%lld body iterations at II %lld)",
+                           loop.name.c_str(),
+                           static_cast<long long>(e.cycle),
+                           static_cast<long long>(max_cycles),
+                           static_cast<long long>(nBody),
+                           static_cast<long long>(schedule->ii)))};
+            }
+            if (limits != nullptr && (processed++ & 1023) == 0 &&
+                deadlineArmed()) {
+                Status trip = checkDeadline("sim");
+                if (!trip)
+                    throw ExecAbort{trip};
+            }
             executeOp(e.j, e.op, e.cycle);
             int64_t done =
                 e.cycle + machine.latency(loop.op(e.op).opcode);
@@ -497,6 +555,7 @@ class Engine
     int64_t nBody;
     int64_t base;
     const ModuloSchedule *schedule;
+    const ExecLimits *limits;   ///< non-null: bounded run
 
     std::vector<RtVal> globals;
     std::vector<bool> hasGlobal;
@@ -526,6 +585,39 @@ executeLoop(const ArrayTable &arrays, const Loop &loop,
     stats.add("sim.bodyIterations", out.bodyIterations);
     stats.add("sim.cycles", out.cycles);
     return out;
+}
+
+Expected<RunOutput>
+tryExecuteLoop(const ArrayTable &arrays, const Loop &loop,
+               const Machine &machine, MemoryImage &mem,
+               const LiveEnv &live_ins, int64_t n_body, int64_t base,
+               const ModuloSchedule *schedule, const ExecLimits &limits)
+{
+    if (n_body < 0) {
+        return Status::error(
+            ErrorCode::InvalidInput, "sim",
+            strfmt("loop '%s': negative iteration count %lld",
+                   loop.name.c_str(),
+                   static_cast<long long>(n_body)));
+    }
+    TraceSpan span(schedule != nullptr ? "sim.pipelined"
+                                       : "sim.reference");
+    try {
+        Engine engine(arrays, loop, machine, mem, live_ins, n_body,
+                      base, schedule, &limits);
+        RunOutput out = engine.run();
+        // A clean bounded run records exactly the stats of an
+        // unbounded one: boundedness must not perturb documents.
+        StatsRegistry &stats = globalStats();
+        stats.add(schedule != nullptr ? "sim.pipelinedRuns"
+                                      : "sim.referenceRuns");
+        stats.add("sim.bodyIterations", out.bodyIterations);
+        stats.add("sim.cycles", out.cycles);
+        return out;
+    } catch (const ExecAbort &abort) {
+        globalStats().add("sim.aborts");
+        return abort.status;
+    }
 }
 
 } // namespace selvec

@@ -29,6 +29,7 @@
 #include "pipeline/schedule.hh"
 #include "sim/memimage.hh"
 #include "sim/rtval.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
@@ -93,6 +94,41 @@ RunOutput executeLoop(const ArrayTable &arrays, const Loop &loop,
                       const LiveEnv &live_ins, int64_t n_body,
                       int64_t base = 0,
                       const ModuloSchedule *schedule = nullptr);
+
+/** Bounds on one bounded execution (tryExecuteLoop). */
+struct ExecLimits
+{
+    /**
+     * Cycle watchdog: a pipelined run aborts with WatchdogTripped
+     * once an event is due past watchdogFactor x the schedule's own
+     * expected completion (n_body * II + completion span), clamped
+     * below by 1. 0 disables the derived bound. A valid schedule can
+     * never trip it — it exists to contain mis-scheduled pipelines,
+     * and is exercised by the "sim.watchdog" fault site.
+     */
+    int64_t watchdogFactor = 0;
+
+    /** Explicit cycle ceiling; overrides the derived bound when > 0
+     *  (the genuine-trip path for tests and replay). */
+    int64_t maxCycles = 0;
+};
+
+/**
+ * Execute `loop` under the containment contract (DESIGN.md §10):
+ * like executeLoop, but the cycle watchdog of `limits` and the
+ * ambient deadline/cancellation context are checked during the run,
+ * and a trip returns a structured WatchdogTripped / DeadlineExceeded
+ * / Cancelled status instead of spinning. On failure `mem` (and any
+ * other out-of-band state) is partially executed — quarantine
+ * callers must treat the loop's results as void.
+ */
+Expected<RunOutput>
+tryExecuteLoop(const ArrayTable &arrays, const Loop &loop,
+               const Machine &machine, MemoryImage &mem,
+               const LiveEnv &live_ins, int64_t n_body,
+               int64_t base = 0,
+               const ModuloSchedule *schedule = nullptr,
+               const ExecLimits &limits = {});
 
 } // namespace selvec
 

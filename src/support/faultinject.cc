@@ -23,8 +23,14 @@ registry()
     static const std::vector<std::string> sites = {
         "partition.kl",       // core/partition.cc: KL partitioning
         "modsched.search",    // pipeline/modsched.cc: II search
+        "modsched.stall",     // pipeline/modsched.cc: simulated hang
+                              //   (stalls until the ambient deadline
+                              //   trips; fails instantly when no
+                              //   containment context is armed)
         "lowering.lower",     // pipeline/lowering.cc: pre-schedule
         "checker.validate",   // driver: schedule validation
+        "sim.watchdog",       // sim/executor.cc: forced watchdog trip
+                              //   (only hit during bounded runs)
     };
     return sites;
 }
@@ -163,6 +169,30 @@ bool
 faultPlanArmed()
 {
     return g_armed.load(std::memory_order_acquire);
+}
+
+FaultPlan
+currentFaultPlan()
+{
+    InjectState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.plan;
+}
+
+std::string
+faultPlanSpec(const FaultPlan &plan)
+{
+    std::string spec;
+    for (const auto &[site, fs] : plan.sites) {
+        if (!spec.empty())
+            spec += ',';
+        spec += site + ':';
+        if (fs.skip > 0)
+            spec += std::to_string(fs.skip) + '+';
+        spec += fs.failures < 0 ? std::string("*")
+                                : std::to_string(fs.failures);
+    }
+    return spec;
 }
 
 int

@@ -78,6 +78,14 @@ int faultHits(const std::string &site);
  *  keeping hit windows deterministic per site. */
 bool faultPlanArmed();
 
+/** A copy of the installed plan (empty when none). Repro bundles
+ *  record it so a replay arms the exact failure that was live. */
+FaultPlan currentFaultPlan();
+
+/** Format `plan` back into parseFaultPlan syntax
+ *  ("site:S+N,site:*"); round-trips through parseFaultPlan. */
+std::string faultPlanSpec(const FaultPlan &plan);
+
 /** Every registered injection-site name, for exhaustive sweeps. */
 const std::vector<std::string> &faultSiteNames();
 

@@ -15,6 +15,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::PartitionFailed:         return "partition-failed";
       case ErrorCode::IoError:                 return "io-error";
       case ErrorCode::Internal:                return "internal";
+      case ErrorCode::DeadlineExceeded:        return "deadline-exceeded";
+      case ErrorCode::Cancelled:               return "cancelled";
+      case ErrorCode::WatchdogTripped:         return "watchdog-tripped";
     }
     return "?";
 }

@@ -28,6 +28,9 @@ enum class ErrorCode : uint8_t {
     PartitionFailed,            ///< selective partitioning failed
     IoError,                    ///< file read/write failed
     Internal,                   ///< unexpected but recoverable
+    DeadlineExceeded,           ///< wall-clock deadline tripped
+    Cancelled,                  ///< caller requested cancellation
+    WatchdogTripped,            ///< simulator exceeded its cycle bound
 };
 
 /** Printable name of an error code ("schedule-budget-exhausted"). */

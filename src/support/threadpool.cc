@@ -48,30 +48,33 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-void
-ThreadPool::runInline(size_t n, const std::function<void(size_t)> &fn)
-{
-    for (size_t i = 0; i < n; ++i)
-        fn(i);
-}
-
-void
-ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+std::vector<std::exception_ptr>
+ThreadPool::parallelForAll(size_t n,
+                           const std::function<void(size_t)> &fn)
 {
     // Counters are recorded on every path (inline included) so the
     // emitted stats do not depend on --jobs.
     globalStats().add("pool.batches");
     globalStats().add("pool.tasks", static_cast<int64_t>(n));
+    std::vector<std::exception_ptr> errors(n);
     if (n == 0)
-        return;
+        return errors;
     if (workers.empty() || n <= 1 || tls_in_pool_task) {
-        runInline(n, fn);
-        return;
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        return errors;
     }
 
     std::unique_lock<std::mutex> lock(mutex);
     batchFn = &fn;
     batchTotal = n;
+    batchErrors = errors.data();
+    batchContext = currentDeadlineContext();
     nextIndex.store(0, std::memory_order_relaxed);
     doneCount = 0;
     ++batchId;
@@ -82,11 +85,20 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     doneCv.wait(lock, [&] { return doneCount == batchTotal; });
     batchFn = nullptr;
     batchTotal = 0;
-    std::exception_ptr err = firstError;
-    firstError = nullptr;
+    batchErrors = nullptr;
+    batchContext = DeadlineContext();
     lock.unlock();
-    if (err)
-        std::rethrow_exception(err);
+    return errors;
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    std::vector<std::exception_ptr> errors = parallelForAll(n, fn);
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
 }
 
 void
@@ -102,22 +114,31 @@ ThreadPool::workerMain()
         seenBatch = batchId;
         const std::function<void(size_t)> *fn = batchFn;
         size_t total = batchTotal;
+        std::exception_ptr *errors = batchErrors;
+        DeadlineContext context = batchContext;
         lock.unlock();
 
         size_t completed = 0;
         tls_in_pool_task = true;
-        while (true) {
-            size_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total)
-                break;
-            try {
-                (*fn)(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> guard(mutex);
-                if (!firstError)
-                    firstError = std::current_exception();
+        {
+            // Mirror the batch caller's deadline/cancellation context
+            // exactly, so a worker thread is bounded the same way the
+            // caller would be running the task inline.
+            ScopedDeadline adopt(ScopedDeadline::AdoptTag{}, context);
+            while (true) {
+                size_t i =
+                    nextIndex.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    break;
+                try {
+                    (*fn)(i);
+                } catch (...) {
+                    // Each index is claimed by exactly one worker, so
+                    // its error slot is written without a lock.
+                    errors[i] = std::current_exception();
+                }
+                ++completed;
             }
-            ++completed;
         }
         tls_in_pool_task = false;
 

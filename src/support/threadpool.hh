@@ -15,10 +15,20 @@
  * workers do run tasks, the caller never executes tasks itself; a
  * task that needs the caller's context (trace spans, stats sinks)
  * must capture it explicitly (TraceContextScope, ScopedStatsSink).
+ * The caller's deadline/cancellation context, by contrast, is
+ * republished automatically: every task of a batch runs under the
+ * DeadlineContext the caller had when it published the batch, so
+ * `--deadline-ms` bounds worker threads too (DESIGN.md §10).
  *
  * Re-entrancy: parallelFor called from inside a pool task runs the
  * nested batch inline on that worker — nesting never deadlocks and
  * never oversubscribes.
+ *
+ * Failure semantics: parallelForAll drains the whole batch and
+ * returns one exception_ptr slot per index (null = task succeeded),
+ * so no concurrent failure is ever dropped. parallelFor is a
+ * convenience wrapper that rethrows the lowest-index exception —
+ * deterministic at any job count.
  *
  * Every batch bumps the jobs-invariant `pool.batches` / `pool.tasks`
  * counters (never a thread count, which would vary with --jobs and
@@ -35,6 +45,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/deadline.hh"
 
 namespace selvec
 {
@@ -68,14 +80,23 @@ class ThreadPool
      * Run fn(0) .. fn(n-1), returning once all have finished. Inline
      * on the calling thread when the pool has one job, n <= 1, or the
      * call is re-entrant from a pool task; otherwise tasks run only
-     * on worker threads and the caller waits. The first exception a
-     * task throws is rethrown here after the batch drains.
+     * on worker threads and the caller waits. If any tasks threw, the
+     * lowest-index exception is rethrown after the batch drains.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
+    /**
+     * Like parallelFor, but collect instead of rethrow: the returned
+     * vector has one slot per index, null on success, the task's
+     * exception otherwise. Always drains the whole batch — one failed
+     * task never prevents its siblings from running, and no failure
+     * is lost. The quarantine layer of evaluateSuite builds on this.
+     */
+    std::vector<std::exception_ptr>
+    parallelForAll(size_t n, const std::function<void(size_t)> &fn);
+
   private:
     void workerMain();
-    void runInline(size_t n, const std::function<void(size_t)> &fn);
 
     const int jobCount;
     std::vector<std::thread> workers;
@@ -85,11 +106,12 @@ class ThreadPool
     std::condition_variable doneCv;  ///< caller: the batch drained
     const std::function<void(size_t)> *batchFn = nullptr;
     size_t batchTotal = 0;
+    std::exception_ptr *batchErrors = nullptr;  ///< one slot per index
+    DeadlineContext batchContext;    ///< caller's, adopted by workers
     std::atomic<size_t> nextIndex{0};
     size_t doneCount = 0;            ///< guarded by mutex
     uint64_t batchId = 0;            ///< guarded by mutex
     bool shutdown = false;           ///< guarded by mutex
-    std::exception_ptr firstError;   ///< guarded by mutex
 };
 
 } // namespace selvec

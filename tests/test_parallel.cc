@@ -87,6 +87,54 @@ TEST(ThreadPool, FirstExceptionPropagates)
     EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPool, CollectsEveryFailureNotJustTheFirst)
+{
+    // parallelForAll keeps one slot per index: concurrent failures
+    // are all observable, and they land at their own indices — the
+    // collect-all semantics suite quarantine is built on.
+    for (int jobs : {1, 4}) {
+        ThreadPool pool(jobs);
+        std::vector<std::exception_ptr> errors =
+            pool.parallelForAll(10, [&](size_t i) {
+                if (i % 3 == 0)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i) + " died");
+            });
+        ASSERT_EQ(errors.size(), 10u) << "jobs=" << jobs;
+        for (size_t i = 0; i < errors.size(); ++i) {
+            if (i % 3 != 0) {
+                EXPECT_EQ(errors[i], nullptr) << i;
+                continue;
+            }
+            ASSERT_NE(errors[i], nullptr) << i;
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const std::runtime_error &e) {
+                EXPECT_EQ(std::string(e.what()),
+                          "task " + std::to_string(i) + " died");
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailedIndex)
+{
+    // parallelFor's exception choice is deterministic: index order,
+    // not completion order.
+    ThreadPool pool(8);
+    for (int round = 0; round < 3; ++round) {
+        try {
+            pool.parallelFor(16, [&](size_t i) {
+                if (i == 5 || i == 11)
+                    throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "batch should have thrown";
+        } catch (const std::runtime_error &e) {
+            EXPECT_EQ(std::string(e.what()), "5");
+        }
+    }
+}
+
 TEST(ThreadPool, NestedParallelForRunsInline)
 {
     ThreadPool outer(4);

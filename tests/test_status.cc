@@ -78,6 +78,11 @@ TEST(Status, EveryCodeHasAName)
     EXPECT_STREQ(errorCodeName(ErrorCode::PartitionFailed),
                  "partition-failed");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+    EXPECT_STREQ(errorCodeName(ErrorCode::WatchdogTripped),
+                 "watchdog-tripped");
 }
 
 TEST(Expected, HoldsValue)

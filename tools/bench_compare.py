@@ -22,6 +22,13 @@ simulator, so any same-mode documents are comparable across machines;
 quick-mode and full-mode documents are NOT comparable (different
 workload weights) and the script refuses to compare them.
 
+Quarantined loops ("failures" arrays, present when a kernel tripped
+its deadline, the cycle watchdog or an injected fault) are tolerated:
+each one is reported with its suite, loop and error code, the
+quarantined loop simply drops out of the cycle pairing, and — since a
+quarantined loop in the candidate usually means a kernel silently
+stopped being compiled — candidate failures exit 1 under --strict.
+
 --counters switches to exact-match mode for documents that carry no
 cycle metrics (bench_hotpath): every numeric leaf shared by the two
 documents must be exactly equal, and a leaf present on only one side
@@ -58,6 +65,29 @@ def collect(node, path, out):
     elif isinstance(node, list):
         for i, value in enumerate(node):
             collect(value, f"{path}[{i}]", out)
+
+
+def collect_failures(node, path, out):
+    """Map each quarantined-loop entry ("failures" arrays of the
+    selvec-bench-v1 schema) to a one-line description."""
+    if isinstance(node, dict):
+        label = node.get("name") or node.get("suite")
+        for key, value in node.items():
+            leaf = f"{path}[{label}].{key}" if label else (
+                f"{path}.{key}" if path else key)
+            if key == "failures" and isinstance(value, list):
+                for entry in value:
+                    if not isinstance(entry, dict):
+                        continue
+                    out.append(
+                        f"{leaf}[{entry.get('name')}]: "
+                        f"{entry.get('error_code')} at "
+                        f"{entry.get('stage')}")
+            else:
+                collect_failures(value, leaf, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect_failures(value, f"{path}[{i}]", out)
 
 
 def is_timing_key(key):
@@ -163,6 +193,14 @@ def main():
         return compare_counters(base_doc, cand_doc,
                                 args.baseline, args.candidate)
 
+    base_failures, cand_failures = [], []
+    collect_failures(base_doc, "", base_failures)
+    collect_failures(cand_doc, "", cand_failures)
+    for line in base_failures:
+        print(f"warning: baseline quarantined loop: {line}")
+    for line in cand_failures:
+        print(f"warning: candidate quarantined loop: {line}")
+
     base, cand = {}, {}
     collect(base_doc, "", base)
     collect(cand_doc, "", cand)
@@ -199,6 +237,13 @@ def main():
     for ratio, path in worst:
         if ratio > 1.0:
             print(f"  {ratio:7.4f}  {path}")
+
+    if cand_failures:
+        verdict = (f"QUARANTINE: candidate carries "
+                   f"{len(cand_failures)} quarantined loop(s)")
+        if args.strict:
+            sys.exit(verdict)
+        print(f"warning: {verdict} (pass --strict to gate)")
 
     if geomean > 1.0 + args.threshold:
         verdict = (f"REGRESSION: geomean cycles up "

@@ -6,9 +6,11 @@ Usage: test_bench_compare.py BENCH_baseline.json [BENCH_hotpath.json]
 Checks that the comparator (a) passes a document against itself,
 (b) detects a synthetically injected 10% cycle regression under
 --strict, (c) stays warn-only (exit 0) without --strict, (d) refuses
-to compare documents from different modes, and (e) skips
-zero-baseline cycle metrics with a warning instead of dividing by
-zero or silently dropping them.
+to compare documents from different modes, (e) skips zero-baseline
+cycle metrics with a warning instead of dividing by zero or silently
+dropping them, and (j) tolerates a quarantined-loop "failures" array
+with a warning by default but gates candidate failures under
+--strict.
 
 Given the hot-path document, additionally checks --counters mode:
 (f) self-compare passes, (g) a single off-by-one counter fails,
@@ -205,6 +207,38 @@ def main():
               and "warning: skipping" in r.stdout
               and "non-positive cycles" in r.stdout
               and "ok: within threshold" in r.stdout)
+
+        # A candidate with a quarantined loop: warn-only by default,
+        # a gate under --strict; quarantined on the baseline side
+        # only warns even under --strict.
+        quarantined = copy.deepcopy(doc)
+        suites = quarantined.get("suites") or [quarantined]
+        suites[0]["failures"] = [{
+            "name": "ghost_loop",
+            "technique": "modulo",
+            "error_code": "deadline-exceeded",
+            "stage": "modsched",
+            "message": "deadline exceeded",
+            "elapsed_ms": 0,
+        }]
+        quar_path = os.path.join(tmp, "quarantined.json")
+        with open(quar_path, "w", encoding="utf-8") as f:
+            json.dump(quarantined, f)
+
+        r = run(baseline, quar_path)
+        check("candidate quarantine only warns by default",
+              r.returncode == 0
+              and "warning: candidate quarantined loop" in r.stdout
+              and "deadline-exceeded" in r.stdout)
+
+        r = run(baseline, quar_path, "--strict")
+        check("candidate quarantine gates under --strict",
+              r.returncode == 1 and "QUARANTINE" in r.stderr)
+
+        r = run(quar_path, baseline, "--strict")
+        check("baseline quarantine passes under --strict",
+              r.returncode == 0
+              and "warning: baseline quarantined loop" in r.stdout)
 
     if len(sys.argv) == 3:
         check_counters(sys.argv[2], check)

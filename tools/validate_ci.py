@@ -3,14 +3,17 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the six
+Checks that the workflow parses as YAML and still carries the seven
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
 (fuzzish label under ASan/UBSan), tsan (parallel + fuzzish labels
 under ThreadSanitizer), format, bench-smoke (jobs-determinism check,
-JSON artifact + baseline comparison), and perf-smoke (hotpath tests,
+JSON artifact + baseline comparison), perf-smoke (hotpath tests,
 SELVEC_CHECK_INCREMENTAL cross-check run, artifact upload and the
-exact-counter gate against BENCH_hotpath.json) — so a refactor of
-the workflow cannot silently drop one.  Registered as a ctest.
+exact-counter gate against BENCH_hotpath.json), and fuzz-smoke
+(containment label, the deadline-bounded selvec_fuzz sweep with
+--repro-dir and --replay-check, and the on-failure repro-bundle
+artifact upload) — so a refactor of the workflow cannot silently
+drop one.  Registered as a ctest.
 """
 
 import os
@@ -55,7 +58,7 @@ def main():
         fail("workflow has no jobs")
 
     for required in ("build-test", "sanitize", "tsan", "format",
-                     "bench-smoke", "perf-smoke"):
+                     "bench-smoke", "perf-smoke", "fuzz-smoke"):
         if required not in jobs:
             fail(f"required job missing: {required}")
 
@@ -109,8 +112,19 @@ def main():
         for step in jobs["perf-smoke"].get("steps", []))
     if "SELVEC_CHECK_INCREMENTAL" not in perf_env:
         fail("perf-smoke must run under SELVEC_CHECK_INCREMENTAL")
+    fuzz = steps_text("fuzz-smoke")
+    if "-L containment" not in fuzz:
+        fail("fuzz-smoke must run the containment ctest label")
+    if "selvec_fuzz" not in fuzz:
+        fail("fuzz-smoke must run the selvec_fuzz sweep")
+    if "--deadline-ms" not in fuzz:
+        fail("fuzz-smoke must bound each seed with --deadline-ms")
+    if "--repro-dir" not in fuzz or "--replay-check" not in fuzz:
+        fail("fuzz-smoke must write and replay-check repro bundles")
+    if "upload-artifact" not in fuzz:
+        fail("fuzz-smoke must upload repro bundles on failure")
 
-    print(f"ok: {os.path.relpath(path)} has all six contract lanes")
+    print(f"ok: {os.path.relpath(path)} has all seven contract lanes")
 
 
 if __name__ == "__main__":
