@@ -32,7 +32,16 @@
  *                   every quarantined loop (see selvec_replay);
  *   --faults SPEC   arm a fault-injection plan (parseFaultPlan
  *                   syntax, e.g. "modsched.stall:2+1") — the
- *                   containment-demo hook.
+ *                   containment-demo hook;
+ *   --cache-dir D   persistent on-disk compile cache directory
+ *                   (DESIGN.md §11): compiles load finished entries
+ *                   published by earlier runs, and publish their own.
+ *                   Documents are byte-identical cold or warm; the
+ *                   `cache.disk: ...` stderr summary reports the hit/
+ *                   miss/store/evict/corrupt counters for CI gating;
+ *   --cache-max-mb N
+ *                   size cap for --cache-dir; least-recently-used
+ *                   entries are evicted past it (0: unbounded).
  */
 
 #ifndef SELVEC_BENCH_BENCH_COMMON_HH
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "driver/compilecache.hh"
+#include "driver/diskcache.hh"
 #include "driver/evaluate.hh"
 #include "driver/reportjson.hh"
 #include "support/faultinject.hh"
@@ -61,6 +71,8 @@ struct BenchCli
     int64_t deadlineMs = 0;     ///< per-loop budget (0: unlimited)
     int64_t maxCyclesFactor = 0;    ///< watchdog factor (0: default)
     std::string reproDir;       ///< empty: no repro bundles
+    std::string cacheDir;       ///< empty: no on-disk cache
+    int64_t cacheMaxMb = 0;     ///< disk cache cap (0: unbounded)
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     const char *mode() const { return quick ? "quick" : "full"; }
@@ -120,12 +132,22 @@ struct BenchCli
                 armFaults(argv[++i]);
             } else if (arg.rfind("--faults=", 0) == 0) {
                 armFaults(arg.substr(9));
+            } else if (arg == "--cache-dir" && i + 1 < argc) {
+                cli.cacheDir = argv[++i];
+            } else if (arg.rfind("--cache-dir=", 0) == 0) {
+                cli.cacheDir = arg.substr(12);
+            } else if (arg == "--cache-max-mb" && i + 1 < argc) {
+                cli.cacheMaxMb = std::atoll(argv[++i]);
+            } else if (arg.rfind("--cache-max-mb=", 0) == 0) {
+                cli.cacheMaxMb = std::atoll(arg.c_str() + 15);
             } else if (arg == "--no-cache") {
                 compileCacheSetEnabled(false);
             } else {
                 cli.rest.push_back(arg);
             }
         }
+        if (!cli.cacheDir.empty())
+            diskCacheConfigure(cli.cacheDir, cli.cacheMaxMb);
         return cli;
     }
 };
@@ -154,6 +176,28 @@ finishBenchJson(const BenchCli &cli, JsonValue &doc)
     attachObservability(doc);
     if (writeJsonFile(cli.jsonPath, doc))
         std::printf("wrote %s\n", cli.jsonPath.c_str());
+}
+
+/**
+ * Print the disk-cache counters on stderr when --cache-dir is live.
+ * The counters are deliberately excluded from the JSON document
+ * (cold and warm runs must emit identical bytes), so this line is
+ * how operators and the cache-persist CI lane observe them.
+ */
+inline void
+printDiskCacheSummary(const BenchCli &cli)
+{
+    if (cli.cacheDir.empty())
+        return;
+    DiskCacheCounters c = diskCacheCounters();
+    std::fprintf(stderr,
+                 "cache.disk: hit=%lld miss=%lld store=%lld "
+                 "evict=%lld corrupt=%lld\n",
+                 static_cast<long long>(c.hit),
+                 static_cast<long long>(c.miss),
+                 static_cast<long long>(c.store),
+                 static_cast<long long>(c.evict),
+                 static_cast<long long>(c.corrupt));
 }
 
 } // namespace selvec

@@ -261,5 +261,6 @@ main(int argc, char **argv)
 
     doc.set("classes", std::move(classes));
     finishBenchJson(cli, doc);
+    printDiskCacheSummary(cli);
     return 0;
 }

@@ -138,5 +138,6 @@ main(int argc, char **argv)
     }
     doc.set("suites", std::move(suites));
     finishBenchJson(cli, doc);
+    printDiskCacheSummary(cli);
     return 0;
 }

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * selvec_serve: the batch compile service front-end.
+ *
+ *   selvec_serve [requests.jsonl] [--output FILE] [--jobs N]
+ *                [--cache-dir DIR] [--cache-max-mb N] [--no-cache]
+ *
+ * Reads JSON-lines compile requests (selvec-repro-v1 documents, one
+ * per line; see docs/DRIVER.md for the line protocol) from a file or
+ * stdin, deduplicates identical in-flight requests, fans them out
+ * over the thread pool, and streams one selvec-serve-v1 response
+ * line per request to stdout (or --output), in input order. With
+ * --cache-dir, compiles hit the persistent on-disk cache and newly
+ * compiled programs are published to it for the next batch.
+ *
+ * A batch summary and the disk-cache counters go to stderr, so
+ * stdout stays pure protocol.
+ *
+ * Exit status: 0 when every request succeeded, 1 when any request
+ * failed or was malformed (the batch still ran to completion), 2 on
+ * usage or input-file errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "driver/compilecache.hh"
+#include "driver/diskcache.hh"
+#include "service/serve.hh"
+
+using namespace selvec;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: selvec_serve [requests.jsonl] [--output FILE]\n"
+        "                    [--jobs N] [--cache-dir DIR]\n"
+        "                    [--cache-max-mb N] [--no-cache]\n");
+    return 2;
+}
+
+/** Parse "--flag VAL" or "--flag=VAL"; advances *i past the value. */
+bool
+flagValue(int argc, char **argv, int *i, const char *flag,
+          const char **out)
+{
+    size_t n = std::strlen(flag);
+    if (std::strncmp(argv[*i], flag, n) != 0)
+        return false;
+    if (argv[*i][n] == '=') {
+        *out = argv[*i] + n + 1;
+        return true;
+    }
+    if (argv[*i][n] == '\0' && *i + 1 < argc) {
+        *out = argv[++*i];
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *inputPath = nullptr;
+    const char *outputPath = nullptr;
+    const char *cacheDir = nullptr;
+    const char *value = nullptr;
+    int64_t cacheMaxMb = 0;
+    ServeOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        if (flagValue(argc, argv, &i, "--output", &value)) {
+            outputPath = value;
+        } else if (flagValue(argc, argv, &i, "--jobs", &value)) {
+            options.jobs = std::atoi(value);
+        } else if (flagValue(argc, argv, &i, "--cache-dir", &value)) {
+            cacheDir = value;
+        } else if (flagValue(argc, argv, &i, "--cache-max-mb",
+                             &value)) {
+            cacheMaxMb = std::atoll(value);
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            compileCacheSetEnabled(false);
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
+            return usage();
+        } else if (inputPath == nullptr) {
+            inputPath = argv[i];
+        } else {
+            return usage();
+        }
+    }
+
+    if (cacheDir != nullptr)
+        diskCacheConfigure(cacheDir, cacheMaxMb);
+
+    std::ifstream inFile;
+    if (inputPath != nullptr) {
+        inFile.open(inputPath);
+        if (!inFile) {
+            std::fprintf(stderr,
+                         "selvec_serve: cannot open '%s'\n",
+                         inputPath);
+            return 2;
+        }
+    }
+    std::istream &in = inputPath != nullptr
+                           ? static_cast<std::istream &>(inFile)
+                           : std::cin;
+
+    std::ofstream outFile;
+    if (outputPath != nullptr) {
+        outFile.open(outputPath, std::ios::trunc);
+        if (!outFile) {
+            std::fprintf(stderr,
+                         "selvec_serve: cannot write '%s'\n",
+                         outputPath);
+            return 2;
+        }
+    }
+    std::ostream &out = outputPath != nullptr
+                            ? static_cast<std::ostream &>(outFile)
+                            : std::cout;
+
+    ServeSummary summary = serveBatch(in, out, options);
+
+    std::fprintf(stderr,
+                 "selvec_serve: %lld requests, %lld ok, %lld failed, "
+                 "%lld malformed, %lld deduped\n",
+                 static_cast<long long>(summary.requests),
+                 static_cast<long long>(summary.ok),
+                 static_cast<long long>(summary.failed),
+                 static_cast<long long>(summary.malformed),
+                 static_cast<long long>(summary.deduped));
+    DiskCacheCounters c = diskCacheCounters();
+    std::fprintf(stderr,
+                 "cache.disk: hit=%lld miss=%lld store=%lld "
+                 "evict=%lld corrupt=%lld\n",
+                 static_cast<long long>(c.hit),
+                 static_cast<long long>(c.miss),
+                 static_cast<long long>(c.store),
+                 static_cast<long long>(c.evict),
+                 static_cast<long long>(c.corrupt));
+
+    return summary.failed > 0 || summary.malformed > 0 ? 1 : 0;
+}

@@ -16,6 +16,8 @@ bool g_cache_enabled = true;
 
 thread_local int tls_bypass_depth = 0;
 
+thread_local CompileSource tls_compile_source = CompileSource::None;
+
 /** Every semantic field of the machine, never its name: two machines
  *  that schedule identically must share cache entries. */
 void
@@ -163,6 +165,30 @@ scheduleCache()
 {
     static StructuralCache<ScheduleCacheValue> cache;
     return cache;
+}
+
+const char *
+compileSourceName(CompileSource source)
+{
+    switch (source) {
+      case CompileSource::None: return "none";
+      case CompileSource::Memory: return "memory";
+      case CompileSource::Disk: return "disk";
+      case CompileSource::Compiled: return "compiled";
+    }
+    return "none";
+}
+
+CompileSource
+lastCompileSource()
+{
+    return tls_compile_source;
+}
+
+void
+noteCompileSource(CompileSource source)
+{
+    tls_compile_source = source;
 }
 
 std::vector<StatEntry>

@@ -218,6 +218,25 @@ StructuralCache<ScheduleCacheValue> &scheduleCache();
  *  form stored as a value's statsDelta. */
 std::vector<StatEntry> captureStatsDelta(const StatsRegistry &registry);
 
+/**
+ * Where this thread's most recent tryCompileLoop result came from:
+ * the in-memory structural cache, the on-disk cache, or a fresh
+ * compile. `None` until the thread completes a tryCompileLoop. The
+ * serving layer reports this as each response's cache provenance;
+ * requests that bypass the cache (armed deadline/fault plan,
+ * --no-cache) always read `Compiled`.
+ */
+enum class CompileSource : uint8_t { None, Memory, Disk, Compiled };
+
+/** Printable name ("none", "memory", "disk", "compiled"). */
+const char *compileSourceName(CompileSource source);
+
+/** This thread's most recent compile provenance. */
+CompileSource lastCompileSource();
+
+/** Record this thread's compile provenance (driver internal). */
+void noteCompileSource(CompileSource source);
+
 } // namespace selvec
 
 #endif // SELVEC_DRIVER_COMPILECACHE_HH

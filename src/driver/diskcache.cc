@@ -1,0 +1,1184 @@
+#include "driver/diskcache.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace selvec
+{
+
+const char *const kDiskCacheSchema = "selvec-cache-v1";
+
+namespace
+{
+
+Status
+badEntry(const std::string &what)
+{
+    return Status::error(ErrorCode::InvalidInput, "diskcache", what);
+}
+
+/** Resolve a serialized enum name back through its name function. */
+template <typename E, typename NameFn>
+bool
+enumOfName(const std::string &name, int count, NameFn nameOf, E *out)
+{
+    for (int i = 0; i < count; ++i) {
+        E e = static_cast<E>(i);
+        if (name == nameOf(e)) {
+            *out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
+// -------------------------------------------------------------------
+// Field-level serializers. The LIR writer cannot carry a *lowered*
+// loop (splats, reduction constructors, per-replica lane tables have
+// no textual form), so cached values serialize the Loop structure
+// field by field. Enums travel as names, ids as integers.
+
+JsonValue
+jsonOfAffineRef(const AffineRef &ref)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("array", JsonValue(static_cast<int64_t>(ref.array)));
+    doc.set("scale", JsonValue(ref.scale));
+    doc.set("offset", JsonValue(ref.offset));
+    return doc;
+}
+
+Expected<AffineRef>
+affineRefOfJson(const JsonValue &doc)
+{
+    AffineRef ref;
+    if (const JsonValue *v = doc.find("array"))
+        ref.array = static_cast<ArrayId>(v->intValue());
+    if (const JsonValue *v = doc.find("scale"))
+        ref.scale = v->intValue();
+    if (const JsonValue *v = doc.find("offset"))
+        ref.offset = v->intValue();
+    return ref;
+}
+
+JsonValue
+jsonOfIdArray(const std::vector<ValueId> &ids)
+{
+    JsonValue arr = JsonValue::array();
+    for (ValueId v : ids)
+        arr.append(JsonValue(static_cast<int64_t>(v)));
+    return arr;
+}
+
+std::vector<ValueId>
+idArrayOfJson(const JsonValue &arr)
+{
+    std::vector<ValueId> out;
+    for (const JsonValue &v : arr.items())
+        out.push_back(static_cast<ValueId>(v.intValue()));
+    return out;
+}
+
+Expected<Opcode>
+opcodeOfJson(const JsonValue &doc, const char *field)
+{
+    const JsonValue *v = doc.find(field);
+    if (v == nullptr)
+        return badEntry(std::string("missing opcode field '") + field +
+                        "'");
+    Opcode op = opcodeFromName(v->stringValue().c_str());
+    if (op == Opcode::NumOpcodes)
+        return badEntry("unknown opcode '" + v->stringValue() + "'");
+    return op;
+}
+
+JsonValue
+jsonOfLoop(const Loop &loop)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", JsonValue(loop.name));
+    doc.set("coverage",
+            JsonValue(static_cast<int64_t>(loop.coverage)));
+
+    JsonValue values = JsonValue::array();
+    for (const ValueInfo &info : loop.values) {
+        JsonValue v = JsonValue::object();
+        v.set("type", JsonValue(typeName(info.type)));
+        v.set("name", JsonValue(info.name));
+        values.append(v);
+    }
+    doc.set("values", values);
+
+    doc.set("live_ins", jsonOfIdArray(loop.liveIns));
+    doc.set("live_outs", jsonOfIdArray(loop.liveOuts));
+
+    JsonValue carried = JsonValue::array();
+    for (const CarriedValue &c : loop.carried) {
+        JsonValue entry = JsonValue::object();
+        entry.set("in", JsonValue(static_cast<int64_t>(c.in)));
+        entry.set("update",
+                  JsonValue(static_cast<int64_t>(c.update)));
+        entry.set("init", JsonValue(static_cast<int64_t>(c.init)));
+        carried.append(entry);
+    }
+    doc.set("carried", carried);
+
+    JsonValue ops = JsonValue::array();
+    for (const Operation &op : loop.ops) {
+        JsonValue entry = JsonValue::object();
+        entry.set("opcode", JsonValue(opName(op.opcode)));
+        entry.set("dest", JsonValue(static_cast<int64_t>(op.dest)));
+        entry.set("srcs", jsonOfIdArray(op.srcs));
+        if (op.ref.valid())
+            entry.set("ref", jsonOfAffineRef(op.ref));
+        if (op.lane != 0)
+            entry.set("lane",
+                      JsonValue(static_cast<int64_t>(op.lane)));
+        if (op.iimm != 0)
+            entry.set("iimm", JsonValue(op.iimm));
+        if (op.fimm != 0.0)
+            entry.set("fimm", JsonValue(op.fimm));
+        if (op.replica != 0)
+            entry.set("replica",
+                      JsonValue(static_cast<int64_t>(op.replica)));
+        if (op.origin != kNoOp)
+            entry.set("origin",
+                      JsonValue(static_cast<int64_t>(op.origin)));
+        ops.append(entry);
+    }
+    doc.set("ops", ops);
+
+    JsonValue preloads = JsonValue::array();
+    for (const PreLoad &p : loop.preloads) {
+        JsonValue entry = JsonValue::object();
+        entry.set("dest", JsonValue(static_cast<int64_t>(p.dest)));
+        entry.set("ref", jsonOfAffineRef(p.ref));
+        entry.set("vector", JsonValue(p.vector));
+        preloads.append(entry);
+    }
+    doc.set("preloads", preloads);
+
+    JsonValue poststores = JsonValue::array();
+    for (const PostStore &p : loop.poststores) {
+        JsonValue entry = JsonValue::object();
+        entry.set("src", JsonValue(static_cast<int64_t>(p.src)));
+        entry.set("lane", JsonValue(static_cast<int64_t>(p.lane)));
+        entry.set("ref", jsonOfAffineRef(p.ref));
+        poststores.append(entry);
+    }
+    doc.set("poststores", poststores);
+
+    JsonValue splats = JsonValue::array();
+    for (const SplatIn &s : loop.splatIns) {
+        JsonValue entry = JsonValue::object();
+        entry.set("vec", JsonValue(static_cast<int64_t>(s.vec)));
+        entry.set("scalar",
+                  JsonValue(static_cast<int64_t>(s.scalar)));
+        splats.append(entry);
+    }
+    doc.set("splat_ins", splats);
+
+    JsonValue reduceInits = JsonValue::array();
+    for (const ReduceInit &r : loop.reduceInits) {
+        JsonValue entry = JsonValue::object();
+        entry.set("vec", JsonValue(static_cast<int64_t>(r.vec)));
+        entry.set("scalar",
+                  JsonValue(static_cast<int64_t>(r.scalar)));
+        entry.set("op", JsonValue(opName(r.op)));
+        reduceInits.append(entry);
+    }
+    doc.set("reduce_inits", reduceInits);
+
+    JsonValue postReduces = JsonValue::array();
+    for (const PostReduce &r : loop.postReduces) {
+        JsonValue entry = JsonValue::object();
+        entry.set("dest", JsonValue(static_cast<int64_t>(r.dest)));
+        entry.set("src_vec",
+                  JsonValue(static_cast<int64_t>(r.srcVec)));
+        entry.set("op", JsonValue(opName(r.op)));
+        entry.set("chain_in",
+                  JsonValue(static_cast<int64_t>(r.chainIn)));
+        postReduces.append(entry);
+    }
+    doc.set("post_reduces", postReduces);
+
+    JsonValue liveOutLanes = JsonValue::array();
+    for (const std::vector<ValueId> &lanes : loop.liveOutLanes)
+        liveOutLanes.append(jsonOfIdArray(lanes));
+    doc.set("live_out_lanes", liveOutLanes);
+
+    JsonValue carriedLanes = JsonValue::array();
+    for (const std::vector<ValueId> &lanes : loop.carriedUpdateLanes)
+        carriedLanes.append(jsonOfIdArray(lanes));
+    doc.set("carried_update_lanes", carriedLanes);
+
+    return doc;
+}
+
+Expected<Loop>
+loopOfJson(const JsonValue &doc)
+{
+    Loop loop;
+    if (const JsonValue *v = doc.find("name"))
+        loop.name = v->stringValue();
+    if (const JsonValue *v = doc.find("coverage"))
+        loop.coverage = static_cast<int>(v->intValue());
+
+    const JsonValue *values = doc.find("values");
+    if (values == nullptr)
+        return badEntry("loop needs a 'values' array");
+    for (const JsonValue &entry : values->items()) {
+        const JsonValue *type = entry.find("type");
+        const JsonValue *name = entry.find("name");
+        if (type == nullptr || name == nullptr)
+            return badEntry("loop value needs 'type' and 'name'");
+        ValueInfo info;
+        info.type = typeFromName(type->stringValue());
+        info.name = name->stringValue();
+        loop.values.push_back(info);
+    }
+
+    if (const JsonValue *v = doc.find("live_ins"))
+        loop.liveIns = idArrayOfJson(*v);
+    if (const JsonValue *v = doc.find("live_outs"))
+        loop.liveOuts = idArrayOfJson(*v);
+
+    if (const JsonValue *carried = doc.find("carried")) {
+        for (const JsonValue &entry : carried->items()) {
+            CarriedValue c;
+            if (const JsonValue *v = entry.find("in"))
+                c.in = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("update"))
+                c.update = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("init"))
+                c.init = static_cast<ValueId>(v->intValue());
+            loop.carried.push_back(c);
+        }
+    }
+
+    const JsonValue *ops = doc.find("ops");
+    if (ops == nullptr)
+        return badEntry("loop needs an 'ops' array");
+    for (const JsonValue &entry : ops->items()) {
+        Expected<Opcode> opcode = opcodeOfJson(entry, "opcode");
+        if (!opcode.ok())
+            return opcode.status();
+        Operation op;
+        op.opcode = opcode.value();
+        if (const JsonValue *v = entry.find("dest"))
+            op.dest = static_cast<ValueId>(v->intValue());
+        if (const JsonValue *v = entry.find("srcs"))
+            op.srcs = idArrayOfJson(*v);
+        if (const JsonValue *v = entry.find("ref")) {
+            Expected<AffineRef> ref = affineRefOfJson(*v);
+            if (!ref.ok())
+                return ref.status();
+            op.ref = ref.value();
+        }
+        if (const JsonValue *v = entry.find("lane"))
+            op.lane = static_cast<int>(v->intValue());
+        if (const JsonValue *v = entry.find("iimm"))
+            op.iimm = v->intValue();
+        if (const JsonValue *v = entry.find("fimm"))
+            op.fimm = v->numberValue();
+        if (const JsonValue *v = entry.find("replica"))
+            op.replica = static_cast<int>(v->intValue());
+        if (const JsonValue *v = entry.find("origin"))
+            op.origin = static_cast<OpId>(v->intValue());
+        loop.ops.push_back(std::move(op));
+    }
+
+    if (const JsonValue *preloads = doc.find("preloads")) {
+        for (const JsonValue &entry : preloads->items()) {
+            PreLoad p;
+            if (const JsonValue *v = entry.find("dest"))
+                p.dest = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("ref")) {
+                Expected<AffineRef> ref = affineRefOfJson(*v);
+                if (!ref.ok())
+                    return ref.status();
+                p.ref = ref.value();
+            }
+            if (const JsonValue *v = entry.find("vector"))
+                p.vector = v->boolValue();
+            loop.preloads.push_back(p);
+        }
+    }
+
+    if (const JsonValue *poststores = doc.find("poststores")) {
+        for (const JsonValue &entry : poststores->items()) {
+            PostStore p;
+            if (const JsonValue *v = entry.find("src"))
+                p.src = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("lane"))
+                p.lane = static_cast<int>(v->intValue());
+            if (const JsonValue *v = entry.find("ref")) {
+                Expected<AffineRef> ref = affineRefOfJson(*v);
+                if (!ref.ok())
+                    return ref.status();
+                p.ref = ref.value();
+            }
+            loop.poststores.push_back(p);
+        }
+    }
+
+    if (const JsonValue *splats = doc.find("splat_ins")) {
+        for (const JsonValue &entry : splats->items()) {
+            SplatIn s;
+            if (const JsonValue *v = entry.find("vec"))
+                s.vec = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("scalar"))
+                s.scalar = static_cast<ValueId>(v->intValue());
+            loop.splatIns.push_back(s);
+        }
+    }
+
+    if (const JsonValue *inits = doc.find("reduce_inits")) {
+        for (const JsonValue &entry : inits->items()) {
+            ReduceInit r;
+            if (const JsonValue *v = entry.find("vec"))
+                r.vec = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("scalar"))
+                r.scalar = static_cast<ValueId>(v->intValue());
+            Expected<Opcode> op = opcodeOfJson(entry, "op");
+            if (!op.ok())
+                return op.status();
+            r.op = op.value();
+            loop.reduceInits.push_back(r);
+        }
+    }
+
+    if (const JsonValue *reduces = doc.find("post_reduces")) {
+        for (const JsonValue &entry : reduces->items()) {
+            PostReduce r;
+            if (const JsonValue *v = entry.find("dest"))
+                r.dest = static_cast<ValueId>(v->intValue());
+            if (const JsonValue *v = entry.find("src_vec"))
+                r.srcVec = static_cast<ValueId>(v->intValue());
+            Expected<Opcode> op = opcodeOfJson(entry, "op");
+            if (!op.ok())
+                return op.status();
+            r.op = op.value();
+            if (const JsonValue *v = entry.find("chain_in"))
+                r.chainIn = static_cast<ValueId>(v->intValue());
+            loop.postReduces.push_back(r);
+        }
+    }
+
+    if (const JsonValue *lanes = doc.find("live_out_lanes"))
+        for (const JsonValue &row : lanes->items())
+            loop.liveOutLanes.push_back(idArrayOfJson(row));
+    if (const JsonValue *lanes = doc.find("carried_update_lanes"))
+        for (const JsonValue &row : lanes->items())
+            loop.carriedUpdateLanes.push_back(idArrayOfJson(row));
+
+    return loop;
+}
+
+JsonValue
+jsonOfArrayTable(const ArrayTable &arrays)
+{
+    JsonValue arr = JsonValue::array();
+    for (ArrayId a = 0; a < arrays.size(); ++a) {
+        const ArrayInfo &info = arrays[a];
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue(info.name));
+        entry.set("elem_type", JsonValue(typeName(info.elemType)));
+        entry.set("size", JsonValue(info.size));
+        entry.set("base_align", JsonValue(info.baseAlign));
+        entry.set("synthesized", JsonValue(info.synthesized));
+        arr.append(entry);
+    }
+    return arr;
+}
+
+Expected<ArrayTable>
+arrayTableOfJson(const JsonValue &doc)
+{
+    ArrayTable arrays;
+    for (const JsonValue &entry : doc.items()) {
+        const JsonValue *name = entry.find("name");
+        if (name == nullptr)
+            return badEntry("array entry needs 'name'");
+        ArrayInfo info;
+        info.name = name->stringValue();
+        if (const JsonValue *v = entry.find("elem_type"))
+            info.elemType = typeFromName(v->stringValue());
+        if (const JsonValue *v = entry.find("size"))
+            info.size = v->intValue();
+        if (const JsonValue *v = entry.find("base_align"))
+            info.baseAlign = v->intValue();
+        if (const JsonValue *v = entry.find("synthesized"))
+            info.synthesized = v->boolValue();
+        arrays.add(info);
+    }
+    return arrays;
+}
+
+JsonValue
+jsonOfSchedule(const ModuloSchedule &schedule)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("ii", JsonValue(schedule.ii));
+    JsonValue time = JsonValue::array();
+    for (int64_t t : schedule.time)
+        time.append(JsonValue(t));
+    doc.set("time", time);
+    JsonValue units = JsonValue::array();
+    for (const std::vector<UnitUse> &uses : schedule.units) {
+        JsonValue row = JsonValue::array();
+        for (const UnitUse &u : uses) {
+            JsonValue use = JsonValue::object();
+            use.set("unit", JsonValue(static_cast<int64_t>(u.unit)));
+            use.set("start", JsonValue(u.start));
+            use.set("cycles",
+                    JsonValue(static_cast<int64_t>(u.cycles)));
+            row.append(use);
+        }
+        units.append(row);
+    }
+    doc.set("units", units);
+    return doc;
+}
+
+Expected<ModuloSchedule>
+scheduleOfJson(const JsonValue &doc)
+{
+    ModuloSchedule schedule;
+    if (const JsonValue *v = doc.find("ii"))
+        schedule.ii = v->intValue();
+    if (const JsonValue *time = doc.find("time"))
+        for (const JsonValue &t : time->items())
+            schedule.time.push_back(t.intValue());
+    if (const JsonValue *units = doc.find("units")) {
+        for (const JsonValue &row : units->items()) {
+            std::vector<UnitUse> uses;
+            for (const JsonValue &entry : row.items()) {
+                UnitUse u{0, 0, 0};
+                if (const JsonValue *v = entry.find("unit"))
+                    u.unit = static_cast<int>(v->intValue());
+                if (const JsonValue *v = entry.find("start"))
+                    u.start = v->intValue();
+                if (const JsonValue *v = entry.find("cycles"))
+                    u.cycles = static_cast<int>(v->intValue());
+                uses.push_back(u);
+            }
+            schedule.units.push_back(std::move(uses));
+        }
+    }
+    if (schedule.units.size() != schedule.time.size())
+        return badEntry("schedule 'units' and 'time' disagree");
+    return schedule;
+}
+
+JsonValue
+jsonOfPartition(const PartitionResult &partition)
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue vectorize = JsonValue::array();
+    for (bool b : partition.vectorize)
+        vectorize.append(JsonValue(b));
+    doc.set("vectorize", vectorize);
+    doc.set("best_cost", JsonValue(partition.bestCost));
+    doc.set("all_scalar_cost", JsonValue(partition.allScalarCost));
+    doc.set("all_vector_cost", JsonValue(partition.allVectorCost));
+    doc.set("iterations",
+            JsonValue(static_cast<int64_t>(partition.iterations)));
+    doc.set("moves_evaluated",
+            JsonValue(
+                static_cast<int64_t>(partition.movesEvaluated)));
+    doc.set("moves_committed",
+            JsonValue(
+                static_cast<int64_t>(partition.movesCommitted)));
+    doc.set("crossing_values",
+            JsonValue(
+                static_cast<int64_t>(partition.crossingValues)));
+    doc.set("deadline_stopped", JsonValue(partition.deadlineStopped));
+    return doc;
+}
+
+PartitionResult
+partitionOfJson(const JsonValue &doc)
+{
+    PartitionResult partition;
+    if (const JsonValue *v = doc.find("vectorize"))
+        for (const JsonValue &b : v->items())
+            partition.vectorize.push_back(b.boolValue());
+    if (const JsonValue *v = doc.find("best_cost"))
+        partition.bestCost = v->intValue();
+    if (const JsonValue *v = doc.find("all_scalar_cost"))
+        partition.allScalarCost = v->intValue();
+    if (const JsonValue *v = doc.find("all_vector_cost"))
+        partition.allVectorCost = v->intValue();
+    if (const JsonValue *v = doc.find("iterations"))
+        partition.iterations = static_cast<int>(v->intValue());
+    if (const JsonValue *v = doc.find("moves_evaluated"))
+        partition.movesEvaluated = static_cast<int>(v->intValue());
+    if (const JsonValue *v = doc.find("moves_committed"))
+        partition.movesCommitted = static_cast<int>(v->intValue());
+    if (const JsonValue *v = doc.find("crossing_values"))
+        partition.crossingValues = static_cast<int>(v->intValue());
+    if (const JsonValue *v = doc.find("deadline_stopped"))
+        partition.deadlineStopped = v->boolValue();
+    return partition;
+}
+
+JsonValue
+jsonOfStatus(const Status &status)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("code", JsonValue(errorCodeName(status.code())));
+    doc.set("stage", JsonValue(status.stage()));
+    doc.set("message", JsonValue(status.message()));
+    return doc;
+}
+
+/** Parse a serialized Status into `out`; returns the parse outcome
+ *  (Expected<Status> would be ill-formed — its two constructors
+ *  collapse into one overload). */
+Status
+statusOfJson(const JsonValue &doc, Status &out)
+{
+    ErrorCode code = ErrorCode::Ok;
+    if (const JsonValue *v = doc.find("code")) {
+        if (!enumOfName(
+                v->stringValue(),
+                static_cast<int>(ErrorCode::WatchdogTripped) + 1,
+                errorCodeName, &code))
+            return badEntry("unknown status code '" +
+                            v->stringValue() + "'");
+    }
+    if (code == ErrorCode::Ok) {
+        out = Status::success();
+        return Status::success();
+    }
+    std::string stage = "diskcache";
+    std::string message;
+    if (const JsonValue *v = doc.find("stage"))
+        stage = v->stringValue();
+    if (const JsonValue *v = doc.find("message"))
+        message = v->stringValue();
+    out = Status::error(code, stage, message);
+    return Status::success();
+}
+
+JsonValue
+jsonOfStatsDelta(const std::vector<StatEntry> &delta)
+{
+    JsonValue arr = JsonValue::array();
+    for (const StatEntry &e : delta) {
+        JsonValue entry = JsonValue::object();
+        entry.set("key", JsonValue(e.key));
+        entry.set("kind",
+                  JsonValue(static_cast<int64_t>(e.kind)));
+        entry.set("value", JsonValue(e.value));
+        entry.set("samples", JsonValue(e.samples));
+        arr.append(entry);
+    }
+    return arr;
+}
+
+Expected<std::vector<StatEntry>>
+statsDeltaOfJson(const JsonValue &doc)
+{
+    std::vector<StatEntry> delta;
+    for (const JsonValue &entry : doc.items()) {
+        const JsonValue *key = entry.find("key");
+        const JsonValue *kind = entry.find("kind");
+        if (key == nullptr || kind == nullptr)
+            return badEntry("stat entry needs 'key' and 'kind'");
+        int64_t k = kind->intValue();
+        if (k < 0 || k > static_cast<int64_t>(StatKind::Timer))
+            return badEntry("stat entry kind out of range");
+        StatEntry e;
+        e.key = key->stringValue();
+        e.kind = static_cast<StatKind>(k);
+        if (const JsonValue *v = entry.find("value"))
+            e.value = v->intValue();
+        if (const JsonValue *v = entry.find("samples"))
+            e.samples = v->intValue();
+        delta.push_back(std::move(e));
+    }
+    return delta;
+}
+
+JsonValue
+jsonOfCompiledLoop(const CompiledLoop &cl)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("main", jsonOfLoop(cl.main));
+    doc.set("main_schedule", jsonOfSchedule(cl.mainSchedule));
+    doc.set("main_res_mii", JsonValue(cl.mainResMii));
+    doc.set("main_rec_mii", JsonValue(cl.mainRecMii));
+    doc.set("cleanup", jsonOfLoop(cl.cleanup));
+    doc.set("cleanup_schedule", jsonOfSchedule(cl.cleanupSchedule));
+    doc.set("coverage",
+            JsonValue(static_cast<int64_t>(cl.coverage)));
+    return doc;
+}
+
+Expected<CompiledLoop>
+compiledLoopOfJson(const JsonValue &doc)
+{
+    const JsonValue *main = doc.find("main");
+    const JsonValue *mainSchedule = doc.find("main_schedule");
+    const JsonValue *cleanup = doc.find("cleanup");
+    const JsonValue *cleanupSchedule = doc.find("cleanup_schedule");
+    if (main == nullptr || mainSchedule == nullptr ||
+        cleanup == nullptr || cleanupSchedule == nullptr)
+        return badEntry("compiled loop entry is incomplete");
+    CompiledLoop cl;
+    Expected<Loop> mainLoop = loopOfJson(*main);
+    if (!mainLoop.ok())
+        return mainLoop.status();
+    cl.main = mainLoop.takeValue();
+    Expected<ModuloSchedule> ms = scheduleOfJson(*mainSchedule);
+    if (!ms.ok())
+        return ms.status();
+    cl.mainSchedule = ms.takeValue();
+    Expected<Loop> cleanupLoop = loopOfJson(*cleanup);
+    if (!cleanupLoop.ok())
+        return cleanupLoop.status();
+    cl.cleanup = cleanupLoop.takeValue();
+    Expected<ModuloSchedule> cs = scheduleOfJson(*cleanupSchedule);
+    if (!cs.ok())
+        return cs.status();
+    cl.cleanupSchedule = cs.takeValue();
+    if (const JsonValue *v = doc.find("main_res_mii"))
+        cl.mainResMii = v->intValue();
+    if (const JsonValue *v = doc.find("main_rec_mii"))
+        cl.mainRecMii = v->intValue();
+    if (const JsonValue *v = doc.find("coverage"))
+        cl.coverage = static_cast<int>(v->intValue());
+    return cl;
+}
+
+JsonValue
+jsonOfProgram(const CompiledProgram &program)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("technique",
+            JsonValue(techniqueName(program.technique)));
+    JsonValue loops = JsonValue::array();
+    for (const CompiledLoop &cl : program.loops)
+        loops.append(jsonOfCompiledLoop(cl));
+    doc.set("loops", loops);
+    doc.set("partition", jsonOfPartition(program.partition));
+    doc.set("resource_limited", JsonValue(program.resourceLimited));
+    return doc;
+}
+
+Expected<CompiledProgram>
+programOfJson(const JsonValue &doc)
+{
+    CompiledProgram program;
+    const JsonValue *technique = doc.find("technique");
+    if (technique == nullptr ||
+        !enumOfName(technique->stringValue(),
+                    static_cast<int>(Technique::IterationSplit) + 1,
+                    techniqueName, &program.technique))
+        return badEntry("missing or unknown program 'technique'");
+    const JsonValue *loops = doc.find("loops");
+    if (loops == nullptr)
+        return badEntry("program needs a 'loops' array");
+    for (const JsonValue &entry : loops->items()) {
+        Expected<CompiledLoop> cl = compiledLoopOfJson(entry);
+        if (!cl.ok())
+            return cl.status();
+        program.loops.push_back(cl.takeValue());
+    }
+    if (const JsonValue *v = doc.find("partition"))
+        program.partition = partitionOfJson(*v);
+    if (const JsonValue *v = doc.find("resource_limited"))
+        program.resourceLimited = v->boolValue();
+    return program;
+}
+
+// -------------------------------------------------------------------
+// The on-disk store.
+
+struct DiskCacheState
+{
+    std::mutex mutex;
+    std::string dir;
+    int64_t maxBytes = 0;
+    uint64_t tempCounter = 0;
+};
+
+DiskCacheState &
+state()
+{
+    static DiskCacheState s;
+    return s;
+}
+
+void
+countDisk(const char *leaf, int64_t delta = 1)
+{
+    // Straight into the process registry, like the structural cache's
+    // own traffic: disk lookups run inside capture sinks, and their
+    // bookkeeping must surface in the process totals rather than be
+    // stripped with the stored delta.
+    processStats().add(std::string("cache.disk.") + leaf, delta);
+}
+
+std::string
+hex16(uint64_t value)
+{
+    char buf[17];
+    snprintf(buf, sizeof(buf), "%016llx",
+             static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Entry path for `key` under `dir` (locked or not — pure). */
+fs::path
+entryPathUnder(const std::string &dir, const std::string &key)
+{
+    std::string hash = hex16(diskCacheHash(key));
+    return fs::path(dir) / hash.substr(0, 2) / (hash + ".json");
+}
+
+/** Move a failed-validation entry aside and count it. */
+void
+quarantineEntry(const fs::path &path)
+{
+    std::error_code ec;
+    fs::rename(path, fs::path(path.string() + ".quarantine"), ec);
+    if (ec)
+        fs::remove(path, ec);
+    countDisk("corrupt");
+}
+
+/** One live entry as seen by the eviction sweep. */
+struct EntryFile
+{
+    fs::file_time_type mtime;
+    std::string path;
+    int64_t size = 0;
+};
+
+/** All live entries under `dir` ("*.json" two levels down; temp and
+ *  quarantine files are not live). */
+std::vector<EntryFile>
+listEntries(const std::string &dir)
+{
+    std::vector<EntryFile> out;
+    std::error_code ec;
+    fs::directory_iterator shards(dir, ec);
+    if (ec)
+        return out;
+    for (const fs::directory_entry &shard : shards) {
+        if (!shard.is_directory(ec))
+            continue;
+        fs::directory_iterator files(shard.path(), ec);
+        if (ec)
+            continue;
+        for (const fs::directory_entry &file : files) {
+            if (!file.is_regular_file(ec))
+                continue;
+            if (file.path().extension() != ".json")
+                continue;
+            EntryFile entry;
+            entry.mtime = file.last_write_time(ec);
+            if (ec)
+                continue;
+            entry.path = file.path().string();
+            entry.size =
+                static_cast<int64_t>(file.file_size(ec));
+            if (ec)
+                continue;
+            out.push_back(std::move(entry));
+        }
+    }
+    return out;
+}
+
+/** Evict LRU entries until the cap holds. Caller holds the mutex. */
+size_t
+sweepLocked()
+{
+    DiskCacheState &s = state();
+    if (s.dir.empty() || s.maxBytes <= 0)
+        return 0;
+    std::vector<EntryFile> entries = listEntries(s.dir);
+    int64_t total = 0;
+    for (const EntryFile &e : entries)
+        total += e.size;
+    if (total <= s.maxBytes)
+        return 0;
+    // Oldest first; path as the tiebreak so the eviction order is
+    // deterministic even under coarse filesystem timestamps.
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryFile &a, const EntryFile &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    size_t evicted = 0;
+    for (const EntryFile &e : entries) {
+        if (total <= s.maxBytes)
+            break;
+        std::error_code ec;
+        if (fs::remove(e.path, ec)) {
+            total -= e.size;
+            ++evicted;
+            countDisk("evict");
+        }
+    }
+    return evicted;
+}
+
+/**
+ * Read, validate and deserialize the entry for `key`. `parse` turns
+ * the payload JSON into the typed value; any validation failure —
+ * unreadable file aside — quarantines the entry.
+ */
+template <typename V, typename ParseFn>
+std::optional<V>
+loadTyped(const std::string &key, ParseFn parse)
+{
+    DiskCacheState &s = state();
+    if (s.dir.empty())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    fs::path path = entryPathUnder(s.dir, key);
+
+    std::ifstream in(path);
+    if (!in) {
+        countDisk("miss");
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    in.close();
+
+    Expected<JsonValue> doc = parseJson(text.str());
+    if (!doc.ok()) {
+        quarantineEntry(path);
+        countDisk("miss");
+        return std::nullopt;
+    }
+    const JsonValue *schema = doc.value().find("schema");
+    const JsonValue *storedKey = doc.value().find("key");
+    const JsonValue *checksum = doc.value().find("checksum");
+    const JsonValue *payload = doc.value().find("payload");
+    if (schema == nullptr || storedKey == nullptr ||
+        checksum == nullptr || payload == nullptr ||
+        schema->stringValue() != kDiskCacheSchema) {
+        quarantineEntry(path);
+        countDisk("miss");
+        return std::nullopt;
+    }
+    if (storedKey->stringValue() != key) {
+        // A valid entry for a different key: a hash collision, not
+        // corruption. Reads as a plain miss; the colliding key keeps
+        // its entry.
+        countDisk("miss");
+        return std::nullopt;
+    }
+    if (checksum->stringValue() !=
+        hex16(diskCacheHash(payload->dump(0)))) {
+        quarantineEntry(path);
+        countDisk("miss");
+        return std::nullopt;
+    }
+    Expected<V> value = parse(*payload);
+    if (!value.ok()) {
+        quarantineEntry(path);
+        countDisk("miss");
+        return std::nullopt;
+    }
+
+    // Touch for LRU: a hit makes the entry the youngest.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    countDisk("hit");
+    return value.takeValue();
+}
+
+/** Serialize and atomically publish the entry for `key`. */
+void
+storeTyped(const std::string &key, JsonValue payload)
+{
+    DiskCacheState &s = state();
+    if (s.dir.empty())
+        return;
+    // A payload that cannot be emitted losslessly (a non-finite
+    // immediate) is simply not persisted; the in-memory cache still
+    // carries it for this process.
+    if (!payload.checkWritable().ok())
+        return;
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue(kDiskCacheSchema));
+    doc.set("key", JsonValue(key));
+    doc.set("checksum",
+            JsonValue(hex16(diskCacheHash(payload.dump(0)))));
+    doc.set("payload", std::move(payload));
+    std::string text = doc.dump(2);
+    text.push_back('\n');
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    fs::path path = entryPathUnder(s.dir, key);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec)
+        return;
+
+    // Unique temp name per process and store: concurrent writers of
+    // one key never share a temp file, and each rename publishes a
+    // complete entry (last writer wins with identical bytes).
+    fs::path temp = path;
+    temp += strfmt(".tmp.%d.%llu", static_cast<int>(getpid()),
+                   static_cast<unsigned long long>(++s.tempCounter));
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out) {
+            return;
+        }
+        out << text;
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            fs::remove(temp, ec);
+            return;
+        }
+    }
+    fs::rename(temp, path, ec);
+    if (ec) {
+        fs::remove(temp, ec);
+        return;
+    }
+    countDisk("store");
+    sweepLocked();
+}
+
+} // anonymous namespace
+
+uint64_t
+diskCacheHash(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+diskCacheConfigure(const std::string &dir, int64_t maxMb)
+{
+    DiskCacheState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.dir = dir;
+    s.maxBytes = maxMb > 0 ? maxMb * 1024 * 1024 : 0;
+}
+
+bool
+diskCacheEnabled()
+{
+    return !state().dir.empty();
+}
+
+std::string
+diskCacheDir()
+{
+    return state().dir;
+}
+
+int64_t
+diskCacheMaxBytes()
+{
+    return state().maxBytes;
+}
+
+std::string
+diskCacheEntryPath(const std::string &key)
+{
+    return entryPathUnder(state().dir, key).string();
+}
+
+std::optional<CompileCacheValue>
+diskCacheLoadCompile(const std::string &key)
+{
+    return loadTyped<CompileCacheValue>(key, compileCacheValueOfJson);
+}
+
+void
+diskCacheStoreCompile(const std::string &key,
+                      const CompileCacheValue &value)
+{
+    storeTyped(key, jsonOfCompileCacheValue(value));
+}
+
+std::optional<ScheduleCacheValue>
+diskCacheLoadSchedule(const std::string &key)
+{
+    return loadTyped<ScheduleCacheValue>(key,
+                                         scheduleCacheValueOfJson);
+}
+
+void
+diskCacheStoreSchedule(const std::string &key,
+                       const ScheduleCacheValue &value)
+{
+    storeTyped(key, jsonOfScheduleCacheValue(value));
+}
+
+size_t
+diskCacheSweep()
+{
+    DiskCacheState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return sweepLocked();
+}
+
+int64_t
+diskCacheTotalBytes()
+{
+    DiskCacheState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.dir.empty())
+        return 0;
+    int64_t total = 0;
+    for (const EntryFile &e : listEntries(s.dir))
+        total += e.size;
+    return total;
+}
+
+DiskCacheCounters
+diskCacheCounters()
+{
+    DiskCacheCounters c;
+    const StatsRegistry &stats = processStats();
+    c.hit = stats.value("cache.disk.hit");
+    c.miss = stats.value("cache.disk.miss");
+    c.store = stats.value("cache.disk.store");
+    c.evict = stats.value("cache.disk.evict");
+    c.corrupt = stats.value("cache.disk.corrupt");
+    return c;
+}
+
+JsonValue
+jsonOfCompileCacheValue(const CompileCacheValue &value)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("level", JsonValue("compile"));
+    doc.set("ok", JsonValue(value.ok));
+    doc.set("status", jsonOfStatus(value.status));
+    if (value.ok) {
+        doc.set("program", jsonOfProgram(value.program));
+        doc.set("arrays", jsonOfArrayTable(value.arrays));
+    }
+    doc.set("stats_delta", jsonOfStatsDelta(value.statsDelta));
+    return doc;
+}
+
+Expected<CompileCacheValue>
+compileCacheValueOfJson(const JsonValue &doc)
+{
+    const JsonValue *level = doc.find("level");
+    if (level == nullptr || level->stringValue() != "compile")
+        return badEntry("not a compile-level cache payload");
+    CompileCacheValue value;
+    if (const JsonValue *v = doc.find("ok"))
+        value.ok = v->boolValue();
+    if (const JsonValue *v = doc.find("status")) {
+        Status parsed = statusOfJson(*v, value.status);
+        if (!parsed.ok())
+            return parsed;
+    }
+    if (value.ok) {
+        const JsonValue *program = doc.find("program");
+        const JsonValue *arrays = doc.find("arrays");
+        if (program == nullptr || arrays == nullptr)
+            return badEntry(
+                "ok compile payload needs 'program' and 'arrays'");
+        Expected<CompiledProgram> parsed = programOfJson(*program);
+        if (!parsed.ok())
+            return parsed.status();
+        value.program = parsed.takeValue();
+        Expected<ArrayTable> table = arrayTableOfJson(*arrays);
+        if (!table.ok())
+            return table.status();
+        value.arrays = table.takeValue();
+    } else if (value.status.ok()) {
+        return badEntry("failed compile payload carries an ok status");
+    }
+    if (const JsonValue *v = doc.find("stats_delta")) {
+        Expected<std::vector<StatEntry>> delta = statsDeltaOfJson(*v);
+        if (!delta.ok())
+            return delta.status();
+        value.statsDelta = delta.takeValue();
+    }
+    return value;
+}
+
+JsonValue
+jsonOfScheduleCacheValue(const ScheduleCacheValue &value)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("level", JsonValue("schedule"));
+    doc.set("status", jsonOfStatus(value.status));
+    if (value.status.ok()) {
+        doc.set("lowered", jsonOfLoop(value.lowered));
+        doc.set("schedule", jsonOfSchedule(value.schedule));
+    }
+    doc.set("res_mii", JsonValue(value.resMii));
+    doc.set("rec_mii", JsonValue(value.recMii));
+    doc.set("stats_delta", jsonOfStatsDelta(value.statsDelta));
+    return doc;
+}
+
+Expected<ScheduleCacheValue>
+scheduleCacheValueOfJson(const JsonValue &doc)
+{
+    const JsonValue *level = doc.find("level");
+    if (level == nullptr || level->stringValue() != "schedule")
+        return badEntry("not a schedule-level cache payload");
+    ScheduleCacheValue value;
+    if (const JsonValue *v = doc.find("status")) {
+        Status parsed = statusOfJson(*v, value.status);
+        if (!parsed.ok())
+            return parsed;
+    }
+    if (value.status.ok()) {
+        const JsonValue *lowered = doc.find("lowered");
+        const JsonValue *schedule = doc.find("schedule");
+        if (lowered == nullptr || schedule == nullptr)
+            return badEntry(
+                "ok schedule payload needs 'lowered' and 'schedule'");
+        Expected<Loop> loop = loopOfJson(*lowered);
+        if (!loop.ok())
+            return loop.status();
+        value.lowered = loop.takeValue();
+        Expected<ModuloSchedule> ms = scheduleOfJson(*schedule);
+        if (!ms.ok())
+            return ms.status();
+        value.schedule = ms.takeValue();
+    }
+    if (const JsonValue *v = doc.find("res_mii"))
+        value.resMii = v->intValue();
+    if (const JsonValue *v = doc.find("rec_mii"))
+        value.recMii = v->intValue();
+    if (const JsonValue *v = doc.find("stats_delta")) {
+        Expected<std::vector<StatEntry>> delta = statsDeltaOfJson(*v);
+        if (!delta.ok())
+            return delta.status();
+        value.statsDelta = delta.takeValue();
+    }
+    return value;
+}
+
+} // namespace selvec

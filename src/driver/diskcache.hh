@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The persistent, content-addressed on-disk compile cache
+ * (DESIGN.md §11).
+ *
+ * The in-memory structural cache (driver/compilecache) dies with the
+ * process: every bench run, test binary and service restart re-pays
+ * the full partition+schedule cost of loops it has compiled a
+ * thousand times before. This layer persists cache values under a
+ * directory (`--cache-dir`), keyed by the same canonical key strings
+ * the structural cache uses, so warm processes load finished
+ * schedules from disk instead of recomputing them.
+ *
+ * Layout. An entry lives at `<dir>/<hh>/<hash16>.json` where hash16
+ * is the 64-bit FNV-1a of the canonical key in hex and `<hh>` its
+ * first two characters (256-way sharding keeps directory listings
+ * short at production entry counts). The key is a full canonical
+ * string, not a hash, so the entry stores it verbatim and a load
+ * verifies it: a hash collision reads as a miss, never as an aliased
+ * program.
+ *
+ * Entry format (schema "selvec-cache-v1"):
+ *
+ *     { "schema":   "selvec-cache-v1",
+ *       "key":      <canonical key string>,
+ *       "checksum": <FNV-1a 64 of the compact payload dump, hex>,
+ *       "payload":  <serialized Compile/ScheduleCacheValue> }
+ *
+ * Durability and atomicity. Writers serialize to a temporary file in
+ * the target shard and publish with rename(2): readers — in this
+ * process or any other sharing the directory — only ever open
+ * complete entries, and concurrent writers of one key overwrite each
+ * other with identical bytes. Corruption (truncation, bit rot, a
+ * garbled editor save) is detected by the parse, the schema/key
+ * check or the checksum; a corrupt entry is quarantined in place
+ * (renamed to `<entry>.quarantine` for post-mortem), counted under
+ * `cache.disk.corrupt`, and the request recompiles — corruption can
+ * cost a compile, never a crash or a wrong document.
+ *
+ * Eviction. `--cache-max-mb` bounds the directory: after a store the
+ * cache evicts least-recently-used entries (oldest mtime first, path
+ * as the tiebreak; loads touch mtimes) until the total size of live
+ * entries is back under the cap, counting `cache.disk.evict`.
+ *
+ * Determinism. A disk hit replays the stats delta recorded by the
+ * compile that produced the entry — exactly what an in-memory hit
+ * replays — and `cache.disk.*` bookkeeping is excluded both from
+ * stored deltas (the `cache.` prefix filter) and from emitted bench
+ * documents (attachObservability), so a warm run's selvec-bench-v1
+ * document is byte-identical to the cold run's at any --jobs value.
+ *
+ * Stat keys (process registry; never in documents):
+ *   cache.disk.hit      entries loaded and used
+ *   cache.disk.miss     lookups that found no usable entry
+ *   cache.disk.store    entries published
+ *   cache.disk.evict    entries removed by the size cap
+ *   cache.disk.corrupt  entries quarantined by a failed validation
+ */
+
+#ifndef SELVEC_DRIVER_DISKCACHE_HH
+#define SELVEC_DRIVER_DISKCACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "driver/compilecache.hh"
+#include "support/json.hh"
+
+namespace selvec
+{
+
+/** Schema identifier written into every disk-cache entry. */
+extern const char *const kDiskCacheSchema;
+
+/**
+ * Point the disk cache at `dir` (created on first store) with a size
+ * cap of `maxMb` megabytes (0: unbounded). An empty `dir` disables
+ * the layer — the default, and the state `--no-cache` semantics
+ * expect. Not thread-safe against in-flight lookups; configure before
+ * compiling, as the CLI front-ends do.
+ */
+void diskCacheConfigure(const std::string &dir, int64_t maxMb = 0);
+
+/** Whether a cache directory is configured. */
+bool diskCacheEnabled();
+
+/** The configured directory ("" when disabled). */
+std::string diskCacheDir();
+
+/** The configured size cap in bytes (0: unbounded). */
+int64_t diskCacheMaxBytes();
+
+/** Where the entry for `key` lives (or would live). Valid whenever a
+ *  directory is configured; the file need not exist. */
+std::string diskCacheEntryPath(const std::string &key);
+
+/** 64-bit FNV-1a, the content hash behind entry names/checksums. */
+uint64_t diskCacheHash(const std::string &text);
+
+/** Load the whole-compile entry for `key`; nullopt on miss (absent,
+ *  mismatched key, corrupt — corrupt entries are quarantined). */
+std::optional<CompileCacheValue>
+diskCacheLoadCompile(const std::string &key);
+
+/** Publish a whole-compile entry (best effort: an unwritable
+ *  directory degrades to a miss next run, never an error). */
+void diskCacheStoreCompile(const std::string &key,
+                           const CompileCacheValue &value);
+
+/** Load the lower+schedule entry for `key`; nullopt on miss. */
+std::optional<ScheduleCacheValue>
+diskCacheLoadSchedule(const std::string &key);
+
+/** Publish a lower+schedule entry. */
+void diskCacheStoreSchedule(const std::string &key,
+                            const ScheduleCacheValue &value);
+
+/**
+ * Enforce the size cap now: evict LRU entries (oldest mtime, path
+ * tiebreak) until live entries total <= the cap. Runs automatically
+ * after every store; exposed for tests. Returns entries evicted.
+ */
+size_t diskCacheSweep();
+
+/** Total bytes of live entries under the configured directory. */
+int64_t diskCacheTotalBytes();
+
+/** Snapshot of the cache.disk.* counters (process registry). */
+struct DiskCacheCounters
+{
+    int64_t hit = 0;
+    int64_t miss = 0;
+    int64_t store = 0;
+    int64_t evict = 0;
+    int64_t corrupt = 0;
+};
+
+DiskCacheCounters diskCacheCounters();
+
+// -------------------------------------------------------------------
+// Value serialization (exposed for round-trip tests).
+
+/** A whole-compile cache value as a JSON payload. */
+JsonValue jsonOfCompileCacheValue(const CompileCacheValue &value);
+
+/** Parse jsonOfCompileCacheValue output back. */
+Expected<CompileCacheValue>
+compileCacheValueOfJson(const JsonValue &doc);
+
+/** A lower+schedule cache value as a JSON payload. */
+JsonValue jsonOfScheduleCacheValue(const ScheduleCacheValue &value);
+
+/** Parse jsonOfScheduleCacheValue output back. */
+Expected<ScheduleCacheValue>
+scheduleCacheValueOfJson(const JsonValue &doc);
+
+} // namespace selvec
+
+#endif // SELVEC_DRIVER_DISKCACHE_HH

@@ -4,6 +4,7 @@
 
 #include "analysis/depgraph.hh"
 #include "driver/compilecache.hh"
+#include "driver/diskcache.hh"
 #include "analysis/recmii.hh"
 #include "core/itersplit.hh"
 #include "core/transform.hh"
@@ -136,6 +137,13 @@ scheduleInto(const Loop &body, const ArrayTable &arrays,
     std::string key = scheduleCacheKey(body, arrays, machine, options);
     std::shared_ptr<const ScheduleCacheValue> v =
         scheduleCache().lookupOrCompute(key, [&] {
+            // The disk layer sits under the in-memory level: only a
+            // process-wide miss consults it, and only a disk miss
+            // computes (and publishes the result for the next run).
+            if (std::optional<ScheduleCacheValue> stored =
+                    diskCacheLoadSchedule(key)) {
+                return std::move(*stored);
+            }
             ScheduleCacheValue val;
             StatsRegistry capture;
             {
@@ -145,6 +153,7 @@ scheduleInto(const Loop &body, const ArrayTable &arrays,
                     val.schedule, &val.resMii, &val.recMii);
             }
             val.statsDelta = captureStatsDelta(capture);
+            diskCacheStoreSchedule(key, val);
             return val;
         });
     globalStats().applyEntries(v->statsDelta);
@@ -359,6 +368,7 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
     if (!compileCacheActive()) {
         // Compile against a scratch copy: a failed attempt must not
         // leak scalar-expansion temporaries into the caller's table.
+        noteCompileSource(CompileSource::Compiled);
         ArrayTable trial = arrays;
         Expected<CompiledProgram> program = tryCompileLoopImpl(
             loop, trial, machine, technique, options);
@@ -371,8 +381,18 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
 
     std::string key =
         compileCacheKey(loop, arrays, machine, technique, options);
+    // Provenance defaults to the in-memory level; the compute callback
+    // overrides it on this thread when it actually runs (slot waiters
+    // never enter the callback, so they keep `Memory`).
+    noteCompileSource(CompileSource::Memory);
     std::shared_ptr<const CompileCacheValue> v =
         compileCache().lookupOrCompute(key, [&] {
+            if (std::optional<CompileCacheValue> stored =
+                    diskCacheLoadCompile(key)) {
+                noteCompileSource(CompileSource::Disk);
+                return std::move(*stored);
+            }
+            noteCompileSource(CompileSource::Compiled);
             CompileCacheValue val;
             StatsRegistry capture;
             {
@@ -390,6 +410,7 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
                 }
             }
             val.statsDelta = captureStatsDelta(capture);
+            diskCacheStoreCompile(key, val);
             return val;
         });
     // Replaying the stored delta makes a hit's stats footprint equal

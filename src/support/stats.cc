@@ -125,10 +125,14 @@ StatsRegistry::applyEntries(const std::vector<StatEntry> &entries,
 }
 
 JsonValue
-StatsRegistry::toJson(bool includeTimerNs) const
+StatsRegistry::toJson(bool includeTimerNs,
+                      const std::string &excludePrefix) const
 {
     JsonValue root = JsonValue::object();
     for (const StatEntry &e : snapshot()) {
+        if (!excludePrefix.empty() &&
+            e.key.compare(0, excludePrefix.size(), excludePrefix) == 0)
+            continue;
         // Walk/create the object spine named by the dotted prefix.
         JsonValue *node = &root;
         size_t start = 0;

@@ -102,8 +102,12 @@ class StatsRegistry
      * timer total_ns leaves are emitted as 0 (sample counts are kept)
      * so the document is byte-stable across runs — the report surface
      * uses this unless SELVEC_TIMINGS opts into wall-clock values.
+     * Keys starting with `excludePrefix` (when non-empty) are left out
+     * entirely — the report surface drops `cache.disk.*` so a warm
+     * disk cache emits the same document bytes as a cold one.
      */
-    JsonValue toJson(bool includeTimerNs = true) const;
+    JsonValue toJson(bool includeTimerNs = true,
+                     const std::string &excludePrefix = "") const;
 
   private:
     struct Stat

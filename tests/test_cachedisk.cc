@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Tests for the persistent on-disk compile cache (DESIGN.md §11) and
+ * the batch compile service built on it: entry addressing, value
+ * round trips, the cold/warm byte-identity contract, corruption
+ * quarantine, LRU eviction determinism, and concurrent access to a
+ * shared cache directory from suite evaluation and serveBatch. The
+ * `cachedisk` ctest label selects this binary; the TSan lane runs it
+ * alongside the parallel subset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "driver/compilecache.hh"
+#include "driver/diskcache.hh"
+#include "driver/driver.hh"
+#include "driver/evaluate.hh"
+#include "driver/repro.hh"
+#include "driver/reportjson.hh"
+#include "lir/lir.hh"
+#include "machine/machine.hh"
+#include "service/serve.hh"
+#include "support/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace fs = std::filesystem;
+
+namespace selvec
+{
+namespace
+{
+
+const char *const kDiskSaxpy = R"(
+array X f64 4096
+array Y f64 4096
+
+loop disk_saxpy {
+    livein a f64
+    body {
+        x = load X[i]
+        y = load Y[i]
+        ax = fmul a x
+        s = fadd ax y
+        store Y[i] = s
+    }
+}
+)";
+
+/**
+ * Every test gets a fresh cache directory and a cold in-memory
+ * cache; the disk layer is unconfigured again on the way out so
+ * later tests (and other binaries' fixtures) see the default state.
+ */
+class CacheDiskTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled = compileCacheEnabled();
+        compileCacheSetEnabled(true);
+        compileCacheClear();
+        dir = (fs::temp_directory_path() /
+               (std::string("selvec_cachedisk_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name()))
+                  .string();
+        fs::remove_all(dir);
+        diskCacheConfigure(dir);
+        before = diskCacheCounters();
+    }
+
+    void
+    TearDown() override
+    {
+        diskCacheConfigure("");
+        fs::remove_all(dir);
+        compileCacheClear();
+        compileCacheSetEnabled(wasEnabled);
+    }
+
+    /** Counter movement since SetUp. */
+    DiskCacheCounters
+    delta() const
+    {
+        DiskCacheCounters now = diskCacheCounters();
+        return {now.hit - before.hit, now.miss - before.miss,
+                now.store - before.store, now.evict - before.evict,
+                now.corrupt - before.corrupt};
+    }
+
+    std::string dir;
+    DiskCacheCounters before;
+    bool wasEnabled = true;
+};
+
+// ---------------------------------------------------------------------
+// Addressing.
+
+TEST_F(CacheDiskTest, HashMatchesFnv1aReference)
+{
+    // Published FNV-1a 64 vectors: the offset basis for "", and "a".
+    EXPECT_EQ(diskCacheHash(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(diskCacheHash("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_NE(diskCacheHash("key-1"), diskCacheHash("key-2"));
+}
+
+TEST_F(CacheDiskTest, EntryPathShardsByHashPrefix)
+{
+    std::string path = diskCacheEntryPath("some canonical key");
+    ASSERT_TRUE(path.rfind(dir, 0) == 0) << path;
+    fs::path p(path);
+    EXPECT_EQ(p.extension(), ".json");
+    std::string stem = p.stem().string();
+    EXPECT_EQ(stem.size(), 16u);
+    // The shard directory is the first two hash characters.
+    EXPECT_EQ(p.parent_path().filename().string(), stem.substr(0, 2));
+    // Stable addressing: the same key maps to the same entry.
+    EXPECT_EQ(path, diskCacheEntryPath("some canonical key"));
+    EXPECT_NE(path, diskCacheEntryPath("a different key"));
+}
+
+// ---------------------------------------------------------------------
+// Value round trips.
+
+TEST_F(CacheDiskTest, CompileValueRoundTripsThroughJson)
+{
+    Module m = parseLirOrDie(kDiskSaxpy);
+    Machine machine = paperMachine();
+    for (Technique t :
+         {Technique::ModuloOnly, Technique::Traditional,
+          Technique::Full, Technique::Selective}) {
+        CompileCacheValue value;
+        value.arrays = m.arrays;
+        Expected<CompiledProgram> compiled = tryCompileLoop(
+            m.loops[0], value.arrays, machine, t);
+        ASSERT_TRUE(compiled.ok()) << techniqueName(t);
+        value.ok = true;
+        value.program = compiled.takeValue();
+        value.statsDelta.push_back(
+            {"modsched.attempts", StatKind::Counter, 3, 0});
+
+        JsonValue doc = jsonOfCompileCacheValue(value);
+        Expected<JsonValue> reparsed = parseJson(doc.dump(2));
+        ASSERT_TRUE(reparsed.ok());
+        Expected<CompileCacheValue> back =
+            compileCacheValueOfJson(reparsed.value());
+        ASSERT_TRUE(back.ok())
+            << techniqueName(t) << ": " << back.status().str();
+        // Byte-stable: serializing the parsed value reproduces the
+        // original document, and the program is bit-identical.
+        EXPECT_EQ(jsonOfCompileCacheValue(back.value()).dump(),
+                  doc.dump())
+            << techniqueName(t);
+        EXPECT_EQ(jsonOfCompiledProgram(back.value().program).dump(),
+                  jsonOfCompiledProgram(value.program).dump());
+    }
+
+    // A negative entry (a failed compile) round-trips too.
+    CompileCacheValue failed;
+    failed.ok = false;
+    failed.status = Status::error(ErrorCode::ScheduleBudgetExhausted,
+                                  "modsched", "budget blown");
+    failed.statsDelta.push_back(
+        {"modsched.backtracks", StatKind::Counter, 7, 0});
+    JsonValue doc = jsonOfCompileCacheValue(failed);
+    Expected<CompileCacheValue> back = compileCacheValueOfJson(doc);
+    ASSERT_TRUE(back.ok()) << back.status().str();
+    EXPECT_FALSE(back.value().ok);
+    EXPECT_EQ(back.value().status.code(),
+              ErrorCode::ScheduleBudgetExhausted);
+    EXPECT_EQ(jsonOfCompileCacheValue(back.value()).dump(),
+              doc.dump());
+}
+
+TEST_F(CacheDiskTest, PublishedEntriesRoundTripFromDisk)
+{
+    Module m = parseLirOrDie(kDiskSaxpy);
+    Machine machine = paperMachine();
+    ArrayTable arrays = m.arrays;
+    ASSERT_TRUE(tryCompileLoop(m.loops[0], arrays, machine,
+                               Technique::Selective)
+                    .ok());
+    ASSERT_GT(delta().store, 0);
+
+    // Every published entry — both the whole-compile and the nested
+    // lower+schedule level — parses back to a payload that
+    // re-serializes byte-identically.
+    size_t compiles = 0, schedules = 0;
+    for (const fs::directory_entry &shard : fs::directory_iterator(dir))
+        for (const fs::directory_entry &file :
+             fs::directory_iterator(shard.path())) {
+            std::ifstream in(file.path());
+            std::stringstream text;
+            text << in.rdbuf();
+            Expected<JsonValue> doc = parseJson(text.str());
+            ASSERT_TRUE(doc.ok()) << file.path();
+            EXPECT_EQ(doc.value().find("schema")->stringValue(),
+                      kDiskCacheSchema);
+            const JsonValue *payload = doc.value().find("payload");
+            ASSERT_NE(payload, nullptr);
+            std::string level =
+                payload->find("level")->stringValue();
+            if (level == "compile") {
+                ++compiles;
+                Expected<CompileCacheValue> v =
+                    compileCacheValueOfJson(*payload);
+                ASSERT_TRUE(v.ok()) << v.status().str();
+                EXPECT_EQ(jsonOfCompileCacheValue(v.value()).dump(),
+                          payload->dump());
+            } else {
+                ++schedules;
+                ASSERT_EQ(level, "schedule");
+                Expected<ScheduleCacheValue> v =
+                    scheduleCacheValueOfJson(*payload);
+                ASSERT_TRUE(v.ok()) << v.status().str();
+                EXPECT_EQ(jsonOfScheduleCacheValue(v.value()).dump(),
+                          payload->dump());
+            }
+        }
+    EXPECT_GT(compiles, 0u);
+    EXPECT_GT(schedules, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The persistence contract.
+
+TEST_F(CacheDiskTest, WarmProcessLoadsFromDisk)
+{
+    Module m = parseLirOrDie(kDiskSaxpy);
+    Machine machine = paperMachine();
+
+    ArrayTable cold_arrays = m.arrays;
+    Expected<CompiledProgram> cold = tryCompileLoop(
+        m.loops[0], cold_arrays, machine, Technique::Selective);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(lastCompileSource(), CompileSource::Compiled);
+    ASSERT_GT(delta().store, 0);
+
+    // A "new process": the in-memory cache is gone, the directory
+    // persists. The compile is served from disk, bit-identically.
+    compileCacheClear();
+    int64_t hit0 = delta().hit;
+    ArrayTable warm_arrays = m.arrays;
+    Expected<CompiledProgram> warm = tryCompileLoop(
+        m.loops[0], warm_arrays, machine, Technique::Selective);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(lastCompileSource(), CompileSource::Disk);
+    EXPECT_GT(delta().hit, hit0);
+    EXPECT_EQ(jsonOfCompiledProgram(warm.value()).dump(),
+              jsonOfCompiledProgram(cold.value()).dump());
+
+    // Within the process the in-memory level answers first.
+    ArrayTable third_arrays = m.arrays;
+    ASSERT_TRUE(tryCompileLoop(m.loops[0], third_arrays, machine,
+                               Technique::Selective)
+                    .ok());
+    EXPECT_EQ(lastCompileSource(), CompileSource::Memory);
+}
+
+TEST_F(CacheDiskTest, DiskHitReplaysStatsDelta)
+{
+    Module m = parseLirOrDie(kDiskSaxpy);
+    Machine machine = paperMachine();
+
+    StatsRegistry cold_stats;
+    {
+        ScopedStatsSink sink(cold_stats);
+        ArrayTable arrays = m.arrays;
+        ASSERT_TRUE(tryCompileLoop(m.loops[0], arrays, machine,
+                                   Technique::Full)
+                        .ok());
+    }
+    compileCacheClear();
+    StatsRegistry warm_stats;
+    {
+        ScopedStatsSink sink(warm_stats);
+        ArrayTable arrays = m.arrays;
+        ASSERT_TRUE(tryCompileLoop(m.loops[0], arrays, machine,
+                                   Technique::Full)
+                        .ok());
+    }
+    EXPECT_EQ(lastCompileSource(), CompileSource::Disk);
+    // The disk hit replays the recorded delta: merged reports do not
+    // depend on which cache level (or which run) answered.
+    EXPECT_EQ(cold_stats.toJson(false).dump(),
+              warm_stats.toJson(false).dump());
+}
+
+/** The selvec-bench-v1 document for one suite, stats from `sink`. */
+std::string
+documentOf(const SuiteReport &base,
+           const std::vector<SuiteReport> &techniques,
+           const StatsRegistry &sink)
+{
+    JsonValue doc = benchDocument("test_cachedisk", "quick");
+    JsonValue suites = JsonValue::array();
+    suites.append(jsonOfSuiteComparison(base, techniques));
+    doc.set("suites", std::move(suites));
+    doc.set("stats", sink.toJson(false, "cache."));
+    return doc.dump(2);
+}
+
+std::string
+runSuiteDocument(const Suite &suite, const Machine &machine, int jobs)
+{
+    StatsRegistry sink;
+    ScopedStatsSink scope(sink);
+    EvaluateOptions options;
+    options.jobs = jobs;
+    SuiteReport base =
+        evaluateSuite(suite, machine, Technique::ModuloOnly, options);
+    SuiteReport full =
+        evaluateSuite(suite, machine, Technique::Full, options);
+    SuiteReport sel =
+        evaluateSuite(suite, machine, Technique::Selective, options);
+    return documentOf(base, {full, sel}, sink);
+}
+
+Suite
+quickSuite()
+{
+    Suite suite = makeSuite("171.swim");
+    for (WorkloadLoop &wl : suite.loops) {
+        wl.tripCount = std::min<int64_t>(wl.tripCount, 96);
+        wl.invocations = std::max<int64_t>(1, wl.invocations / 4);
+    }
+    return suite;
+}
+
+TEST_F(CacheDiskTest, SuiteDocumentsColdAndWarmAreByteIdentical)
+{
+    Suite suite = quickSuite();
+    Machine machine = paperMachine();
+
+    std::string cold = runSuiteDocument(suite, machine, 8);
+    ASSERT_GT(delta().store, 0);
+
+    // Warm process, same directory: byte-identical at any job count,
+    // with real disk traffic behind it.
+    compileCacheClear();
+    std::string warm = runSuiteDocument(suite, machine, 8);
+    EXPECT_GT(delta().hit, 0);
+    EXPECT_EQ(cold, warm);
+
+    compileCacheClear();
+    std::string serial = runSuiteDocument(suite, machine, 1);
+    EXPECT_EQ(cold, serial);
+}
+
+// ---------------------------------------------------------------------
+// Failure containment.
+
+TEST_F(CacheDiskTest, CorruptEntryIsQuarantinedAndRecompiled)
+{
+    Module m = parseLirOrDie(kDiskSaxpy);
+    Machine machine = paperMachine();
+    ArrayTable arrays = m.arrays;
+    ASSERT_TRUE(tryCompileLoop(m.loops[0], arrays, machine,
+                               Technique::Selective)
+                    .ok());
+    std::string key = compileCacheKey(
+        m.loops[0], m.arrays, machine, Technique::Selective, {});
+    std::string path = diskCacheEntryPath(key);
+    ASSERT_TRUE(fs::exists(path));
+
+    // Garble the entry in place (bit rot, a truncated write from a
+    // crashed foreign process, an editor accident).
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"schema\": \"selvec-cache-v1\", \"key\": tr";
+    }
+    compileCacheClear();
+    ArrayTable again = m.arrays;
+    Expected<CompiledProgram> warm = tryCompileLoop(
+        m.loops[0], again, machine, Technique::Selective);
+    // Corruption costs a recompile, never a failure.
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(lastCompileSource(), CompileSource::Compiled);
+    EXPECT_GT(delta().corrupt, 0);
+    // The bad bytes are preserved for post-mortem and the slot is
+    // republished with a good entry.
+    EXPECT_TRUE(fs::exists(path + ".quarantine"));
+    EXPECT_TRUE(fs::exists(path));
+    std::optional<CompileCacheValue> reloaded =
+        diskCacheLoadCompile(key);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_TRUE(reloaded->ok);
+}
+
+TEST_F(CacheDiskTest, ChecksumMismatchIsCorruption)
+{
+    CompileCacheValue value;
+    value.ok = false;
+    value.status = Status::error(ErrorCode::Internal, "t", "negative");
+    diskCacheStoreCompile("checksum-key", value);
+    std::string path = diskCacheEntryPath("checksum-key");
+    ASSERT_TRUE(fs::exists(path));
+
+    // Flip the payload under an intact wrapper: only the checksum
+    // can catch this.
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    in.close();
+    std::string body = text.str();
+    size_t at = body.find("negative");
+    ASSERT_NE(at, std::string::npos);
+    body.replace(at, 8, "POSITIVE");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << body;
+    }
+    int64_t corrupt0 = delta().corrupt;
+    EXPECT_FALSE(diskCacheLoadCompile("checksum-key").has_value());
+    EXPECT_GT(delta().corrupt, corrupt0);
+    EXPECT_TRUE(fs::exists(path + ".quarantine"));
+}
+
+TEST_F(CacheDiskTest, KeyMismatchIsAMissNotCorruption)
+{
+    // A 64-bit hash collision aliases two keys to one entry path.
+    // The entry stores its key verbatim, so the foreign reader gets
+    // a plain miss — never an aliased program, and no quarantine
+    // (the entry is healthy, it is just somebody else's).
+    CompileCacheValue value;
+    value.ok = false;
+    value.status = Status::error(ErrorCode::Internal, "t", "mine");
+    diskCacheStoreCompile("the-real-key", value);
+
+    std::string alias = diskCacheEntryPath("a-colliding-key");
+    fs::create_directories(fs::path(alias).parent_path());
+    fs::copy_file(diskCacheEntryPath("the-real-key"), alias,
+                  fs::copy_options::overwrite_existing);
+
+    int64_t miss0 = delta().miss;
+    int64_t corrupt0 = delta().corrupt;
+    EXPECT_FALSE(diskCacheLoadCompile("a-colliding-key").has_value());
+    EXPECT_GT(delta().miss, miss0);
+    EXPECT_EQ(delta().corrupt, corrupt0);
+    EXPECT_TRUE(fs::exists(alias));    // not quarantined
+}
+
+TEST_F(CacheDiskTest, LevelConfusionIsAMiss)
+{
+    // A compile-level key must not deserialize a schedule-level
+    // payload (or vice versa) even if the key matches.
+    CompileCacheValue value;
+    value.ok = false;
+    value.status = Status::error(ErrorCode::Internal, "t", "x");
+    diskCacheStoreCompile("level-key", value);
+    EXPECT_FALSE(diskCacheLoadSchedule("level-key").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Eviction.
+
+/** A negative entry padded to roughly `kb` kilobytes on disk. */
+CompileCacheValue
+paddedValue(size_t kb)
+{
+    CompileCacheValue value;
+    value.ok = false;
+    value.status = Status::error(ErrorCode::Internal, "pad",
+                                 std::string(kb * 1024, 'x'));
+    return value;
+}
+
+TEST_F(CacheDiskTest, EvictionIsLruWithDeterministicTiebreak)
+{
+    // Six ~200KB entries against a 1MB cap: the sweep must drop the
+    // oldest-mtime entries first, in path order among equals, until
+    // the total is back under the cap.
+    std::vector<std::string> keys;
+    for (int i = 0; i < 6; ++i)
+        keys.push_back("evict-key-" + std::to_string(i));
+    for (const std::string &key : keys)
+        diskCacheStoreCompile(key, paddedValue(200));
+    ASSERT_EQ(delta().store, 6);
+    ASSERT_GT(diskCacheTotalBytes(), int64_t{1} << 20);
+
+    // Age the entries explicitly: key i is (6-i) minutes old, so the
+    // LRU order is exactly keys[0], keys[1], ...
+    fs::file_time_type now = fs::file_time_type::clock::now();
+    for (size_t i = 0; i < keys.size(); ++i)
+        fs::last_write_time(diskCacheEntryPath(keys[i]),
+                            now - std::chrono::minutes(6 - i));
+
+    // A load refreshes its entry's recency: keys[0] — the oldest —
+    // becomes the newest and must survive the sweep. (Negative
+    // entries load as values with ok=false; they are real entries.)
+    std::optional<CompileCacheValue> touched =
+        diskCacheLoadCompile(keys[0]);
+    ASSERT_TRUE(touched.has_value());
+    EXPECT_FALSE(touched->ok);
+
+    diskCacheConfigure(dir, 1);    // 1MB cap
+    size_t evicted = diskCacheSweep();
+    EXPECT_GT(evicted, 0u);
+    EXPECT_EQ(delta().evict, static_cast<int64_t>(evicted));
+    EXPECT_LE(diskCacheTotalBytes(), int64_t{1} << 20);
+
+    // keys[1] and keys[2] were the least recent; the refreshed
+    // keys[0] and the newest entries survive.
+    EXPECT_TRUE(fs::exists(diskCacheEntryPath(keys[0])));
+    EXPECT_FALSE(fs::exists(diskCacheEntryPath(keys[1])));
+    EXPECT_TRUE(fs::exists(diskCacheEntryPath(keys[5])));
+
+    // Determinism: the surviving set is a pure function of the
+    // (mtime, path) order, so a replayed sweep evicts nothing more.
+    EXPECT_EQ(diskCacheSweep(), 0u);
+}
+
+TEST_F(CacheDiskTest, StoresSweepAutomaticallyUnderACap)
+{
+    diskCacheConfigure(dir, 1);    // 1MB cap from the start
+    for (int i = 0; i < 8; ++i)
+        diskCacheStoreCompile("auto-" + std::to_string(i),
+                              paddedValue(200));
+    // Every store kept the directory under its cap.
+    EXPECT_LE(diskCacheTotalBytes(), int64_t{1} << 20);
+    EXPECT_GT(delta().evict, 0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: one directory, many writers.
+
+TEST_F(CacheDiskTest, ConcurrentSuiteRunsShareTheDirectory)
+{
+    Suite suite = quickSuite();
+    Machine machine = paperMachine();
+    std::string reference = runSuiteDocument(suite, machine, 1);
+
+    // Two cold evaluateSuite runs race to publish every entry while
+    // reading each other's finished files. Single-writer publication
+    // (temp + rename) means readers only ever see complete entries,
+    // and both documents come out byte-identical to the serial
+    // reference.
+    compileCacheClear();
+    std::string docA, docB;
+    std::thread a([&] { docA = runSuiteDocument(suite, machine, 8); });
+    std::thread b([&] { docB = runSuiteDocument(suite, machine, 8); });
+    a.join();
+    b.join();
+    EXPECT_EQ(docA, reference);
+    EXPECT_EQ(docB, reference);
+
+    // And a warm third run still loads cleanly from what they wrote.
+    compileCacheClear();
+    int64_t hit0 = delta().hit;
+    EXPECT_EQ(runSuiteDocument(suite, machine, 8), reference);
+    EXPECT_GT(delta().hit, hit0);
+}
+
+/** A serve request line for one workload loop of `suite`. */
+std::string
+requestLineOf(const Suite &suite, const WorkloadLoop &wl,
+              Technique technique)
+{
+    ReproBundle bundle;
+    bundle.name = suite.loopOf(wl).name;
+    bundle.module.arrays = suite.module.arrays;
+    bundle.module.loops.push_back(suite.loopOf(wl));
+    bundle.liveIns = wl.liveIns;
+    bundle.machine = paperMachine();
+    bundle.technique = technique;
+    bundle.tripCount = wl.tripCount;
+    bundle.invocations = wl.invocations;
+    bundle.memPattern = 1;
+    return jsonOfReproBundle(bundle).dump(0);
+}
+
+TEST_F(CacheDiskTest, ServeBatchRespondsInInputOrder)
+{
+    Suite suite = quickSuite();
+    const WorkloadLoop &wl = suite.loops.front();
+    std::string line = requestLineOf(suite, wl, Technique::Selective);
+
+    std::stringstream in;
+    in << line << "\n";
+    in << line << "\n";          // dedup follower
+    in << "this is not json\n";  // malformed, still answered in place
+    in << line << "\n";          // another follower
+
+    std::stringstream out;
+    ServeOptions options;
+    options.jobs = 8;
+    ServeSummary summary = serveBatch(in, out, options);
+    EXPECT_EQ(summary.requests, 4);
+    EXPECT_EQ(summary.ok, 3);
+    EXPECT_EQ(summary.malformed, 1);
+    EXPECT_EQ(summary.deduped, 2);
+    EXPECT_GT(delta().store, 0);
+
+    std::vector<std::string> lines;
+    std::string response;
+    while (std::getline(out, response))
+        lines.push_back(response);
+    ASSERT_EQ(lines.size(), 4u);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        Expected<JsonValue> doc = parseJson(lines[i]);
+        ASSERT_TRUE(doc.ok()) << lines[i];
+        EXPECT_EQ(doc.value().find("schema")->stringValue(),
+                  kServeSchema);
+        EXPECT_EQ(doc.value().find("index")->intValue(),
+                  static_cast<int64_t>(i));
+        EXPECT_EQ(doc.value().find("ok")->boolValue(), i != 2);
+    }
+    // The dedup followers share the leader's compile and provenance.
+    Expected<JsonValue> first = parseJson(lines[0]);
+    Expected<JsonValue> last = parseJson(lines[3]);
+    EXPECT_EQ(first.value().find("cycles")->intValue(),
+              last.value().find("cycles")->intValue());
+    EXPECT_EQ(first.value().find("source")->stringValue(),
+              last.value().find("source")->stringValue());
+
+    // A warm batch in a "new process" answers from disk with the
+    // same response bytes apart from provenance.
+    compileCacheClear();
+    std::stringstream in2, out2;
+    in2 << line << "\n";
+    serveBatch(in2, out2, options);
+    Expected<JsonValue> warm = parseJson(out2.str());
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm.value().find("source")->stringValue(), "disk");
+    EXPECT_EQ(warm.value().find("cycles")->intValue(),
+              first.value().find("cycles")->intValue());
+}
+
+TEST_F(CacheDiskTest, ServeBatchOutputIsJobCountInvariant)
+{
+    Suite suite = quickSuite();
+    std::string batch;
+    for (const WorkloadLoop &wl : suite.loops) {
+        batch += requestLineOf(suite, wl, Technique::Selective) + "\n";
+        batch += requestLineOf(suite, wl, Technique::ModuloOnly) + "\n";
+    }
+
+    // Fully cold both times — the `source` provenance field honestly
+    // reports cache state, so byte-identity is only promised for
+    // equal starting states.
+    compileCacheClear();
+    fs::remove_all(dir);
+    std::stringstream in1(batch), out1;
+    ServeOptions serial;
+    serial.jobs = 1;
+    serveBatch(in1, out1, serial);
+
+    compileCacheClear();
+    fs::remove_all(dir);
+    std::stringstream in8(batch), out8;
+    ServeOptions parallel;
+    parallel.jobs = 8;
+    serveBatch(in8, out8, parallel);
+
+    EXPECT_EQ(out1.str(), out8.str());
+}
+
+TEST_F(CacheDiskTest, ConcurrentServeBatchesShareTheDirectory)
+{
+    Suite suite = quickSuite();
+    std::string batch;
+    for (const WorkloadLoop &wl : suite.loops)
+        batch += requestLineOf(suite, wl, Technique::Selective) + "\n";
+
+    std::string outA, outB;
+    std::thread a([&] {
+        std::stringstream in(batch), out;
+        ServeOptions options;
+        options.jobs = 8;
+        serveBatch(in, out, options);
+        outA = out.str();
+    });
+    std::thread b([&] {
+        std::stringstream in(batch), out;
+        ServeOptions options;
+        options.jobs = 8;
+        serveBatch(in, out, options);
+        outB = out.str();
+    });
+    a.join();
+    b.join();
+    // The two batches race for the in-memory cache, so which one
+    // reports "memory" vs "compiled" provenance is timing-dependent;
+    // everything else — results, cycles, order — must agree.
+    auto stripSource = [](std::string text) {
+        static const std::regex re("\"source\": \"[a-z]+\"");
+        return std::regex_replace(text, re, "\"source\": \"*\"");
+    };
+    EXPECT_EQ(stripSource(outA), stripSource(outB));
+
+    // Both batches' entries landed intact: a cold in-memory run
+    // serves everything from disk.
+    compileCacheClear();
+    int64_t hit0 = delta().hit;
+    std::stringstream in(batch), out;
+    ServeOptions options;
+    options.jobs = 8;
+    ServeSummary summary = serveBatch(in, out, options);
+    EXPECT_EQ(summary.failed, 0);
+    EXPECT_GT(delta().hit, hit0);
+}
+
+} // anonymous namespace
+} // namespace selvec

@@ -148,14 +148,23 @@ def compare_counters(base_doc, cand_doc, base_name, cand_name):
 
 
 def load(path):
+    # A missing, truncated or non-bench document is a hard usage
+    # error (exit 2) no matter what --strict says: exit 1 is reserved
+    # for a *comparison* verdict, and a CI lane whose candidate file
+    # vanished must never be mistaken for a lane that measured a
+    # regression (or worse, for a clean warn-only pass).
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"bench_compare: cannot read {path}: {err}")
-    if doc.get("schema") != SCHEMA:
-        sys.exit(f"bench_compare: {path} is not a {SCHEMA} document "
-                 f"(schema: {doc.get('schema')!r})")
+        print(f"bench_compare: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        print(f"bench_compare: {path} is not a {SCHEMA} document "
+              f"(schema: {schema!r})", file=sys.stderr)
+        sys.exit(2)
     return doc
 
 
@@ -184,10 +193,14 @@ def main():
     cand_doc = load(args.candidate)
 
     if base_doc.get("mode") != cand_doc.get("mode"):
-        sys.exit(f"bench_compare: mode mismatch "
-                 f"({base_doc.get('mode')!r} vs {cand_doc.get('mode')!r}); "
-                 f"quick- and full-mode cycle counts use different "
-                 f"workload weights and are not comparable")
+        # Incomparable documents are the same hard-error class as
+        # unreadable ones.
+        print(f"bench_compare: mode mismatch "
+              f"({base_doc.get('mode')!r} vs {cand_doc.get('mode')!r}); "
+              f"quick- and full-mode cycle counts use different "
+              f"workload weights and are not comparable",
+              file=sys.stderr)
+        sys.exit(2)
 
     if args.counters:
         return compare_counters(base_doc, cand_doc,

@@ -8,9 +8,10 @@ Checks that the comparator (a) passes a document against itself,
 --strict, (c) stays warn-only (exit 0) without --strict, (d) refuses
 to compare documents from different modes, (e) skips zero-baseline
 cycle metrics with a warning instead of dividing by zero or silently
-dropping them, and (j) tolerates a quarantined-loop "failures" array
+dropping them, (j) tolerates a quarantined-loop "failures" array
 with a warning by default but gates candidate failures under
---strict.
+--strict, and (k) treats a missing, malformed or wrong-schema
+candidate as a hard error (exit 2) regardless of --strict.
 
 Given the hot-path document, additionally checks --counters mode:
 (f) self-compare passes, (g) a single off-by-one counter fails,
@@ -239,6 +240,35 @@ def main():
         check("baseline quarantine passes under --strict",
               r.returncode == 0
               and "warning: baseline quarantined loop" in r.stdout)
+
+        # A missing, malformed or non-bench candidate is a hard
+        # error (exit 2) with or without --strict: it must never
+        # read as a warn-only pass or as a measured regression.
+        missing = os.path.join(tmp, "does_not_exist.json")
+        r = run(baseline, missing)
+        check("missing candidate is a hard error without --strict",
+              r.returncode == 2 and "cannot read" in r.stderr)
+        r = run(baseline, missing, "--strict")
+        check("missing candidate is a hard error under --strict",
+              r.returncode == 2 and "cannot read" in r.stderr)
+
+        garbled_path = os.path.join(tmp, "garbled.json")
+        with open(garbled_path, "w", encoding="utf-8") as f:
+            f.write('{"schema": "selvec-bench-v1", "suites": [tru')
+        r = run(baseline, garbled_path)
+        check("malformed candidate is a hard error without --strict",
+              r.returncode == 2 and "cannot read" in r.stderr)
+        r = run(baseline, garbled_path, "--strict")
+        check("malformed candidate is a hard error under --strict",
+              r.returncode == 2 and "cannot read" in r.stderr)
+
+        alien_path = os.path.join(tmp, "alien.json")
+        with open(alien_path, "w", encoding="utf-8") as f:
+            json.dump({"schema": "something-else-v9"}, f)
+        r = run(baseline, alien_path, "--strict")
+        check("wrong-schema candidate is a hard error",
+              r.returncode == 2
+              and "is not a selvec-bench-v1 document" in r.stderr)
 
     if len(sys.argv) == 3:
         check_counters(sys.argv[2], check)

@@ -3,17 +3,28 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the seven
+Checks that the workflow parses as YAML and still carries the eight
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
-(fuzzish label under ASan/UBSan), tsan (parallel + fuzzish labels
-under ThreadSanitizer), format, bench-smoke (jobs-determinism check,
-JSON artifact + baseline comparison), perf-smoke (hotpath tests,
-SELVEC_CHECK_INCREMENTAL cross-check run, artifact upload and the
-exact-counter gate against BENCH_hotpath.json), and fuzz-smoke
-(containment label, the deadline-bounded selvec_fuzz sweep with
---repro-dir and --replay-check, and the on-failure repro-bundle
-artifact upload) — so a refactor of the workflow cannot silently
-drop one.  Registered as a ctest.
+(fuzzish label under ASan/UBSan), tsan (parallel + fuzzish +
+cachedisk labels under ThreadSanitizer), format, bench-smoke
+(jobs-determinism check, JSON artifact + baseline comparison),
+perf-smoke (hotpath tests, SELVEC_CHECK_INCREMENTAL cross-check run,
+artifact upload and the exact-counter gate against
+BENCH_hotpath.json), fuzz-smoke (containment label, the
+deadline-bounded selvec_fuzz sweep with --repro-dir and
+--replay-check, and the on-failure repro-bundle artifact upload) and
+cache-persist (cachedisk label, cold/warm --cache-dir runs compared
+byte-for-byte, the warm disk-hit and corrupt-entry stderr
+assertions, and the cache-directory artifact upload) — so a
+refactor of the workflow cannot silently drop one.
+
+Beyond the lanes it pins the operational contract: every job must
+carry timeout-minutes, the nightly fuzz-extended job must exist,
+be gated on the schedule trigger and run exactly 5000 seeds while
+fuzz-smoke runs exactly 200 — the two counts are checked
+independently so scaling one cannot silently scale (or drop) the
+other.  Registered as a ctest; tools/test_validate_ci.py mutates a
+workflow copy to prove each check fires.
 """
 
 import os
@@ -52,15 +63,25 @@ def main():
         fail("workflow has no `on:` triggers")
     if "push" not in triggers or "pull_request" not in triggers:
         fail("workflow must trigger on push and pull_request")
+    if "schedule" not in triggers:
+        fail("workflow must carry the schedule trigger "
+             "(the nightly fuzz-extended sweep rides on it)")
 
     jobs = doc.get("jobs")
     if not isinstance(jobs, dict):
         fail("workflow has no jobs")
 
     for required in ("build-test", "sanitize", "tsan", "format",
-                     "bench-smoke", "perf-smoke", "fuzz-smoke"):
+                     "bench-smoke", "perf-smoke", "fuzz-smoke",
+                     "cache-persist"):
         if required not in jobs:
             fail(f"required job missing: {required}")
+
+    for name, job in jobs.items():
+        # A job without a timeout idles a wedged runner for the
+        # 6-hour GitHub default.
+        if not isinstance(job.get("timeout-minutes"), int):
+            fail(f"job {name} has no timeout-minutes")
 
     matrix = jobs["build-test"].get("strategy", {}).get("matrix", {})
     if sorted(matrix.get("compiler", [])) != ["clang", "gcc"]:
@@ -83,8 +104,10 @@ def main():
     tsan = steps_text("tsan")
     if "SELVEC_SANITIZE=thread" not in tsan:
         fail("tsan must configure -DSELVEC_SANITIZE=thread")
-    if "parallel" not in tsan or "fuzzish" not in tsan:
-        fail("tsan must run the parallel and fuzzish ctest labels")
+    if "parallel" not in tsan or "fuzzish" not in tsan \
+            or "cachedisk" not in tsan:
+        fail("tsan must run the parallel, fuzzish and cachedisk "
+             "ctest labels")
     if "clang-format" not in steps_text("format"):
         fail("format job must invoke clang-format")
     bench = steps_text("bench-smoke")
@@ -123,8 +146,53 @@ def main():
         fail("fuzz-smoke must write and replay-check repro bundles")
     if "upload-artifact" not in fuzz:
         fail("fuzz-smoke must upload repro bundles on failure")
+    # The two seed counts are pinned independently: a refactor that
+    # parameterizes both from one variable could otherwise scale the
+    # push gate to nightly depth (or the nightly sweep down to the
+    # smoke count) in one edit nobody reviews.
+    if "--seeds 200" not in fuzz:
+        fail("fuzz-smoke must run exactly --seeds 200")
 
-    print(f"ok: {os.path.relpath(path)} has all seven contract lanes")
+    if "fuzz-extended" not in jobs:
+        fail("required job missing: fuzz-extended")
+    if "schedule" not in str(jobs["fuzz-extended"].get("if", "")):
+        fail("fuzz-extended must be gated on the schedule trigger")
+    ext = steps_text("fuzz-extended")
+    if "--seeds 5000" not in ext:
+        fail("fuzz-extended must run exactly --seeds 5000")
+    if "--replay-check" not in ext or "--repro-dir" not in ext:
+        fail("fuzz-extended must write and replay-check repro bundles")
+    if "upload-artifact" not in ext:
+        fail("fuzz-extended must upload repro bundles on failure")
+
+    persist = steps_text("cache-persist")
+    if "-L cachedisk" not in persist:
+        fail("cache-persist must run the cachedisk ctest label")
+    if persist.count("--cache-dir") < 3:
+        fail("cache-persist must run cold, warm and post-corruption "
+             "bench passes against one --cache-dir")
+    if "--jobs 8" not in persist or "--jobs 1" not in persist:
+        fail("cache-persist must check warm byte-identity at "
+             "--jobs 1 and --jobs 8")
+    if "cmp " not in persist:
+        fail("cache-persist must byte-compare cold and warm documents")
+    if "hit=[1-9]" not in persist:
+        fail("cache-persist must assert disk hits on the warm run")
+    if "corrupt=[1-9]" not in persist:
+        fail("cache-persist must corrupt an entry and assert the "
+             "corrupt counter")
+    # Warm runs never probe schedule-level entries (a compile-level
+    # disk hit skips the nested lookups), so corrupting an arbitrary
+    # entry can make the corrupt-counter assertion vacuous.
+    if '"level": "compile"' not in persist:
+        fail("cache-persist must corrupt a compile-level entry "
+             "(schedule-level entries are not probed on warm runs)")
+    if "quarantine" not in persist:
+        fail("cache-persist must check the quarantined entry remains")
+    if "upload-artifact" not in persist:
+        fail("cache-persist must upload the cache directory artifact")
+
+    print(f"ok: {os.path.relpath(path)} has all eight contract lanes")
 
 
 if __name__ == "__main__":
