@@ -17,6 +17,9 @@
  *                   (default: hardware concurrency; --jobs 1 is
  *                   today's serial behavior). Reports and JSON
  *                   documents are byte-identical for every N;
+ *   --partition S   Selective partitioner strategy: kl (default),
+ *                   exact (the branch-and-bound oracle) or auto
+ *                   (exact up to the vectorizable-op threshold);
  *   --no-cache      disable the structural compile cache (every
  *                   request compiles from scratch; results are
  *                   unchanged, only cache.* stats disappear);
@@ -42,6 +45,10 @@
  *   --cache-max-mb N
  *                   size cap for --cache-dir; least-recently-used
  *                   entries are evicted past it (0: unbounded).
+ *
+ * Numeric flag values are parsed strictly (support/parsenum): a
+ * non-numeric, negative or trailing-garbage count is a usage error
+ * with exit 2, never a silent 0.
  */
 
 #ifndef SELVEC_BENCH_BENCH_COMMON_HH
@@ -58,6 +65,7 @@
 #include "driver/evaluate.hh"
 #include "driver/reportjson.hh"
 #include "support/faultinject.hh"
+#include "support/parsenum.hh"
 #include "workloads/workloads.hh"
 
 namespace selvec
@@ -73,6 +81,8 @@ struct BenchCli
     std::string reproDir;       ///< empty: no repro bundles
     std::string cacheDir;       ///< empty: no on-disk cache
     int64_t cacheMaxMb = 0;     ///< disk cache cap (0: unbounded)
+    bool noCache = false;       ///< --no-cache given
+    PartitionStrategy partitionStrategy = PartitionStrategy::Kl;
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     const char *mode() const { return quick ? "quick" : "full"; }
@@ -85,6 +95,7 @@ struct BenchCli
         options.jobs = jobs;
         options.deadlineMs = deadlineMs;
         options.reproDir = reproDir;
+        options.driver.partition.strategy = partitionStrategy;
         if (maxCyclesFactor > 0)
             options.driver.scheduling.watchdogFactor =
                 maxCyclesFactor;
@@ -95,6 +106,27 @@ struct BenchCli
     parse(int argc, char **argv)
     {
         BenchCli cli;
+        auto usageDie = [](const char *flag, const char *text) {
+            std::fprintf(
+                stderr,
+                "%s: expected a non-negative integer, got '%s'\n"
+                "usage: [--quick] [--json F] [--jobs N] "
+                "[--partition kl|exact|auto]\n"
+                "       [--deadline-ms N] [--max-cycles-factor N] "
+                "[--repro-dir D]\n"
+                "       [--faults SPEC] [--cache-dir D] "
+                "[--cache-max-mb N] [--no-cache]\n",
+                flag, text);
+            std::exit(2);
+        };
+        // Strict numeric flags: `--jobs abc` (or `--jobs=`) must be
+        // a usage error, not a silent jobs=0 run.
+        auto count = [&](const char *flag, const char *text) {
+            int64_t value = 0;
+            if (!parseNonNegInt(text, &value))
+                usageDie(flag, text);
+            return value;
+        };
         auto armFaults = [](const std::string &spec) {
             Expected<FaultPlan> plan = parseFaultPlan(spec);
             if (!plan.ok()) {
@@ -103,6 +135,18 @@ struct BenchCli
                 std::exit(2);
             }
             installFaultPlan(plan.value());
+        };
+        auto strategy = [&](const std::string &text) {
+            PartitionStrategy parsed;
+            if (!parsePartitionStrategy(text, &parsed)) {
+                std::fprintf(stderr,
+                             "--partition: expected kl, exact or "
+                             "auto, got '%s'\nusage: --partition "
+                             "kl|exact|auto\n",
+                             text.c_str());
+                std::exit(2);
+            }
+            return parsed;
         };
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -113,17 +157,26 @@ struct BenchCli
             } else if (arg.rfind("--json=", 0) == 0) {
                 cli.jsonPath = arg.substr(7);
             } else if (arg == "--jobs" && i + 1 < argc) {
-                cli.jobs = std::atoi(argv[++i]);
+                cli.jobs = static_cast<int>(
+                    count("--jobs", argv[++i]));
             } else if (arg.rfind("--jobs=", 0) == 0) {
-                cli.jobs = std::atoi(arg.c_str() + 7);
+                cli.jobs = static_cast<int>(
+                    count("--jobs", arg.c_str() + 7));
+            } else if (arg == "--partition" && i + 1 < argc) {
+                cli.partitionStrategy = strategy(argv[++i]);
+            } else if (arg.rfind("--partition=", 0) == 0) {
+                cli.partitionStrategy = strategy(arg.substr(12));
             } else if (arg == "--deadline-ms" && i + 1 < argc) {
-                cli.deadlineMs = std::atoll(argv[++i]);
+                cli.deadlineMs = count("--deadline-ms", argv[++i]);
             } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-                cli.deadlineMs = std::atoll(arg.c_str() + 14);
+                cli.deadlineMs =
+                    count("--deadline-ms", arg.c_str() + 14);
             } else if (arg == "--max-cycles-factor" && i + 1 < argc) {
-                cli.maxCyclesFactor = std::atoll(argv[++i]);
+                cli.maxCyclesFactor =
+                    count("--max-cycles-factor", argv[++i]);
             } else if (arg.rfind("--max-cycles-factor=", 0) == 0) {
-                cli.maxCyclesFactor = std::atoll(arg.c_str() + 20);
+                cli.maxCyclesFactor =
+                    count("--max-cycles-factor", arg.c_str() + 20);
             } else if (arg == "--repro-dir" && i + 1 < argc) {
                 cli.reproDir = argv[++i];
             } else if (arg.rfind("--repro-dir=", 0) == 0) {
@@ -137,16 +190,21 @@ struct BenchCli
             } else if (arg.rfind("--cache-dir=", 0) == 0) {
                 cli.cacheDir = arg.substr(12);
             } else if (arg == "--cache-max-mb" && i + 1 < argc) {
-                cli.cacheMaxMb = std::atoll(argv[++i]);
+                cli.cacheMaxMb = count("--cache-max-mb", argv[++i]);
             } else if (arg.rfind("--cache-max-mb=", 0) == 0) {
-                cli.cacheMaxMb = std::atoll(arg.c_str() + 15);
+                cli.cacheMaxMb =
+                    count("--cache-max-mb", arg.c_str() + 15);
             } else if (arg == "--no-cache") {
+                cli.noCache = true;
                 compileCacheSetEnabled(false);
             } else {
                 cli.rest.push_back(arg);
             }
         }
-        if (!cli.cacheDir.empty())
+        // --no-cache wins over --cache-dir regardless of flag order:
+        // a disabled cache must never configure (or write) the disk
+        // layer.
+        if (!cli.noCache && !cli.cacheDir.empty())
             diskCacheConfigure(cli.cacheDir, cli.cacheMaxMb);
         return cli;
     }

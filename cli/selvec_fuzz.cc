@@ -5,6 +5,7 @@
  *
  *   selvec_fuzz [--seeds N] [--seed-start N] [--deadline-ms N]
  *               [--repro-dir D] [--force-fault SPEC] [--replay-check]
+ *               [--optgap]
  *
  * Each seed deterministically derives a generated loop, a randomized
  * stock-machine variant, a technique, a trip count and (for ~30% of
@@ -28,6 +29,15 @@
  * bundle and asserts selvec_replay-style reproduction, closing the
  * loop on bundle fidelity.
  *
+ * --optgap switches to the differential partition-oracle sweep: each
+ * seed's loop is partitioned twice — the KL heuristic against the
+ * exact branch-and-bound oracle — and the sweep asserts the oracle
+ * never costs more than KL (it starts from the KL incumbent, so a
+ * regression is a bug in the search, not bad luck). Any seed with a
+ * strict gap is additionally replayed end-to-end under
+ * strategy=exact: the cheaper partition must still produce a
+ * checker-clean program. Fault injection is disabled in this mode.
+ *
  * The sweep is serial by design: fault plans are process-global.
  */
 
@@ -36,6 +46,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/depgraph.hh"
+#include "analysis/vectorizable.hh"
+#include "core/partition.hh"
 #include "driver/repro.hh"
 #include "lir/lir.hh"
 #include "support/faultinject.hh"
@@ -55,6 +68,7 @@ struct FuzzConfig
     std::string reproDir;
     std::string forceFault;
     bool replayCheck = false;
+    bool optgap = false;
 };
 
 enum class OutcomeClass { Clean, Contained, Finding };
@@ -201,6 +215,89 @@ minimizeFinding(const ReproBundle &finding)
     return best;
 }
 
+/**
+ * The differential partition-oracle sweep (--optgap): for every seed,
+ * KL vs the exact branch-and-bound oracle on the same loop/machine.
+ * Exit 1 on any violation of exact_cost <= kl_cost, or on a gap seed
+ * whose exact-strategy end-to-end replay is a finding.
+ */
+int
+runOptgapSweep(const FuzzConfig &config)
+{
+    int checked = 0, skipped = 0, gaps = 0, findings = 0;
+    for (int i = 0; i < config.seeds; ++i) {
+        uint64_t seed = config.seedStart + static_cast<uint64_t>(i);
+        ReproBundle bundle = candidateForSeed(seed, config);
+        // No fault injection: this sweep differentiates two clean
+        // partitioners, not the containment layer.
+        bundle.faultPlan.clear();
+        bundle.technique = Technique::Selective;
+
+        const Loop &loop = bundle.module.loops.front();
+        DepGraph graph(bundle.module.arrays, loop, bundle.machine);
+        VectAnalysis va = analyzeVectorizable(
+            loop, graph, bundle.machine, bundle.options.vectorize);
+
+        PartitionOptions popt = bundle.options.partition;
+        popt.strategy = PartitionStrategy::Kl;
+        PartitionResult kl =
+            partitionOps(loop, va, bundle.machine, popt);
+        popt.strategy = PartitionStrategy::Exact;
+        PartitionResult exact =
+            partitionOps(loop, va, bundle.machine, popt);
+        ++checked;
+
+        if (!exact.exactProven) {
+            // Budget stop: Unproven keeps the KL incumbent, so the
+            // inequality below still holds; count it separately.
+            ++skipped;
+        }
+        if (exact.bestCost > kl.bestCost ||
+            exact.klCost != kl.bestCost || exact.exactGap < 0) {
+            ++findings;
+            std::printf("seed %llu: FINDING: exact cost %lld vs KL "
+                        "%lld (recorded kl=%lld gap=%lld)\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<long long>(exact.bestCost),
+                        static_cast<long long>(kl.bestCost),
+                        static_cast<long long>(exact.klCost),
+                        static_cast<long long>(exact.exactGap));
+            continue;
+        }
+        if (exact.exactGap == 0)
+            continue;
+
+        // A strict gap: the cheaper partition must still compile to a
+        // checker-clean program end to end. Contained structured
+        // failures (schedule exhaustion, watchdog) are tolerated —
+        // the oracle changes the partition, not the containment
+        // contract.
+        ++gaps;
+        bundle.options.partition.strategy = PartitionStrategy::Exact;
+        Status status = replayBundle(bundle).status;
+        if (classify(status) == OutcomeClass::Finding) {
+            ++findings;
+            std::printf("seed %llu: FINDING: gap %lld but exact "
+                        "replay failed: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<long long>(exact.exactGap),
+                        status.str().c_str());
+        } else {
+            std::printf("seed %llu: gap %lld (KL %lld -> exact %lld)"
+                        ", exact replay %s\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<long long>(exact.exactGap),
+                        static_cast<long long>(kl.bestCost),
+                        static_cast<long long>(exact.bestCost),
+                        status.ok() ? "clean" : "contained");
+        }
+    }
+    std::printf("optgap: %d seeds, %d checked, %d unproven, %d gaps, "
+                "%d findings\n",
+                config.seeds, checked, skipped, gaps, findings);
+    return findings != 0 ? 1 : 0;
+}
+
 } // anonymous namespace
 
 int
@@ -245,15 +342,19 @@ main(int argc, char **argv)
             // consumed
         } else if (arg == "--replay-check") {
             config.replayCheck = true;
+        } else if (arg == "--optgap") {
+            config.optgap = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: selvec_fuzz [--seeds N] [--seed-start N] "
                 "[--deadline-ms N] [--repro-dir D] "
-                "[--force-fault SPEC] [--replay-check]\n");
+                "[--force-fault SPEC] [--replay-check] [--optgap]\n");
             return 2;
         }
     }
+    if (config.optgap)
+        return runOptgapSweep(config);
     if (!config.forceFault.empty()) {
         Expected<FaultPlan> plan = parseFaultPlan(config.forceFault);
         if (!plan.ok()) {

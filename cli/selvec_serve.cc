@@ -18,13 +18,16 @@
  *
  * Exit status: 0 when every request succeeded, 1 when any request
  * failed or was malformed (the batch still ran to completion), 2 on
- * usage or input-file errors.
+ * usage or input-file errors. Numeric flag values are parsed
+ * strictly: `--jobs abc` is a usage error, never a silent jobs=0
+ * batch. --no-cache wins over --cache-dir regardless of flag order.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "driver/compilecache.hh"
 #include "driver/diskcache.hh"
@@ -46,86 +49,57 @@ usage()
     return 2;
 }
 
-/** Parse "--flag VAL" or "--flag=VAL"; advances *i past the value. */
-bool
-flagValue(int argc, char **argv, int *i, const char *flag,
-          const char **out)
-{
-    size_t n = std::strlen(flag);
-    if (std::strncmp(argv[*i], flag, n) != 0)
-        return false;
-    if (argv[*i][n] == '=') {
-        *out = argv[*i] + n + 1;
-        return true;
-    }
-    if (argv[*i][n] == '\0' && *i + 1 < argc) {
-        *out = argv[++*i];
-        return true;
-    }
-    return false;
-}
-
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    const char *inputPath = nullptr;
-    const char *outputPath = nullptr;
-    const char *cacheDir = nullptr;
-    const char *value = nullptr;
-    int64_t cacheMaxMb = 0;
-    ServeOptions options;
-
-    for (int i = 1; i < argc; ++i) {
-        if (flagValue(argc, argv, &i, "--output", &value)) {
-            outputPath = value;
-        } else if (flagValue(argc, argv, &i, "--jobs", &value)) {
-            options.jobs = std::atoi(value);
-        } else if (flagValue(argc, argv, &i, "--cache-dir", &value)) {
-            cacheDir = value;
-        } else if (flagValue(argc, argv, &i, "--cache-max-mb",
-                             &value)) {
-            cacheMaxMb = std::atoll(value);
-        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-            compileCacheSetEnabled(false);
-        } else if (std::strncmp(argv[i], "--", 2) == 0) {
-            return usage();
-        } else if (inputPath == nullptr) {
-            inputPath = argv[i];
-        } else {
-            return usage();
-        }
+    Expected<ServeCliConfig> parsed =
+        parseServeArgs(std::vector<std::string>(argv + 1,
+                                                argv + argc));
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "selvec_serve: %s\n",
+                     parsed.status().message().c_str());
+        return usage();
     }
+    const ServeCliConfig &cfg = parsed.value();
 
-    if (cacheDir != nullptr)
-        diskCacheConfigure(cacheDir, cacheMaxMb);
+    if (cfg.noCache)
+        compileCacheSetEnabled(false);
+    // --no-cache wins over --cache-dir regardless of flag order: a
+    // disabled cache must never configure (or write) the disk layer,
+    // and every response then reports "compiled" provenance.
+    if (cfg.diskCacheWanted())
+        diskCacheConfigure(cfg.cacheDir, cfg.cacheMaxMb);
+
+    ServeOptions options;
+    options.jobs = cfg.jobs;
 
     std::ifstream inFile;
-    if (inputPath != nullptr) {
-        inFile.open(inputPath);
+    if (!cfg.inputPath.empty()) {
+        inFile.open(cfg.inputPath);
         if (!inFile) {
             std::fprintf(stderr,
                          "selvec_serve: cannot open '%s'\n",
-                         inputPath);
+                         cfg.inputPath.c_str());
             return 2;
         }
     }
-    std::istream &in = inputPath != nullptr
+    std::istream &in = !cfg.inputPath.empty()
                            ? static_cast<std::istream &>(inFile)
                            : std::cin;
 
     std::ofstream outFile;
-    if (outputPath != nullptr) {
-        outFile.open(outputPath, std::ios::trunc);
+    if (!cfg.outputPath.empty()) {
+        outFile.open(cfg.outputPath, std::ios::trunc);
         if (!outFile) {
             std::fprintf(stderr,
                          "selvec_serve: cannot write '%s'\n",
-                         outputPath);
+                         cfg.outputPath.c_str());
             return 2;
         }
     }
-    std::ostream &out = outputPath != nullptr
+    std::ostream &out = !cfg.outputPath.empty()
                             ? static_cast<std::ostream &>(outFile)
                             : std::cout;
 

@@ -20,6 +20,8 @@
  *                  compile+simulate fan-out (default: hardware
  *                  concurrency; 1 is serial). Output is identical
  *                  for every N.
+ *   --partition S  Selective partitioner strategy: kl (default),
+ *                  exact (the branch-and-bound oracle) or auto
  *   --no-cache     disable the structural compile cache
  *
  * Every live-in is bound to a small default value (f64: 0.5, i64: 3);
@@ -31,12 +33,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/partition.hh"
 #include "driver/compilecache.hh"
 #include "driver/driver.hh"
 #include "driver/reportjson.hh"
 #include "lir/lir.hh"
 #include "machine/machine.hh"
 #include "pipeline/printer.hh"
+#include "support/parsenum.hh"
 #include "support/stats.hh"
 #include "support/threadpool.hh"
 #include "support/trace.hh"
@@ -82,6 +86,30 @@ main(int argc, char **argv)
     std::string json_path;
     int jobs = 0;
     std::vector<std::string> positional;
+    // Strict numeric parsing: `--jobs abc` is a usage error (exit 2),
+    // never a silent jobs=0 run.
+    auto count = [](const char *flag, const char *text) {
+        int64_t value = 0;
+        if (!parseNonNegInt(text, &value)) {
+            std::fprintf(stderr,
+                         "%s: expected a non-negative integer, "
+                         "got '%s'\n",
+                         flag, text);
+            std::exit(2);
+        }
+        return value;
+    };
+    auto strategy = [&](const std::string &text) {
+        PartitionStrategy parsed;
+        if (!parsePartitionStrategy(text, &parsed)) {
+            std::fprintf(stderr,
+                         "--partition: expected kl, exact or auto, "
+                         "got '%s'\n",
+                         text.c_str());
+            std::exit(2);
+        }
+        driver_options.partition.strategy = parsed;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--aligned")
@@ -97,9 +125,14 @@ main(int argc, char **argv)
         else if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
         else if (arg == "--jobs" && i + 1 < argc)
-            jobs = std::atoi(argv[++i]);
+            jobs = static_cast<int>(count("--jobs", argv[++i]));
         else if (arg.rfind("--jobs=", 0) == 0)
-            jobs = std::atoi(arg.c_str() + 7);
+            jobs = static_cast<int>(
+                count("--jobs", arg.c_str() + 7));
+        else if (arg == "--partition" && i + 1 < argc)
+            strategy(argv[++i]);
+        else if (arg.rfind("--partition=", 0) == 0)
+            strategy(arg.substr(12));
         else if (arg == "--no-cache")
             compileCacheSetEnabled(false);
         else

@@ -1,6 +1,7 @@
 #include "core/partition.hh"
 
 #include "core/comm.hh"
+#include "core/partition_exact.hh"
 #include "support/deadline.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
@@ -9,6 +10,95 @@
 
 namespace selvec
 {
+
+const char *
+partitionStrategyName(PartitionStrategy strategy)
+{
+    switch (strategy) {
+    case PartitionStrategy::Kl: return "kl";
+    case PartitionStrategy::Exact: return "exact";
+    case PartitionStrategy::Auto: return "auto";
+    }
+    SV_FATAL("unknown partition strategy %d",
+             static_cast<int>(strategy));
+}
+
+bool
+parsePartitionStrategy(const std::string &text, PartitionStrategy *out)
+{
+    if (text == "kl") {
+        *out = PartitionStrategy::Kl;
+    } else if (text == "exact") {
+        *out = PartitionStrategy::Exact;
+    } else if (text == "auto") {
+        *out = PartitionStrategy::Auto;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Whether the exact oracle runs for a loop with `candidates`
+ *  vectorizable ops under `options`. */
+bool
+wantExact(const PartitionOptions &options, size_t candidates)
+{
+    switch (options.strategy) {
+    case PartitionStrategy::Kl:
+        return false;
+    case PartitionStrategy::Exact:
+        return true;
+    case PartitionStrategy::Auto:
+        return candidates <=
+               static_cast<size_t>(options.exactThreshold);
+    }
+    return false;
+}
+
+/**
+ * Run the branch-and-bound oracle on top of the KL incumbent held in
+ * `result`, adopting its assignment only when strictly better (so a
+ * zero-gap exact run reproduces the KL partition bit for bit), and
+ * record the partition.exact.* stats.
+ */
+void
+refineExact(const Loop &loop, const VectAnalysis &va,
+            const Machine &machine, const PartitionOptions &options,
+            PartitionResult &result)
+{
+    ExactSearchOptions exact_options;
+    exact_options.cost = options.cost;
+    exact_options.maxNodes = options.exactMaxNodes;
+    ExactSearchResult exact = exactPartitionSearch(
+        loop, va, machine, result.vectorize, result.bestCost,
+        exact_options);
+
+    result.exactUsed = true;
+    result.exactProven = exact.proven;
+    result.exactNodes = exact.nodes;
+    result.exactPruned = exact.pruned;
+    result.klCost = result.bestCost;
+    result.exactGap = result.bestCost - exact.bestCost;
+    result.deadlineStopped |= exact.deadlineStopped;
+    SV_ASSERT(result.exactGap >= 0,
+              "exact search returned a worse cost than its incumbent");
+    if (exact.bestCost < result.bestCost) {
+        result.vectorize = exact.vectorize;
+        result.bestCost = exact.bestCost;
+    }
+
+    StatsRegistry &stats = globalStats();
+    stats.add("partition.exact.nodes", result.exactNodes);
+    stats.add("partition.exact.pruned", result.exactPruned);
+    if (result.exactProven)
+        stats.add("partition.exact.proven");
+    stats.add("partition.exact.gap", result.exactGap);
+}
+
+} // anonymous namespace
 
 PartitionResult
 partitionOps(const Loop &loop, const VectAnalysis &va,
@@ -34,6 +124,14 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
 
     if (candidates.empty()) {
         result.bestCost = result.allScalarCost;
+        if (wantExact(options, 0)) {
+            // Nothing to search: the single assignment is trivially
+            // the proven optimum.
+            result.exactUsed = true;
+            result.exactProven = true;
+            result.klCost = result.bestCost;
+            globalStats().add("partition.exact.proven");
+        }
         globalStats().add("partition.runs");
         return result;
     }
@@ -118,6 +216,12 @@ partitionOps(const Loop &loop, const VectAnalysis &va,
     result.vectorize = best;
     result.bestCost = best_cost;
 
+    // The exact tier refines the KL incumbent; a deadline-stopped KL
+    // search skips it — the caller is about to convert the stop into
+    // a status anyway.
+    if (!result.deadlineStopped && wantExact(options, candidates.size()))
+        refineExact(loop, va, machine, options, result);
+
     {
         DefUse du(loop);
         for (XferDir dir :
@@ -147,6 +251,14 @@ tryPartitionOps(const Loop &loop, const VectAnalysis &va,
             ErrorCode::InvalidInput, "partition",
             strfmt("maxIterations must be >= 0 (got %d)",
                    options.maxIterations));
+    }
+    if (options.exactThreshold < 0 || options.exactMaxNodes < 0) {
+        return Status::error(
+            ErrorCode::InvalidInput, "partition",
+            strfmt("exactThreshold (%d) and exactMaxNodes (%lld) "
+                   "must be >= 0",
+                   options.exactThreshold,
+                   static_cast<long long>(options.exactMaxNodes)));
     }
     if (faultPointHit("partition.kl")) {
         return Status::error(

@@ -15,12 +15,34 @@
 #ifndef SELVEC_CORE_PARTITION_HH
 #define SELVEC_CORE_PARTITION_HH
 
+#include <string>
+
 #include "analysis/vectorizable.hh"
 #include "core/costmodel.hh"
 #include "support/expected.hh"
 
 namespace selvec
 {
+
+/**
+ * Which partitioner runs. Kl is the paper's heuristic and the
+ * default; Exact chases the proven optimum with the branch-and-bound
+ * oracle (partition_exact.hh), seeded by the KL result so it can only
+ * improve on it; Auto picks Exact for loops with at most
+ * PartitionOptions::exactThreshold vectorizable ops and Kl beyond.
+ */
+enum class PartitionStrategy : uint8_t {
+    Kl,
+    Exact,
+    Auto,
+};
+
+/** Printable name of a strategy ("kl", "exact", "auto"). */
+const char *partitionStrategyName(PartitionStrategy strategy);
+
+/** Parse a strategy name; false (out untouched) on anything else. */
+bool parsePartitionStrategy(const std::string &text,
+                            PartitionStrategy *out);
 
 struct PartitionOptions
 {
@@ -29,6 +51,21 @@ struct PartitionOptions
     /** Cap on outer iterations (0 = run until convergence). The paper
      *  notes convergence typically takes only a few iterations. */
     int maxIterations = 0;
+
+    /** Which partitioner runs (see PartitionStrategy). */
+    PartitionStrategy strategy = PartitionStrategy::Kl;
+
+    /** Auto cutover: Exact runs when the loop has at most this many
+     *  vectorizable ops (2^24 relaxed-bound nodes upper-bounds the
+     *  tree), KL beyond. */
+    int exactThreshold = 24;
+
+    /**
+     * Node budget for the exact search (0 = unbounded). Past it the
+     * search stops with the best assignment found and reports
+     * Unproven — never wrong, merely incomplete.
+     */
+    int64_t exactMaxNodes = 1 << 20;
 
     /**
      * Compute PartitionResult::allVectorCost, the purely informational
@@ -64,6 +101,26 @@ struct PartitionResult
      *  must honor the containment contract (tryPartitionOps) convert
      *  the flag into a DeadlineExceeded / Cancelled status. */
     bool deadlineStopped = false;
+
+    /** True when the exact oracle ran (strategy Exact, or Auto under
+     *  the threshold). The fields below are meaningful only then. */
+    bool exactUsed = false;
+
+    /** True when the exact search exhausted its space: bestCost is
+     *  the proven minimum of the cost model's objective. False after
+     *  a node-budget stop (Unproven — the incumbent KL result is
+     *  kept, never a wrong one). */
+    bool exactProven = false;
+
+    int64_t exactNodes = 0;     ///< decision nodes expanded
+    int64_t exactPruned = 0;    ///< subtrees cut by the lower bound
+
+    /** The KL incumbent's cost (bestCost before the oracle ran). */
+    int64_t klCost = 0;
+
+    /** klCost - bestCost: the measured KL optimality gap (>= 0 by
+     *  construction — the search starts from the KL incumbent). */
+    int64_t exactGap = 0;
 
     /** True when at least one op ended up vectorized. */
     bool

@@ -1,0 +1,257 @@
+#include "core/partition_exact.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "ir/defuse.hh"
+#include "support/deadline.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace selvec
+{
+
+namespace
+{
+
+using KindLoad = std::array<int64_t, kNumResKinds>;
+
+/** Total reserved cycles per resource kind of one opcode bag. */
+void
+addBagLoad(const Machine &machine, const std::vector<Opcode> &bag,
+           KindLoad &load)
+{
+    for (Opcode opcode : bag) {
+        for (const Reservation &r : machine.reservations(opcode))
+            load[static_cast<size_t>(r.kind)] += r.cycles;
+    }
+}
+
+/** The depth-first branch-and-bound state. */
+class Searcher
+{
+  public:
+    Searcher(const Loop &loop, const VectAnalysis &va,
+             const Machine &machine, const std::vector<bool> &incumbent,
+             int64_t incumbentCost, const ExactSearchOptions &options)
+        : loop(loop), va(va), machine(machine), incumbent(incumbent),
+          options(options), du(loop),
+          model(loop, va, machine, options.cost)
+    {
+        result.vectorize = incumbent;
+        result.bestCost = incumbentCost;
+
+        for (OpId op = 0; op < loop.numOps(); ++op) {
+            if (va.vectorizable[static_cast<size_t>(op)])
+                order.push_back(op);
+        }
+
+        // The fixed background load every assignment pays: the loop
+        // overhead plus every non-candidate op's scalar bag. Operand
+        // transfers are deliberately left out of the bound — they
+        // only ever add reservations.
+        base.fill(0);
+        addBagLoad(machine, model.overheadOpcodes(), base);
+        for (OpId op = 0; op < loop.numOps(); ++op) {
+            if (!va.vectorizable[static_cast<size_t>(op)])
+                addBagLoad(machine, model.opcodesFor(op, false), base);
+        }
+
+        // Per-candidate per-kind loads of both sides, plus the
+        // op -> branch-position map the recurrence bound consults.
+        opPos.assign(static_cast<size_t>(loop.numOps()), -1);
+        sideLoad[0].resize(order.size());
+        sideLoad[1].resize(order.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+            sideLoad[0][i].fill(0);
+            sideLoad[1][i].fill(0);
+            addBagLoad(machine, model.opcodesFor(order[i], false),
+                       sideLoad[0][i]);
+            addBagLoad(machine, model.opcodesFor(order[i], true),
+                       sideLoad[1][i]);
+        }
+
+        // Most impactful decisions first: the op whose two sides load
+        // the machine most differently is decided at the top of the
+        // tree, where its bound contribution prunes the most.
+        std::vector<size_t> perm(order.size());
+        for (size_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        auto impact = [&](size_t i) {
+            int64_t d = 0;
+            for (size_t k = 0; k < kNumResKinds; ++k)
+                d += std::abs(sideLoad[0][i][k] - sideLoad[1][i][k]);
+            return d;
+        };
+        std::stable_sort(perm.begin(), perm.end(),
+                         [&](size_t a, size_t b) {
+                             int64_t ia = impact(a), ib = impact(b);
+                             if (ia != ib)
+                                 return ia > ib;
+                             return order[a] < order[b];
+                         });
+        std::vector<OpId> sorted;
+        std::vector<KindLoad> s0, s1;
+        for (size_t i : perm) {
+            sorted.push_back(order[i]);
+            s0.push_back(sideLoad[0][i]);
+            s1.push_back(sideLoad[1][i]);
+        }
+        order.swap(sorted);
+        sideLoad[0].swap(s0);
+        sideLoad[1].swap(s1);
+        for (size_t i = 0; i < order.size(); ++i)
+            opPos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+
+        // suffixMin[i][k]: the least load ops i.. can put on kind k —
+        // each undecided op taken at its per-kind cheaper side (a
+        // relaxation: real ops pick one side for all kinds at once).
+        suffixMin.assign(order.size() + 1, KindLoad{});
+        suffixMin[order.size()].fill(0);
+        for (size_t i = order.size(); i-- > 0;) {
+            for (size_t k = 0; k < kNumResKinds; ++k) {
+                suffixMin[i][k] =
+                    suffixMin[i + 1][k] +
+                    std::min(sideLoad[0][i][k], sideLoad[1][i][k]);
+            }
+        }
+
+        decided = base;
+        assign = incumbent;
+    }
+
+    ExactSearchResult
+    run()
+    {
+        if (!order.empty())
+            dfs(0);
+        result.proven = !stopped;
+        return result;
+    }
+
+  private:
+    /**
+     * Admissible lower bound with the first `depth` branch positions
+     * decided (their loads already folded into `decided`): the
+     * relaxed per-kind ResMII average, raised to the recurrence floor
+     * with undecided reductions taken at their cheaper (vector) side.
+     */
+    int64_t
+    lowerBound(size_t depth) const
+    {
+        int64_t lb = 0;
+        for (size_t k = 0; k < kNumResKinds; ++k) {
+            int count = machine.counts[k];
+            if (count <= 0)
+                continue;
+            int64_t load = decided[k] + suffixMin[depth][k];
+            lb = std::max(lb, (load + count - 1) / count);
+        }
+        for (const CarriedValue &cv : loop.carried) {
+            OpId def = du.defOp(cv.update);
+            if (def == kNoOp ||
+                !va.reduction[static_cast<size_t>(def)]) {
+                continue;
+            }
+            int64_t lat = machine.latency(loop.op(def).opcode);
+            int pos = opPos[static_cast<size_t>(def)];
+            bool is_decided =
+                pos < 0 || pos < static_cast<int>(depth);
+            if (is_decided && !assign[static_cast<size_t>(def)])
+                lat *= machine.vectorLength;
+            lb = std::max(lb, lat);
+        }
+        return lb;
+    }
+
+    void
+    dfs(size_t depth)
+    {
+        ++result.nodes;
+        if (options.maxNodes > 0 && result.nodes > options.maxNodes) {
+            stopped = true;
+            return;
+        }
+        if ((result.nodes & 63) == 0 && deadlineArmed() &&
+            !checkDeadline("partition.exact")) {
+            stopped = true;
+            result.deadlineStopped = true;
+            return;
+        }
+
+        if (depth == order.size()) {
+            // Leaf: the real objective, greedy packing artifacts and
+            // transfer cost included.
+            model.rebuild(assign);
+            int64_t cost = model.cost();
+            if (cost < result.bestCost) {
+                result.bestCost = cost;
+                result.vectorize = assign;
+            }
+            return;
+        }
+
+        OpId op = order[depth];
+        size_t opi = static_cast<size_t>(op);
+        // Incumbent side first: staying near the KL solution finds
+        // strong early improvements, tightening the bound.
+        bool first = incumbent[opi];
+        for (int trial = 0; trial < 2 && !stopped; ++trial) {
+            bool vec = trial == 0 ? first : !first;
+            assign[opi] = vec;
+            const KindLoad &load = sideLoad[vec ? 1 : 0][depth];
+            for (size_t k = 0; k < kNumResKinds; ++k)
+                decided[k] += load[k];
+            if (lowerBound(depth + 1) < result.bestCost)
+                dfs(depth + 1);
+            else
+                ++result.pruned;
+            for (size_t k = 0; k < kNumResKinds; ++k)
+                decided[k] -= load[k];
+        }
+        assign[opi] = incumbent[opi];
+    }
+
+    const Loop &loop;
+    const VectAnalysis &va;
+    const Machine &machine;
+    const std::vector<bool> &incumbent;
+    ExactSearchOptions options;
+    DefUse du;
+    PartitionCostModel model;
+
+    std::vector<OpId> order;            ///< candidates, branch order
+    std::vector<int> opPos;             ///< op -> branch position
+    std::vector<KindLoad> sideLoad[2];  ///< [scalar|vector][pos]
+    std::vector<KindLoad> suffixMin;    ///< relaxed undecided minima
+    KindLoad base{};                    ///< overhead + fixed ops
+    KindLoad decided{};                 ///< base + decided prefix
+    std::vector<bool> assign;
+    bool stopped = false;
+
+    ExactSearchResult result;
+};
+
+} // anonymous namespace
+
+ExactSearchResult
+exactPartitionSearch(const Loop &loop, const VectAnalysis &va,
+                     const Machine &machine,
+                     const std::vector<bool> &incumbent,
+                     int64_t incumbentCost,
+                     const ExactSearchOptions &options)
+{
+    TraceSpan span("partition.exact");
+    SV_ASSERT(static_cast<int>(va.vectorizable.size()) ==
+                  loop.numOps(),
+              "analysis sized for a different loop");
+    SV_ASSERT(static_cast<int>(incumbent.size()) == loop.numOps(),
+              "incumbent sized for a different loop");
+
+    Searcher searcher(loop, va, machine, incumbent, incumbentCost,
+                      options);
+    return searcher.run();
+}
+
+} // namespace selvec

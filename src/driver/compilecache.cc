@@ -129,7 +129,17 @@ compileCacheKey(const Loop &loop, const ArrayTable &arrays,
     }
     if (technique == Technique::Selective) {
         out << " comm=" << options.partition.cost.considerCommunication
-            << " kliters=" << options.partition.maxIterations;
+            << " kliters=" << options.partition.maxIterations
+            << " pstrat="
+            << partitionStrategyName(options.partition.strategy);
+        // The exact tier's knobs fragment the key only when they can
+        // change the partition: under the default KL strategy every
+        // threshold/budget produces the identical program, and one
+        // cache entry must serve them all.
+        if (options.partition.strategy != PartitionStrategy::Kl) {
+            out << " pthresh=" << options.partition.exactThreshold
+                << " pnodes=" << options.partition.exactMaxNodes;
+        }
     }
     if (technique == Technique::IterationSplit)
         out << " itersplit=" << options.iterSplitUnroll;

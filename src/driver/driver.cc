@@ -364,6 +364,17 @@ tryCompileLoop(const Loop &loop, ArrayTable &arrays,
                    ">= 0 (got %d)",
                    options.partition.maxIterations));
     }
+    if (options.partition.exactThreshold < 0 ||
+        options.partition.exactMaxNodes < 0) {
+        stats.add("driver.failures");
+        return Status::error(
+            ErrorCode::InvalidInput, "driver",
+            strfmt("invalid partition options: exactThreshold (%d) "
+                   "and exactMaxNodes (%lld) must be >= 0",
+                   options.partition.exactThreshold,
+                   static_cast<long long>(
+                       options.partition.exactMaxNodes)));
+    }
 
     if (!compileCacheActive()) {
         // Compile against a scratch copy: a failed attempt must not

@@ -40,6 +40,18 @@ jsonOfLoopReport(const LoopReport &lr)
         part.set("moves_evaluated", lr.partition.movesEvaluated);
         part.set("moves_committed", lr.partition.movesCommitted);
         part.set("crossing_values", lr.partition.crossingValues);
+        // The exact-oracle detail appears only when the oracle ran
+        // (strategy exact/auto), so default KL documents stay
+        // byte-identical to pre-oracle ones.
+        if (lr.partition.exactUsed) {
+            JsonValue exact = JsonValue::object();
+            exact.set("proven", lr.partition.exactProven);
+            exact.set("nodes", lr.partition.exactNodes);
+            exact.set("pruned", lr.partition.exactPruned);
+            exact.set("kl_cost", lr.partition.klCost);
+            exact.set("gap", lr.partition.exactGap);
+            part.set("exact", std::move(exact));
+        }
         obj.set("partition", std::move(part));
     }
     return obj;

@@ -302,6 +302,13 @@ jsonOfReproBundle(const ReproBundle &bundle)
              JsonValue(o.partition.probeAllVectorCost));
     part.set("consider_communication",
              JsonValue(o.partition.cost.considerCommunication));
+    part.set("strategy",
+             JsonValue(partitionStrategyName(o.partition.strategy)));
+    part.set("exact_threshold",
+             JsonValue(
+                 static_cast<int64_t>(o.partition.exactThreshold)));
+    part.set("exact_max_nodes",
+             JsonValue(o.partition.exactMaxNodes));
     options.set("partition", part);
     JsonValue sched = JsonValue::object();
     sched.set("budget_factor",
@@ -409,6 +416,14 @@ reproBundleOfJson(const JsonValue &doc)
             if (const JsonValue *v =
                     part->find("probe_all_vector_cost"))
                 o.partition.probeAllVectorCost = v->boolValue();
+            if (const JsonValue *v = part->find("strategy"))
+                parsePartitionStrategy(v->stringValue(),
+                                       &o.partition.strategy);
+            if (const JsonValue *v = part->find("exact_threshold"))
+                o.partition.exactThreshold =
+                    static_cast<int>(v->intValue());
+            if (const JsonValue *v = part->find("exact_max_nodes"))
+                o.partition.exactMaxNodes = v->intValue();
             if (const JsonValue *v =
                     part->find("consider_communication"))
                 o.partition.cost.considerCommunication =

@@ -10,6 +10,7 @@
 #include "driver/repro.hh"
 #include "support/deadline.hh"
 #include "support/json.hh"
+#include "support/parsenum.hh"
 #include "support/stats.hh"
 #include "support/threadpool.hh"
 
@@ -17,6 +18,97 @@ namespace selvec
 {
 
 const char *const kServeSchema = "selvec-serve-v1";
+
+namespace
+{
+
+Status
+serveArgError(const std::string &what)
+{
+    return Status::error(ErrorCode::InvalidInput, "serve", what);
+}
+
+/** Match "--flag VAL" or "--flag=VAL"; advances *i past the value. */
+bool
+serveFlagValue(const std::vector<std::string> &args, size_t *i,
+               const char *flag, std::string *out, bool *missing)
+{
+    const std::string &arg = args[*i];
+    size_t n = std::string(flag).size();
+    if (arg.compare(0, n, flag) != 0)
+        return false;
+    if (arg.size() > n && arg[n] == '=') {
+        *out = arg.substr(n + 1);
+        return true;
+    }
+    if (arg.size() == n) {
+        if (*i + 1 >= args.size()) {
+            *missing = true;
+            return true;
+        }
+        *out = args[++*i];
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+Expected<ServeCliConfig>
+parseServeArgs(const std::vector<std::string> &args)
+{
+    ServeCliConfig cfg;
+    std::string value;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        bool missing = false;
+        // Strict numeric values: `--jobs abc` (or a bare trailing
+        // `--jobs`) must be a usage error, not a silent jobs=0 batch.
+        auto count = [&](const char *flag, int64_t *out) -> Status {
+            if (missing)
+                return serveArgError(std::string(flag) +
+                                     ": missing value");
+            if (!parseNonNegInt(value.c_str(), out))
+                return serveArgError(
+                    std::string(flag) +
+                    ": expected a non-negative integer, got '" +
+                    value + "'");
+            return Status::success();
+        };
+        if (serveFlagValue(args, &i, "--output", &value, &missing)) {
+            if (missing)
+                return serveArgError("--output: missing value");
+            cfg.outputPath = value;
+        } else if (serveFlagValue(args, &i, "--jobs", &value,
+                                  &missing)) {
+            int64_t jobs = 0;
+            Status s = count("--jobs", &jobs);
+            if (!s.ok())
+                return s;
+            cfg.jobs = static_cast<int>(jobs);
+        } else if (serveFlagValue(args, &i, "--cache-dir", &value,
+                                  &missing)) {
+            if (missing)
+                return serveArgError("--cache-dir: missing value");
+            cfg.cacheDir = value;
+        } else if (serveFlagValue(args, &i, "--cache-max-mb", &value,
+                                  &missing)) {
+            Status s = count("--cache-max-mb", &cfg.cacheMaxMb);
+            if (!s.ok())
+                return s;
+        } else if (arg == "--no-cache") {
+            cfg.noCache = true;
+        } else if (arg.compare(0, 2, "--") == 0) {
+            return serveArgError("unknown flag '" + arg + "'");
+        } else if (cfg.inputPath.empty()) {
+            cfg.inputPath = arg;
+        } else {
+            return serveArgError("unexpected argument '" + arg +
+                                 "'");
+        }
+    }
+    return cfg;
+}
 
 namespace
 {

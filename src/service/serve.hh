@@ -39,8 +39,11 @@
 #define SELVEC_SERVICE_SERVE_HH
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "driver/driver.hh"
+#include "support/expected.hh"
 
 namespace selvec
 {
@@ -53,6 +56,38 @@ struct ServeOptions
     /** Worker threads (resolveJobs semantics: <= 0 picks for me). */
     int jobs = 0;
 };
+
+/** The selvec_serve command line, parsed but not yet applied. */
+struct ServeCliConfig
+{
+    std::string inputPath;      ///< empty: stdin
+    std::string outputPath;     ///< empty: stdout
+    int jobs = 0;               ///< 0: hardware concurrency
+    std::string cacheDir;       ///< empty: no on-disk cache
+    int64_t cacheMaxMb = 0;     ///< disk cache cap (0: unbounded)
+    bool noCache = false;       ///< --no-cache given
+
+    /**
+     * Whether the disk cache should be configured. --no-cache wins
+     * over --cache-dir regardless of flag order: a disabled cache
+     * must never configure (or write) the disk layer.
+     */
+    bool
+    diskCacheWanted() const
+    {
+        return !noCache && !cacheDir.empty();
+    }
+};
+
+/**
+ * Parse selvec_serve arguments (argv[1..], one string each). Numeric
+ * values are parsed strictly (support/parsenum): `--jobs abc`,
+ * `--jobs -1` or `--jobs=` is an InvalidInput error, never a silent
+ * jobs=0 batch. Unknown flags and extra positionals are errors too;
+ * the caller turns any error into its usage message and exit 2.
+ */
+Expected<ServeCliConfig>
+parseServeArgs(const std::vector<std::string> &args);
 
 /** What a batch did, for exit codes and operator summaries. */
 struct ServeSummary

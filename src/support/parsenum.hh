@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line surfaces.
+ *
+ * std::atoi/atoll silently turn garbage into 0 — `--jobs abc` used to
+ * run a batch with jobs=0 (hardware concurrency) and nobody noticed
+ * the typo. Every CLI flag that consumes a count goes through
+ * parseNonNegInt instead: the whole token must be a plain base-10
+ * non-negative integer (no sign, no spaces, no trailing characters,
+ * no overflow), anything else is a usage error the caller reports
+ * with exit 2.
+ */
+
+#ifndef SELVEC_SUPPORT_PARSENUM_HH
+#define SELVEC_SUPPORT_PARSENUM_HH
+
+#include <cstdint>
+
+namespace selvec
+{
+
+/**
+ * Parse `text` as a strict non-negative base-10 integer.
+ *
+ * Accepts exactly [0-9]+ fitting in int64_t; rejects the empty
+ * string, any sign, whitespace, trailing garbage ("8x", "1.5") and
+ * overflow. On success writes the value to *out and returns true;
+ * on failure returns false and leaves *out untouched.
+ */
+inline bool
+parseNonNegInt(const char *text, int64_t *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    int64_t value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        int digit = *p - '0';
+        if (value > (INT64_MAX - digit) / 10)
+            return false;   // would overflow int64_t
+        value = value * 10 + digit;
+    }
+    *out = value;
+    return true;
+}
+
+} // namespace selvec
+
+#endif // SELVEC_SUPPORT_PARSENUM_HH

@@ -709,5 +709,105 @@ TEST_F(CacheDiskTest, ConcurrentServeBatchesShareTheDirectory)
     EXPECT_GT(delta().hit, hit0);
 }
 
+// --------------------------------------------------- serve CLI parsing
+
+TEST(ServeCliParse, AcceptsBothFlagSpellings)
+{
+    Expected<ServeCliConfig> cfg = parseServeArgs(
+        {"in.jsonl", "--jobs", "4", "--cache-dir=/tmp/c",
+         "--cache-max-mb", "64", "--output=out.jsonl"});
+    ASSERT_TRUE(cfg.ok()) << cfg.status().str();
+    EXPECT_EQ(cfg.value().inputPath, "in.jsonl");
+    EXPECT_EQ(cfg.value().outputPath, "out.jsonl");
+    EXPECT_EQ(cfg.value().jobs, 4);
+    EXPECT_EQ(cfg.value().cacheDir, "/tmp/c");
+    EXPECT_EQ(cfg.value().cacheMaxMb, 64);
+    EXPECT_FALSE(cfg.value().noCache);
+    EXPECT_TRUE(cfg.value().diskCacheWanted());
+}
+
+TEST(ServeCliParse, RejectsBadNumericValues)
+{
+    // Each of these std::atoi silently parsed as 0 before — a batch
+    // that "worked" with the wrong parallelism or an uncapped cache.
+    for (const char *bad : {"abc", "-1", "3x", "", " 4", "4.5"}) {
+        Expected<ServeCliConfig> cfg =
+            parseServeArgs({"--jobs", bad});
+        EXPECT_FALSE(cfg.ok()) << "accepted --jobs " << bad;
+        if (!cfg.ok()) {
+            EXPECT_EQ(cfg.status().code(), ErrorCode::InvalidInput);
+        }
+        cfg = parseServeArgs({std::string("--cache-max-mb=") + bad});
+        EXPECT_FALSE(cfg.ok()) << "accepted --cache-max-mb=" << bad;
+    }
+    // A bare trailing value flag is a missing value, not jobs=0.
+    EXPECT_FALSE(parseServeArgs({"--jobs"}).ok());
+    EXPECT_FALSE(parseServeArgs({"--cache-max-mb"}).ok());
+}
+
+TEST(ServeCliParse, RejectsUnknownFlagsAndExtraPositionals)
+{
+    EXPECT_FALSE(parseServeArgs({"--frobnicate"}).ok());
+    EXPECT_FALSE(parseServeArgs({"a.jsonl", "b.jsonl"}).ok());
+}
+
+TEST(ServeCliParse, NoCacheWinsRegardlessOfFlagOrder)
+{
+    // --no-cache before --cache-dir.
+    Expected<ServeCliConfig> first = parseServeArgs(
+        {"--no-cache", "--cache-dir", "/tmp/c"});
+    ASSERT_TRUE(first.ok());
+    EXPECT_TRUE(first.value().noCache);
+    EXPECT_FALSE(first.value().diskCacheWanted());
+
+    // --no-cache after --cache-dir: same outcome — a disabled cache
+    // must never configure (or write) the disk layer.
+    Expected<ServeCliConfig> last = parseServeArgs(
+        {"--cache-dir", "/tmp/c", "--no-cache"});
+    ASSERT_TRUE(last.ok());
+    EXPECT_TRUE(last.value().noCache);
+    EXPECT_FALSE(last.value().diskCacheWanted());
+
+    Expected<ServeCliConfig> plain =
+        parseServeArgs({"--cache-dir", "/tmp/c"});
+    ASSERT_TRUE(plain.ok());
+    EXPECT_TRUE(plain.value().diskCacheWanted());
+}
+
+TEST_F(CacheDiskTest, NoCacheBatchNeverTouchesTheDiskLayer)
+{
+    // The end-to-end shape of the precedence bug: with --no-cache the
+    // batch must compile from scratch (provenance "compiled") and
+    // leave the disk directory untouched, even though a cache dir was
+    // on the command line. parseServeArgs models the CLI; a
+    // diskCacheWanted()==false config means diskCacheConfigure is
+    // never called — so undo the fixture's configure first, exactly
+    // the state selvec_serve leaves behind.
+    Expected<ServeCliConfig> cfg =
+        parseServeArgs({"--cache-dir", dir, "--no-cache"});
+    ASSERT_TRUE(cfg.ok());
+    ASSERT_FALSE(cfg.value().diskCacheWanted());
+
+    diskCacheConfigure("");
+    compileCacheSetEnabled(!cfg.value().noCache);
+
+    Suite suite = quickSuite();
+    std::string line = requestLineOf(suite, suite.loops.front(),
+                                     Technique::Selective);
+    std::stringstream in(line + "\n"), out;
+    ServeSummary summary = serveBatch(in, out, ServeOptions{});
+
+    EXPECT_EQ(summary.requests, 1);
+    EXPECT_EQ(summary.failed, 0);
+    Expected<JsonValue> doc = parseJson(out.str());
+    ASSERT_TRUE(doc.ok()) << out.str();
+    EXPECT_EQ(doc.value().find("source")->stringValue(), "compiled");
+    DiskCacheCounters moved = delta();
+    EXPECT_EQ(moved.store, 0);
+    EXPECT_EQ(moved.hit, 0);
+    EXPECT_TRUE(!fs::exists(dir) || fs::is_empty(dir))
+        << "a disabled cache wrote to the disk layer";
+}
+
 } // anonymous namespace
 } // namespace selvec

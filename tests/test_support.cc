@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "support/logging.hh"
+#include "support/parsenum.hh"
 #include "support/random.hh"
 
 namespace selvec
@@ -90,6 +93,48 @@ TEST(Rng, ZeroSeedIsUsable)
 {
     Rng rng(0);
     EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(ParseNonNegInt, AcceptsPlainDecimals)
+{
+    int64_t v = -1;
+    EXPECT_TRUE(parseNonNegInt("0", &v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(parseNonNegInt("8", &v));
+    EXPECT_EQ(v, 8);
+    EXPECT_TRUE(parseNonNegInt("1234567890123", &v));
+    EXPECT_EQ(v, 1234567890123);
+    EXPECT_TRUE(parseNonNegInt("007", &v));
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(parseNonNegInt("9223372036854775807", &v));
+    EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(ParseNonNegInt, RejectsEverythingAtoiWouldSwallow)
+{
+    // The std::atoi failure modes this parser exists to close: each
+    // of these silently parsed to 0 (or a truncated prefix) before.
+    int64_t v = 42;
+    EXPECT_FALSE(parseNonNegInt("", &v));
+    EXPECT_FALSE(parseNonNegInt(nullptr, &v));
+    EXPECT_FALSE(parseNonNegInt("abc", &v));
+    EXPECT_FALSE(parseNonNegInt("3x", &v));       // trailing garbage
+    EXPECT_FALSE(parseNonNegInt("x3", &v));
+    EXPECT_FALSE(parseNonNegInt("-1", &v));       // negative
+    EXPECT_FALSE(parseNonNegInt("+3", &v));       // no sign allowed
+    EXPECT_FALSE(parseNonNegInt(" 3", &v));       // no whitespace
+    EXPECT_FALSE(parseNonNegInt("3 ", &v));
+    EXPECT_FALSE(parseNonNegInt("3.5", &v));
+    EXPECT_FALSE(parseNonNegInt("0x10", &v));
+    EXPECT_EQ(v, 42) << "out must stay untouched on failure";
+}
+
+TEST(ParseNonNegInt, RejectsOverflow)
+{
+    int64_t v = 42;
+    EXPECT_FALSE(parseNonNegInt("9223372036854775808", &v));
+    EXPECT_FALSE(parseNonNegInt("99999999999999999999", &v));
+    EXPECT_EQ(v, 42);
 }
 
 } // anonymous namespace

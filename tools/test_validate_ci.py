@@ -74,11 +74,11 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         r = run_on(copy.deepcopy(pristine), tmp)
     check("pristine workflow passes",
-          r.returncode == 0 and "all eight contract lanes" in r.stdout)
+          r.returncode == 0 and "all nine contract lanes" in r.stdout)
 
     for lane in ("build-test", "sanitize", "tsan", "format",
                  "bench-smoke", "perf-smoke", "fuzz-smoke",
-                 "cache-persist", "fuzz-extended"):
+                 "cache-persist", "optgap", "fuzz-extended"):
         check_rejects(f"dropping {lane} is rejected",
                       lambda doc, lane=lane: doc["jobs"].pop(lane),
                       f"required job missing: {lane}")
@@ -139,6 +139,18 @@ def main():
         lambda doc: patch_steps(doc["jobs"]["cache-persist"],
                                 "cmp ", "true "),
         "byte-compare")
+
+    check_rejects(
+        "optgap without its ctest label is rejected",
+        lambda doc: patch_steps(doc["jobs"]["optgap"],
+                                "-L optgap", "-L cachedisk"),
+        "optgap ctest label")
+    check_rejects(
+        "optgap without the counter gate is rejected",
+        lambda doc: patch_steps(doc["jobs"]["optgap"],
+                                "BENCH_optgap.json",
+                                "BENCH_other.json"),
+        "BENCH_optgap.json")
 
     def drop_cache_artifact(doc):
         steps = doc["jobs"]["cache-persist"]["steps"]

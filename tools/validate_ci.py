@@ -3,7 +3,7 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the eight
+Checks that the workflow parses as YAML and still carries the nine
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
 (fuzzish label under ASan/UBSan), tsan (parallel + fuzzish +
 cachedisk labels under ThreadSanitizer), format, bench-smoke
@@ -12,11 +12,14 @@ perf-smoke (hotpath tests, SELVEC_CHECK_INCREMENTAL cross-check run,
 artifact upload and the exact-counter gate against
 BENCH_hotpath.json), fuzz-smoke (containment label, the
 deadline-bounded selvec_fuzz sweep with --repro-dir and
---replay-check, and the on-failure repro-bundle artifact upload) and
+--replay-check, and the on-failure repro-bundle artifact upload),
 cache-persist (cachedisk label, cold/warm --cache-dir runs compared
 byte-for-byte, the warm disk-hit and corrupt-entry stderr
-assertions, and the cache-directory artifact upload) — so a
-refactor of the workflow cannot silently drop one.
+assertions, and the cache-directory artifact upload) and optgap
+(the optgap ctest label — KL-vs-exact differentials plus the strict
+CLI-parsing regressions — then bench_optgap artifact upload and the
+exact-counter gate against BENCH_optgap.json) — so a refactor of
+the workflow cannot silently drop one.
 
 Beyond the lanes it pins the operational contract: every job must
 carry timeout-minutes, the nightly fuzz-extended job must exist,
@@ -73,7 +76,7 @@ def main():
 
     for required in ("build-test", "sanitize", "tsan", "format",
                      "bench-smoke", "perf-smoke", "fuzz-smoke",
-                     "cache-persist"):
+                     "cache-persist", "optgap"):
         if required not in jobs:
             fail(f"required job missing: {required}")
 
@@ -192,7 +195,17 @@ def main():
     if "upload-artifact" not in persist:
         fail("cache-persist must upload the cache directory artifact")
 
-    print(f"ok: {os.path.relpath(path)} has all eight contract lanes")
+    optgap = steps_text("optgap")
+    if "-L optgap" not in optgap:
+        fail("optgap must run the optgap ctest label")
+    if "bench_optgap" not in optgap:
+        fail("optgap must run bench_optgap")
+    if "upload-artifact" not in optgap:
+        fail("optgap must upload the optgap JSON artifact")
+    if "--counters" not in optgap or "BENCH_optgap.json" not in optgap:
+        fail("optgap must gate counters against BENCH_optgap.json")
+
+    print(f"ok: {os.path.relpath(path)} has all nine contract lanes")
 
 
 if __name__ == "__main__":
