@@ -5,7 +5,7 @@
  *
  *   selvec_fuzz [--seeds N] [--seed-start N] [--deadline-ms N]
  *               [--repro-dir D] [--force-fault SPEC] [--replay-check]
- *               [--optgap]
+ *               [--optgap] [--simdiff]
  *
  * Each seed deterministically derives a generated loop, a randomized
  * stock-machine variant, a technique, a trip count and (for ~30% of
@@ -38,6 +38,20 @@
  * strategy=exact: the cheaper partition must still produce a
  * checker-clean program. Fault injection is disabled in this mode.
  *
+ * --simdiff switches to the differential simulator sweep: every seed
+ * replays with the SELVEC_CHECK_SIM lockstep shadow forced on, so
+ * each pipelined run executes on the streaming engine while the
+ * dense reference engine re-executes every op instance beside it —
+ * operand values, readiness, store-suppression decisions, exit state,
+ * and the final observables. Unlike the bench_simspeed differential
+ * (one generated main loop per subject), the replay path exercises
+ * main/cleanup chaining, distributed loop sequences and every
+ * technique's lowered shapes. An engine divergence dies on the spot
+ * with both engines' views (the check-mode contract), failing the
+ * sweep; structured failures classify as in the default sweep. Fault
+ * injection is disabled: this sweep differentiates two clean engines,
+ * not the containment layer.
+ *
  * The sweep is serial by design: fault plans are process-global.
  */
 
@@ -51,6 +65,7 @@
 #include "core/partition.hh"
 #include "driver/repro.hh"
 #include "lir/lir.hh"
+#include "support/checkmode.hh"
 #include "support/faultinject.hh"
 #include "support/random.hh"
 #include "workloads/generator.hh"
@@ -69,6 +84,7 @@ struct FuzzConfig
     std::string forceFault;
     bool replayCheck = false;
     bool optgap = false;
+    bool simdiff = false;
 };
 
 enum class OutcomeClass { Clean, Contained, Finding };
@@ -298,6 +314,44 @@ runOptgapSweep(const FuzzConfig &config)
     return findings != 0 ? 1 : 0;
 }
 
+/**
+ * The differential simulator sweep (--simdiff): see the file comment.
+ * Exit 1 on any finding; an engine divergence never returns (the
+ * lockstep shadow dies with both engines' views of the instance).
+ */
+int
+runSimdiffSweep(const FuzzConfig &config)
+{
+    setCheckSim(true);
+    int clean = 0, contained = 0, findings = 0;
+    for (int i = 0; i < config.seeds; ++i) {
+        uint64_t seed = config.seedStart + static_cast<uint64_t>(i);
+        ReproBundle bundle = candidateForSeed(seed, config);
+        // No fault injection: this sweep differentiates two clean
+        // engines, not the containment layer.
+        bundle.faultPlan.clear();
+        Status status = replayBundle(bundle).status;
+        OutcomeClass cls = classify(status);
+        if (cls == OutcomeClass::Clean) {
+            ++clean;
+        } else if (cls == OutcomeClass::Contained) {
+            ++contained;
+            std::printf("seed %llu: contained: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        status.str().c_str());
+        } else {
+            ++findings;
+            std::printf("seed %llu: FINDING: %s\n",
+                        static_cast<unsigned long long>(seed),
+                        status.str().c_str());
+        }
+    }
+    std::printf("simdiff: %d seeds, %d clean, %d contained, "
+                "%d findings, 0 divergences\n",
+                config.seeds, clean, contained, findings);
+    return findings != 0 ? 1 : 0;
+}
+
 } // anonymous namespace
 
 int
@@ -344,17 +398,22 @@ main(int argc, char **argv)
             config.replayCheck = true;
         } else if (arg == "--optgap") {
             config.optgap = true;
+        } else if (arg == "--simdiff") {
+            config.simdiff = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: selvec_fuzz [--seeds N] [--seed-start N] "
                 "[--deadline-ms N] [--repro-dir D] "
-                "[--force-fault SPEC] [--replay-check] [--optgap]\n");
+                "[--force-fault SPEC] [--replay-check] [--optgap] "
+                "[--simdiff]\n");
             return 2;
         }
     }
     if (config.optgap)
         return runOptgapSweep(config);
+    if (config.simdiff)
+        return runSimdiffSweep(config);
     if (!config.forceFault.empty()) {
         Expected<FaultPlan> plan = parseFaultPlan(config.forceFault);
         if (!plan.ok()) {

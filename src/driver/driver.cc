@@ -566,15 +566,35 @@ compileLoopResilient(const Loop &loop, ArrayTable &arrays,
     return result;
 }
 
+ProgramPlans
+planCompiled(const CompiledProgram &program, const Machine &machine)
+{
+    ProgramPlans plans;
+    plans.loops.resize(program.loops.size());
+    for (size_t i = 0; i < program.loops.size(); ++i) {
+        const CompiledLoop &cl = program.loops[i];
+        plans.loops[i].main =
+            buildExecPlan(cl.main, cl.mainSchedule, machine);
+        plans.loops[i].cleanup =
+            buildExecPlan(cl.cleanup, cl.cleanupSchedule, machine);
+    }
+    return plans;
+}
+
 ExecResult
 runCompiled(const CompiledProgram &program, const ArrayTable &arrays,
             const Machine &machine, MemoryImage &mem,
-            const LiveEnv &live_ins, int64_t n)
+            const LiveEnv &live_ins, int64_t n,
+            const ProgramPlans *plans)
 {
+    SV_ASSERT(plans == nullptr ||
+                  plans->loops.size() == program.loops.size(),
+              "plans built for a different program");
     ExecResult result;
     result.env = live_ins;
 
-    for (const CompiledLoop &cl : program.loops) {
+    for (size_t li = 0; li < program.loops.size(); ++li) {
+        const CompiledLoop &cl = program.loops[li];
         int64_t cover = cl.coverage;
         int64_t j_main = n / cover;
         int64_t remainder = n - j_main * cover;
@@ -583,9 +603,10 @@ runCompiled(const CompiledProgram &program, const ArrayTable &arrays,
 
         LiveEnv carried_bridge;
         if (j_main > 0) {
-            RunOutput out = executeLoop(arrays, cl.main, machine, mem,
-                                        result.env, j_main, 0,
-                                        &cl.mainSchedule);
+            RunOutput out = executeLoop(
+                arrays, cl.main, machine, mem, result.env, j_main, 0,
+                &cl.mainSchedule,
+                plans != nullptr ? &plans->loops[li].main : nullptr);
             result.cycles += out.cycles;
             for (auto &[name, v] : out.liveOuts)
                 result.env[name] = v;
@@ -612,10 +633,11 @@ runCompiled(const CompiledProgram &program, const ArrayTable &arrays,
                     }
                 }
             }
-            RunOutput out = executeLoop(arrays, cl.cleanup, machine,
-                                        mem, cleanup_env, remainder,
-                                        j_main * cover,
-                                        &cl.cleanupSchedule);
+            RunOutput out = executeLoop(
+                arrays, cl.cleanup, machine, mem, cleanup_env,
+                remainder, j_main * cover, &cl.cleanupSchedule,
+                plans != nullptr ? &plans->loops[li].cleanup
+                                 : nullptr);
             result.cycles += out.cycles;
             for (auto &[name, v] : out.liveOuts)
                 result.env[name] = v;
@@ -678,8 +700,11 @@ Expected<ExecResult>
 tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
                const Machine &machine, MemoryImage &mem,
                const LiveEnv &live_ins, int64_t n,
-               const ExecLimits &limits)
+               const ExecLimits &limits, const ProgramPlans *plans)
 {
+    SV_ASSERT(plans == nullptr ||
+                  plans->loops.size() == program.loops.size(),
+              "plans built for a different program");
     // Later loops in a distributed sequence may consume earlier
     // loops' live-outs; only bindings satisfied by neither source are
     // a caller error.
@@ -698,7 +723,8 @@ tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
     // deadline and surface it as a status.
     ExecResult result;
     result.env = live_ins;
-    for (const CompiledLoop &cl : program.loops) {
+    for (size_t li = 0; li < program.loops.size(); ++li) {
+        const CompiledLoop &cl = program.loops[li];
         int64_t cover = cl.coverage;
         int64_t j_main = n / cover;
         int64_t remainder = n - j_main * cover;
@@ -709,7 +735,8 @@ tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
         if (j_main > 0) {
             Expected<RunOutput> out = tryExecuteLoop(
                 arrays, cl.main, machine, mem, result.env, j_main, 0,
-                &cl.mainSchedule, limits);
+                &cl.mainSchedule, limits,
+                plans != nullptr ? &plans->loops[li].main : nullptr);
             if (!out.ok())
                 return out.status();
             result.cycles += out.value().cycles;
@@ -741,7 +768,9 @@ tryRunCompiled(const CompiledProgram &program, const ArrayTable &arrays,
             Expected<RunOutput> out = tryExecuteLoop(
                 arrays, cl.cleanup, machine, mem, cleanup_env,
                 remainder, j_main * cover, &cl.cleanupSchedule,
-                limits);
+                limits,
+                plans != nullptr ? &plans->loops[li].cleanup
+                                 : nullptr);
             if (!out.ok())
                 return out.status();
             result.cycles += out.value().cycles;

@@ -29,6 +29,7 @@
 #include "analysis/vectorizable.hh"
 #include "core/partition.hh"
 #include "pipeline/modsched.hh"
+#include "sim/execplan.hh"
 #include "sim/executor.hh"
 #include "support/expected.hh"
 #include "support/status.hh"
@@ -234,6 +235,30 @@ ResilientCompile compileLoopResilient(const Loop &loop,
                                       const DriverOptions &options = {},
                                       int jobs = 1);
 
+/**
+ * Prebuilt streaming-executor plans for every loop of a compiled
+ * program (sim/execplan.hh). A plan depends only on (loop, schedule,
+ * machine) — not on trip count, memory or live-ins — so a program
+ * that executes more than once (the batch service, benches, repeated
+ * evaluation probes) builds its plans once with planCompiled() and
+ * passes them to runCompiled / tryRunCompiled; those executions then
+ * record `sim.plan.reuses` instead of rebuilding (`sim.plan.builds`).
+ */
+struct ProgramPlans
+{
+    struct LoopPlans
+    {
+        ExecPlan main;
+        ExecPlan cleanup;
+    };
+
+    std::vector<LoopPlans> loops;   ///< parallel to CompiledProgram::loops
+};
+
+/** Build the execution plans of every (main, cleanup) pair. */
+ProgramPlans planCompiled(const CompiledProgram &program,
+                          const Machine &machine);
+
 /** Execution result of a compiled program. */
 struct ExecResult
 {
@@ -249,7 +274,7 @@ struct ExecResult
 ExecResult runCompiled(const CompiledProgram &program,
                        const ArrayTable &arrays, const Machine &machine,
                        MemoryImage &mem, const LiveEnv &live_ins,
-                       int64_t n);
+                       int64_t n, const ProgramPlans *plans = nullptr);
 
 /**
  * Reference execution of the original loop (sequential interpreter);
@@ -281,7 +306,8 @@ Expected<ExecResult> tryRunCompiled(const CompiledProgram &program,
                                     const Machine &machine,
                                     MemoryImage &mem,
                                     const LiveEnv &live_ins, int64_t n,
-                                    const ExecLimits &limits = {});
+                                    const ExecLimits &limits = {},
+                                    const ProgramPlans *plans = nullptr);
 
 /** runReference with the bindings checked first and the run bounded
  *  (sequential mode: deadline/cancellation only — no cycle

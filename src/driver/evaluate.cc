@@ -106,11 +106,15 @@ evaluateLoop(const Suite &suite, const WorkloadLoop &wl,
     ExecLimits limits;
     limits.watchdogFactor = dopt.scheduling.watchdogFactor;
 
+    // One plan set per compiled program: the execution below reuses
+    // it across every constituent main/cleanup run.
+    ProgramPlans plans = planCompiled(program, machine);
+
     MemoryImage mem(arrays);
     mem.fillPattern(0xC0FFEE ^ wl.loopIndex);
     Expected<ExecResult> run =
         tryRunCompiled(program, arrays, machine, mem, wl.liveIns,
-                       wl.tripCount, limits);
+                       wl.tripCount, limits, &plans);
     if (!run.ok())
         return quarantine(run.status());
 

@@ -231,7 +231,12 @@ attachObservability(JsonValue &doc)
     // namespace stays out of the document: byte-identity across
     // cache states is part of the persistence contract (DESIGN.md
     // §11). The counters remain in processStats(), and the bench
-    // front-ends print the disk counters on stderr instead.
+    // front-ends print the disk counters on stderr instead. The
+    // streaming executor's sim.plan.* (builds/reuses) and
+    // sim.stream.* (instances/window) counters, by contrast, derive
+    // only from the compiled schedules and trip counts — identical
+    // for any --jobs value and cache state — and stay in the
+    // document as provenance of which engine executed the runs.
     doc.set("stats",
             globalStats().toJson(includeTimings(), "cache."));
     doc.set("trace", traceToJson());

@@ -146,6 +146,7 @@ struct CompileOut
     Status status;
     CompiledProgram program;
     ArrayTable arrays;
+    ProgramPlans plans;
     CompileSource source = CompileSource::None;
 };
 
@@ -159,10 +160,13 @@ compileBundle(const ReproBundle &bundle)
         tryCompileLoop(bundleLoop(bundle), out.arrays, bundle.machine,
                        bundle.technique, bundle.options);
     out.source = lastCompileSource();
-    if (compiled.ok())
+    if (compiled.ok()) {
         out.program = compiled.takeValue();
-    else
+        // Every request sharing this compile reuses its plans.
+        out.plans = planCompiled(out.program, bundle.machine);
+    } else {
         out.status = compiled.status();
+    }
     return out;
 }
 
@@ -184,7 +188,7 @@ runSlot(Slot &slot, const CompileOut &compiled)
     mem.fillPattern(static_cast<uint64_t>(bundle.memPattern));
     Expected<ExecResult> run = tryRunCompiled(
         compiled.program, compiled.arrays, bundle.machine, mem,
-        bundle.liveIns, bundle.tripCount, limits);
+        bundle.liveIns, bundle.tripCount, limits, &compiled.plans);
     if (!run.ok()) {
         slot.status = run.status();
         return;

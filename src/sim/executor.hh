@@ -2,7 +2,7 @@
  * @file
  * The loop execution engine.
  *
- * One engine executes loops in two modes sharing all operand semantics:
+ * Loops execute in two modes sharing all operand semantics:
  *
  *  - sequential (reference): body operations run in program order,
  *    iteration by iteration — the correctness oracle;
@@ -13,6 +13,19 @@
  *    asserts every operand has been produced when read and reports the
  *    completion cycle of the whole pipeline (prologue + kernel +
  *    epilogue), which is the quantity the evaluation measures.
+ *
+ * Pipelined runs use the streaming engine: a precompiled ExecPlan
+ * (sim/execplan.hh) replays a per-II-slot issue template over a
+ * rotating ring of dense register frames, so time is O(n_body * ops)
+ * with no event list or sort and memory is O(II * ops +
+ * windowFrames * values) regardless of trip count. The previous
+ * event-list engine is retained as the dense reference
+ * (tryExecuteLoopDense) and as the lockstep cross-check behind
+ * SELVEC_CHECK_SIM (support/checkmode.hh): with the mode on, every
+ * executed instance's operands, readiness, suppression decision and
+ * result — and the run's final observables — are compared against
+ * the dense engine and the process dies on the first divergence.
+ * Both engines produce bit-identical observable outputs.
  *
  * Live values enter and leave by name so the driver can chain a main
  * loop into its cleanup loop and across distributed loop sequences.
@@ -33,6 +46,8 @@
 
 namespace selvec
 {
+
+struct ExecPlan;
 
 /** Values passed into / out of a loop, keyed by value name. */
 using LiveEnv = std::map<std::string, RtVal>;
@@ -88,12 +103,16 @@ struct RunOutput
  *        iterations passes base = J * coverage of the main loop)
  * @param schedule nullptr for sequential reference execution, or the
  *        loop's modulo schedule for pipelined execution
+ * @param plan optional prebuilt plan for (loop, schedule, machine)
+ *        (see buildExecPlan); nullptr builds one for this run.
+ *        Ignored in sequential mode.
  */
 RunOutput executeLoop(const ArrayTable &arrays, const Loop &loop,
                       const Machine &machine, MemoryImage &mem,
                       const LiveEnv &live_ins, int64_t n_body,
                       int64_t base = 0,
-                      const ModuloSchedule *schedule = nullptr);
+                      const ModuloSchedule *schedule = nullptr,
+                      const ExecPlan *plan = nullptr);
 
 /** Bounds on one bounded execution (tryExecuteLoop). */
 struct ExecLimits
@@ -128,7 +147,26 @@ tryExecuteLoop(const ArrayTable &arrays, const Loop &loop,
                const LiveEnv &live_ins, int64_t n_body,
                int64_t base = 0,
                const ModuloSchedule *schedule = nullptr,
-               const ExecLimits &limits = {});
+               const ExecLimits &limits = {},
+               const ExecPlan *plan = nullptr);
+
+/**
+ * tryExecuteLoop forced onto the dense reference engine: the
+ * event-list executor the streaming engine replaced, kept as the
+ * differential-testing oracle (bench_simspeed, selvec_fuzz --simdiff,
+ * the `simspeed` test label) and the SELVEC_CHECK_SIM shadow.
+ * Observable outputs are bit-identical to the streaming engine's;
+ * time and memory are O(n_body * ops). Oversized event lists (huge
+ * trip counts) come back as a structured InvalidInput instead of an
+ * allocation failure.
+ */
+Expected<RunOutput>
+tryExecuteLoopDense(const ArrayTable &arrays, const Loop &loop,
+                    const Machine &machine, MemoryImage &mem,
+                    const LiveEnv &live_ins, int64_t n_body,
+                    int64_t base = 0,
+                    const ModuloSchedule *schedule = nullptr,
+                    const ExecLimits &limits = {});
 
 } // namespace selvec
 

@@ -58,56 +58,122 @@ fbin(Opcode op, double a, double b)
     }
 }
 
+// In-place result constructors: lane vectors are resized, not
+// reallocated, so a destination reused with the same shape allocates
+// nothing after its first use.
+
+void
+outNone(RtVal &d)
+{
+    d.type = Type::None;
+    d.floatData = false;
+    d.iv.clear();
+    d.fv.clear();
+}
+
+void
+outScalarI(RtVal &d, int64_t v)
+{
+    d.type = Type::I64;
+    d.floatData = false;
+    d.fv.clear();
+    d.iv.resize(1);
+    d.iv[0] = v;
+}
+
+void
+outScalarF(RtVal &d, double v)
+{
+    d.type = Type::F64;
+    d.floatData = true;
+    d.iv.clear();
+    d.fv.resize(1);
+    d.fv[0] = v;
+}
+
+std::vector<int64_t> &
+outVectorI(RtVal &d, int vl)
+{
+    d.type = Type::VI64;
+    d.floatData = false;
+    d.fv.clear();
+    d.iv.resize(static_cast<size_t>(vl));
+    return d.iv;
+}
+
+std::vector<double> &
+outVectorF(RtVal &d, int vl)
+{
+    d.type = Type::VF64;
+    d.floatData = true;
+    d.iv.clear();
+    d.fv.resize(static_cast<size_t>(vl));
+    return d.fv;
+}
+
 } // anonymous namespace
 
-RtVal
-evalOp(const Operation &op, const std::vector<RtVal> &operands,
-       int64_t iter, int vl, MemoryImage &mem)
+void
+evalOpInto(RtVal &dest, const Operation &op,
+           const RtVal *const *operands, size_t n_operands,
+           int64_t iter, int vl, MemoryImage &mem)
 {
     auto src = [&](size_t i) -> const RtVal & {
-        SV_ASSERT(i < operands.size(), "missing operand %zu of %s", i,
+        SV_ASSERT(i < n_operands, "missing operand %zu of %s", i,
                   opName(op.opcode));
-        return operands[i];
+        return *operands[i];
     };
     auto elem_base = [&]() { return op.ref.elementAt(iter); };
 
     switch (op.opcode) {
       case Opcode::IConst:
-        return RtVal::scalarI(op.iimm);
+        outScalarI(dest, op.iimm);
+        return;
       case Opcode::FConst:
-        return RtVal::scalarF(op.fimm);
+        outScalarF(dest, op.fimm);
+        return;
       case Opcode::IMov:
-        return RtVal::scalarI(src(0).laneI(0));
+        outScalarI(dest, src(0).laneI(0));
+        return;
       case Opcode::FMov:
-        return RtVal::scalarF(src(0).laneF(0));
+        outScalarF(dest, src(0).laneF(0));
+        return;
       case Opcode::INeg:
-        return RtVal::scalarI(-src(0).laneI(0));
+        outScalarI(dest, -src(0).laneI(0));
+        return;
       case Opcode::FNeg:
-        return RtVal::scalarF(-src(0).laneF(0));
+        outScalarF(dest, -src(0).laneF(0));
+        return;
       case Opcode::FAbs:
-        return RtVal::scalarF(std::fabs(src(0).laneF(0)));
+        outScalarF(dest, std::fabs(src(0).laneF(0)));
+        return;
 
       case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
       case Opcode::IDiv: case Opcode::IMin: case Opcode::IMax:
       case Opcode::IAnd: case Opcode::IOr: case Opcode::IXor:
       case Opcode::IShl: case Opcode::IShr:
-        return RtVal::scalarI(
-            ibin(op.opcode, src(0).laneI(0), src(1).laneI(0)));
+        outScalarI(dest,
+                   ibin(op.opcode, src(0).laneI(0), src(1).laneI(0)));
+        return;
 
       case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
       case Opcode::FDiv: case Opcode::FMin: case Opcode::FMax:
-        return RtVal::scalarF(
-            fbin(op.opcode, src(0).laneF(0), src(1).laneF(0)));
+        outScalarF(dest,
+                   fbin(op.opcode, src(0).laneF(0), src(1).laneF(0)));
+        return;
 
       case Opcode::FMulAdd:
-        return RtVal::scalarF(src(0).laneF(0) * src(1).laneF(0) +
-                              src(2).laneF(0));
+        outScalarF(dest, src(0).laneF(0) * src(1).laneF(0) +
+                             src(2).laneF(0));
+        return;
 
       case Opcode::Load: {
         Type t = mem.arrays()[op.ref.array].elemType;
         if (t == Type::F64)
-            return RtVal::scalarF(mem.loadF(op.ref.array, elem_base()));
-        return RtVal::scalarI(mem.loadI(op.ref.array, elem_base()));
+            outScalarF(dest, mem.loadF(op.ref.array, elem_base()));
+        else
+            outScalarI(dest, mem.loadI(op.ref.array, elem_base()));
+        return;
       }
       case Opcode::Store: {
         Type t = mem.arrays()[op.ref.array].elemType;
@@ -115,21 +181,24 @@ evalOp(const Operation &op, const std::vector<RtVal> &operands,
             mem.storeF(op.ref.array, elem_base(), src(0).laneF(0));
         else
             mem.storeI(op.ref.array, elem_base(), src(0).laneI(0));
-        return RtVal{};
+        outNone(dest);
+        return;
       }
       case Opcode::VLoad: {
         Type t = mem.arrays()[op.ref.array].elemType;
         int64_t base = elem_base();
         if (t == Type::F64) {
-            std::vector<double> lanes;
+            std::vector<double> &lanes = outVectorF(dest, vl);
             for (int l = 0; l < vl; ++l)
-                lanes.push_back(mem.loadF(op.ref.array, base + l));
-            return RtVal::vectorF(std::move(lanes));
+                lanes[static_cast<size_t>(l)] =
+                    mem.loadF(op.ref.array, base + l);
+            return;
         }
-        std::vector<int64_t> lanes;
+        std::vector<int64_t> &lanes = outVectorI(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(mem.loadI(op.ref.array, base + l));
-        return RtVal::vectorI(std::move(lanes));
+            lanes[static_cast<size_t>(l)] =
+                mem.loadI(op.ref.array, base + l);
+        return;
       }
       case Opcode::VStore: {
         const RtVal &v = src(0);
@@ -140,51 +209,62 @@ evalOp(const Operation &op, const std::vector<RtVal> &operands,
             else
                 mem.storeI(op.ref.array, base + l, v.laneI(l));
         }
-        return RtVal{};
+        outNone(dest);
+        return;
       }
 
       case Opcode::VIAdd: case Opcode::VISub: case Opcode::VIMul:
       case Opcode::VIDiv: case Opcode::VIMin: case Opcode::VIMax:
       case Opcode::VIAnd: case Opcode::VIOr: case Opcode::VIXor:
       case Opcode::VIShl: case Opcode::VIShr: {
-        std::vector<int64_t> lanes;
+        const RtVal &a = src(0);
+        const RtVal &b = src(1);
+        std::vector<int64_t> &lanes = outVectorI(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(
-                ibin(op.opcode, src(0).laneI(l), src(1).laneI(l)));
-        return RtVal::vectorI(std::move(lanes));
+            lanes[static_cast<size_t>(l)] =
+                ibin(op.opcode, a.laneI(l), b.laneI(l));
+        return;
       }
       case Opcode::VINeg: {
-        std::vector<int64_t> lanes;
+        const RtVal &a = src(0);
+        std::vector<int64_t> &lanes = outVectorI(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(-src(0).laneI(l));
-        return RtVal::vectorI(std::move(lanes));
+            lanes[static_cast<size_t>(l)] = -a.laneI(l);
+        return;
       }
       case Opcode::VFAdd: case Opcode::VFSub: case Opcode::VFMul:
       case Opcode::VFDiv: case Opcode::VFMin: case Opcode::VFMax: {
-        std::vector<double> lanes;
+        const RtVal &a = src(0);
+        const RtVal &b = src(1);
+        std::vector<double> &lanes = outVectorF(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(
-                fbin(op.opcode, src(0).laneF(l), src(1).laneF(l)));
-        return RtVal::vectorF(std::move(lanes));
+            lanes[static_cast<size_t>(l)] =
+                fbin(op.opcode, a.laneF(l), b.laneF(l));
+        return;
       }
       case Opcode::VFNeg: {
-        std::vector<double> lanes;
+        const RtVal &a = src(0);
+        std::vector<double> &lanes = outVectorF(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(-src(0).laneF(l));
-        return RtVal::vectorF(std::move(lanes));
+            lanes[static_cast<size_t>(l)] = -a.laneF(l);
+        return;
       }
       case Opcode::VFAbs: {
-        std::vector<double> lanes;
+        const RtVal &a = src(0);
+        std::vector<double> &lanes = outVectorF(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(std::fabs(src(0).laneF(l)));
-        return RtVal::vectorF(std::move(lanes));
+            lanes[static_cast<size_t>(l)] = std::fabs(a.laneF(l));
+        return;
       }
       case Opcode::VFMulAdd: {
-        std::vector<double> lanes;
+        const RtVal &a = src(0);
+        const RtVal &b = src(1);
+        const RtVal &c = src(2);
+        std::vector<double> &lanes = outVectorF(dest, vl);
         for (int l = 0; l < vl; ++l)
-            lanes.push_back(src(0).laneF(l) * src(1).laneF(l) +
-                            src(2).laneF(l));
-        return RtVal::vectorF(std::move(lanes));
+            lanes[static_cast<size_t>(l)] =
+                a.laneF(l) * b.laneF(l) + c.laneF(l);
+        return;
       }
 
       case Opcode::VMerge: {
@@ -195,53 +275,56 @@ evalOp(const Operation &op, const std::vector<RtVal> &operands,
         SV_ASSERT(op.lane >= 0 && op.lane <= vl,
                   "vmerge shift %d out of range", op.lane);
         if (a.floatData) {
-            std::vector<double> lanes;
+            std::vector<double> &lanes = outVectorF(dest, vl);
             for (int l = 0; l < vl; ++l) {
                 int idx = op.lane + l;
-                lanes.push_back(idx < vl ? a.laneF(idx)
-                                         : b.laneF(idx - vl));
+                lanes[static_cast<size_t>(l)] =
+                    idx < vl ? a.laneF(idx) : b.laneF(idx - vl);
             }
-            return RtVal::vectorF(std::move(lanes));
+            return;
         }
-        std::vector<int64_t> lanes;
+        std::vector<int64_t> &lanes = outVectorI(dest, vl);
         for (int l = 0; l < vl; ++l) {
             int idx = op.lane + l;
-            lanes.push_back(idx < vl ? a.laneI(idx)
-                                     : b.laneI(idx - vl));
+            lanes[static_cast<size_t>(l)] =
+                idx < vl ? a.laneI(idx) : b.laneI(idx - vl);
         }
-        return RtVal::vectorI(std::move(lanes));
+        return;
       }
 
       case Opcode::VSplat: {
         const RtVal &s = src(0);
-        if (s.floatData)
-            return RtVal::vectorF(
-                std::vector<double>(static_cast<size_t>(vl),
-                                    s.laneF(0)));
-        return RtVal::vectorI(
-            std::vector<int64_t>(static_cast<size_t>(vl), s.laneI(0)));
+        if (s.floatData) {
+            std::vector<double> &lanes = outVectorF(dest, vl);
+            std::fill(lanes.begin(), lanes.end(), s.laneF(0));
+            return;
+        }
+        std::vector<int64_t> &lanes = outVectorI(dest, vl);
+        std::fill(lanes.begin(), lanes.end(), s.laneI(0));
+        return;
       }
 
       case Opcode::MovSV: {
-        RtVal v;
         if (op.srcs[0] != kNoValue) {
-            v = src(0);
+            dest = src(0);
         } else {
             const RtVal &s = src(1);
-            if (s.floatData)
-                v = RtVal::vectorF(std::vector<double>(
-                    static_cast<size_t>(vl), 0.0));
-            else
-                v = RtVal::vectorI(std::vector<int64_t>(
-                    static_cast<size_t>(vl), 0));
+            if (s.floatData) {
+                std::vector<double> &lanes = outVectorF(dest, vl);
+                std::fill(lanes.begin(), lanes.end(), 0.0);
+            } else {
+                std::vector<int64_t> &lanes = outVectorI(dest, vl);
+                std::fill(lanes.begin(), lanes.end(),
+                          static_cast<int64_t>(0));
+            }
         }
         SV_ASSERT(op.lane >= 0 && op.lane < vl, "movsv lane %d",
                   op.lane);
-        if (v.floatData)
-            v.fv[static_cast<size_t>(op.lane)] = src(1).laneF(0);
+        if (dest.floatData)
+            dest.fv[static_cast<size_t>(op.lane)] = src(1).laneF(0);
         else
-            v.iv[static_cast<size_t>(op.lane)] = src(1).laneI(0);
-        return v;
+            dest.iv[static_cast<size_t>(op.lane)] = src(1).laneI(0);
+        return;
       }
       case Opcode::MovVS:
       case Opcode::VPick: {
@@ -249,34 +332,34 @@ evalOp(const Operation &op, const std::vector<RtVal> &operands,
         SV_ASSERT(op.lane >= 0 && op.lane < vl, "lane %d out of range",
                   op.lane);
         if (v.floatData)
-            return RtVal::scalarF(v.laneF(op.lane));
-        return RtVal::scalarI(v.laneI(op.lane));
+            outScalarF(dest, v.laneF(op.lane));
+        else
+            outScalarI(dest, v.laneI(op.lane));
+        return;
       }
 
-      case Opcode::XferStoreS: {
-        RtVal chan = src(0);
-        chan.type = Type::Chan;
-        return chan;
-      }
+      case Opcode::XferStoreS:
       case Opcode::XferStoreV: {
-        RtVal chan = src(0);
-        chan.type = Type::Chan;
-        return chan;
+        dest = src(0);
+        dest.type = Type::Chan;
+        return;
       }
       case Opcode::XferLoadV: {
         bool fdata = src(0).floatData;
         if (fdata) {
-            std::vector<double> lanes;
-            for (size_t i = 0; i < operands.size(); ++i)
-                lanes.push_back(src(i).laneF(0));
+            std::vector<double> &lanes =
+                outVectorF(dest, static_cast<int>(n_operands));
+            for (size_t i = 0; i < n_operands; ++i)
+                lanes[i] = src(i).laneF(0);
             SV_ASSERT(static_cast<int>(lanes.size()) == vl,
                       "xfer.loadv gathers %zu lanes", lanes.size());
-            return RtVal::vectorF(std::move(lanes));
+            return;
         }
-        std::vector<int64_t> lanes;
-        for (size_t i = 0; i < operands.size(); ++i)
-            lanes.push_back(src(i).laneI(0));
-        return RtVal::vectorI(std::move(lanes));
+        std::vector<int64_t> &lanes =
+            outVectorI(dest, static_cast<int>(n_operands));
+        for (size_t i = 0; i < n_operands; ++i)
+            lanes[i] = src(i).laneI(0);
+        return;
       }
       case Opcode::XferLoadS: {
         const RtVal &chan = src(0);
@@ -284,43 +367,72 @@ evalOp(const Operation &op, const std::vector<RtVal> &operands,
         // whole vector; extract the requested lane.
         int lane = chan.lanes() > 1 ? op.lane : 0;
         if (chan.floatData)
-            return RtVal::scalarF(chan.laneF(lane));
-        return RtVal::scalarI(chan.laneI(lane));
+            outScalarF(dest, chan.laneF(lane));
+        else
+            outScalarI(dest, chan.laneI(lane));
+        return;
       }
 
       case Opcode::VPack: {
         bool fdata = src(0).floatData;
         if (fdata) {
-            std::vector<double> lanes;
-            for (size_t i = 0; i < operands.size(); ++i)
-                lanes.push_back(src(i).laneF(0));
-            return RtVal::vectorF(std::move(lanes));
+            std::vector<double> &lanes =
+                outVectorF(dest, static_cast<int>(n_operands));
+            for (size_t i = 0; i < n_operands; ++i)
+                lanes[i] = src(i).laneF(0);
+            return;
         }
-        std::vector<int64_t> lanes;
-        for (size_t i = 0; i < operands.size(); ++i)
-            lanes.push_back(src(i).laneI(0));
-        return RtVal::vectorI(std::move(lanes));
+        std::vector<int64_t> &lanes =
+            outVectorI(dest, static_cast<int>(n_operands));
+        for (size_t i = 0; i < n_operands; ++i)
+            lanes[i] = src(i).laneI(0);
+        return;
       }
 
       case Opcode::ICmpLt:
-        return RtVal::scalarI(src(0).laneI(0) < src(1).laneI(0) ? 1
-                                                                : 0);
+        outScalarI(dest,
+                   src(0).laneI(0) < src(1).laneI(0) ? 1 : 0);
+        return;
       case Opcode::FCmpLt:
-        return RtVal::scalarI(src(0).laneF(0) < src(1).laneF(0) ? 1
-                                                                : 0);
+        outScalarI(dest,
+                   src(0).laneF(0) < src(1).laneF(0) ? 1 : 0);
+        return;
 
       case Opcode::ExitIf:
         // The exit decision is the executor's business; as a pure
         // operation it produces nothing.
-        return RtVal{};
+        outNone(dest);
+        return;
 
       case Opcode::Br:
       case Opcode::Nop:
-        return RtVal{};
+        outNone(dest);
+        return;
 
       default:
         SV_PANIC("evalOp: unhandled opcode %s", opName(op.opcode));
     }
+}
+
+RtVal
+evalOp(const Operation &op, const std::vector<RtVal> &operands,
+       int64_t iter, int vl, MemoryImage &mem)
+{
+    const RtVal *ptrs_buf[8];
+    std::vector<const RtVal *> ptrs_heap;
+    const RtVal *const *ptrs = ptrs_buf;
+    if (operands.size() > 8) {
+        ptrs_heap.reserve(operands.size());
+        for (const RtVal &v : operands)
+            ptrs_heap.push_back(&v);
+        ptrs = ptrs_heap.data();
+    } else {
+        for (size_t i = 0; i < operands.size(); ++i)
+            ptrs_buf[i] = &operands[i];
+    }
+    RtVal result;
+    evalOpInto(result, op, ptrs, operands.size(), iter, vl, mem);
+    return result;
 }
 
 } // namespace selvec

@@ -4,6 +4,12 @@
  * shared by the sequential reference interpreter and the pipelined
  * executor, so the two can never diverge on what an operation *means* —
  * only on when it runs.
+ *
+ * Two entry points share one implementation: evalOpInto() writes the
+ * result into a caller-owned RtVal in place (the streaming executor's
+ * allocation-free path — lane vectors keep their capacity across
+ * reuses), and evalOp() is the by-value convenience wrapper the dense
+ * reference path uses.
  */
 
 #ifndef SELVEC_SIM_SEMANTICS_HH
@@ -15,6 +21,23 @@
 
 namespace selvec
 {
+
+/**
+ * Evaluate one operation into `dest`.
+ *
+ * @param dest receives the produced value (type None for
+ *        stores/branches); must not alias any operand
+ * @param op the operation
+ * @param operands pointers to the runtime values of op.srcs (entries
+ *        for kNoValue operands are ignored but must be non-null)
+ * @param n_operands number of entries in `operands`
+ * @param iter absolute iteration index for memory-reference evaluation
+ * @param vl the machine's vector length
+ * @param mem simulated memory (read and written)
+ */
+void evalOpInto(RtVal &dest, const Operation &op,
+                const RtVal *const *operands, size_t n_operands,
+                int64_t iter, int vl, MemoryImage &mem);
 
 /**
  * Evaluate one operation.

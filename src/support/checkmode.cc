@@ -12,33 +12,53 @@ namespace
 
 /** -1: not yet resolved from the environment; 0/1: resolved. */
 std::atomic<int> g_check{-1};
+std::atomic<int> g_check_sim{-1};
+
+/** Resolve one tri-state flag from its environment variable. */
+int
+resolveFlag(std::atomic<int> &flag, const char *var)
+{
+    int state = flag.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char *env = std::getenv(var);
+        state = env != nullptr && std::string(env) != "0" &&
+                        std::string(env) != ""
+                    ? 1
+                    : 0;
+        // Racing first calls resolve to the same value; the exchange
+        // only keeps later setter wins intact.
+        int expected = -1;
+        flag.compare_exchange_strong(expected, state,
+                                     std::memory_order_relaxed);
+        state = flag.load(std::memory_order_relaxed);
+    }
+    return state;
+}
 
 } // anonymous namespace
 
 bool
 checkIncrementalEnabled()
 {
-    int state = g_check.load(std::memory_order_relaxed);
-    if (state < 0) {
-        const char *env = std::getenv("SELVEC_CHECK_INCREMENTAL");
-        state = env != nullptr && std::string(env) != "0" &&
-                        std::string(env) != ""
-                    ? 1
-                    : 0;
-        // Racing first calls resolve to the same value; the exchange
-        // only keeps later setCheckIncremental() wins intact.
-        int expected = -1;
-        g_check.compare_exchange_strong(expected, state,
-                                        std::memory_order_relaxed);
-        state = g_check.load(std::memory_order_relaxed);
-    }
-    return state == 1;
+    return resolveFlag(g_check, "SELVEC_CHECK_INCREMENTAL") == 1;
 }
 
 void
 setCheckIncremental(bool enabled)
 {
     g_check.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+checkSimEnabled()
+{
+    return resolveFlag(g_check_sim, "SELVEC_CHECK_SIM") == 1;
+}
+
+void
+setCheckSim(bool enabled)
+{
+    g_check_sim.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 } // namespace selvec

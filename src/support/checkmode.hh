@@ -1,6 +1,6 @@
 /**
  * @file
- * The SELVEC_CHECK_INCREMENTAL debug/CI mode.
+ * The SELVEC_CHECK_INCREMENTAL and SELVEC_CHECK_SIM debug/CI modes.
  *
  * The hot paths maintain derived state incrementally (the
  * partitioner's delta-replayed commits, the scheduler's MRT occupancy
@@ -10,8 +10,16 @@
  * replaced and the process dies on the first divergence — the mode CI
  * and the `hotpath` test label run to prove the fast paths are exact.
  *
- * The flag is resolved from the environment on first query and cached;
- * tests flip it deterministically through setCheckIncremental().
+ * SELVEC_CHECK_SIM is the same contract for the simulator: with it
+ * set, the streaming pipelined executor cross-checks every executed
+ * op instance — operand values, readiness, store-suppression
+ * decisions, exit state, and the final observable outputs — against
+ * the dense reference engine run in lockstep, and dies on the first
+ * divergence (the mode the `simspeed` CI lane runs under).
+ *
+ * Each flag is resolved from the environment on first query and
+ * cached; tests flip them deterministically through
+ * setCheckIncremental() / setCheckSim().
  */
 
 #ifndef SELVEC_SUPPORT_CHECKMODE_HH
@@ -26,6 +34,14 @@ bool checkIncrementalEnabled();
 
 /** Force the mode on or off, overriding the environment (tests). */
 void setCheckIncremental(bool enabled);
+
+/** True when the streaming executor cross-checks every instance
+ *  against the dense reference. Cheap after the first call. */
+bool checkSimEnabled();
+
+/** Force simulator cross-checking on or off, overriding the
+ *  environment (tests). */
+void setCheckSim(bool enabled);
 
 } // namespace selvec
 

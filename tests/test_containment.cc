@@ -346,6 +346,45 @@ TEST(DeadlineTrip, SchedulerHangIsContainedByTheDeadline)
     EXPECT_EQ(program.status().code(), ErrorCode::DeadlineExceeded);
 }
 
+TEST(DeadlineTrip, SequentialPollCadenceStillLandsTheTrip)
+{
+    // The sequential engine polls the ambient deadline once per 1024
+    // op instances, not per instance: the trip must still land both
+    // below the cadence (the poll fires on instance 0) and far above
+    // it (the poll keeps firing across the run).
+    Module module = parseLirOrDie(kDotProduct);
+    MemoryImage mem(module.arrays);
+    mem.fillPattern(1);
+    LiveEnv env;
+    env["s0"] = RtVal::scalarF(0.0);
+
+    ScopedDeadline guard(Deadline::afterMs(0));
+    for (int64_t n_body : {int64_t{4}, int64_t{4000}}) {
+        Expected<RunOutput> run =
+            tryExecuteLoop(module.arrays, module.loops.front(),
+                           toyMachine(), mem, env, n_body);
+        ASSERT_FALSE(run.ok()) << "n_body " << n_body;
+        EXPECT_EQ(run.status().code(), ErrorCode::DeadlineExceeded);
+        EXPECT_EQ(run.status().stage(), "sim");
+    }
+}
+
+TEST(DeadlineTrip, SequentialRunWithoutLimitsNeverPolls)
+{
+    // executeLoop (no limits) must stay deadline-free: an expired
+    // ambient deadline does not abort an unbounded reference run.
+    Module module = parseLirOrDie(kDotProduct);
+    MemoryImage mem(module.arrays);
+    mem.fillPattern(1);
+    LiveEnv env;
+    env["s0"] = RtVal::scalarF(0.0);
+
+    ScopedDeadline guard(Deadline::afterMs(0));
+    RunOutput out = executeLoop(module.arrays, module.loops.front(),
+                                toyMachine(), mem, env, 2000);
+    EXPECT_EQ(out.bodyIterations, 2000);
+}
+
 // ---------------------------------------------------------------------
 // The simulator cycle watchdog.
 

@@ -74,11 +74,12 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         r = run_on(copy.deepcopy(pristine), tmp)
     check("pristine workflow passes",
-          r.returncode == 0 and "all nine contract lanes" in r.stdout)
+          r.returncode == 0 and "all ten contract lanes" in r.stdout)
 
     for lane in ("build-test", "sanitize", "tsan", "format",
                  "bench-smoke", "perf-smoke", "fuzz-smoke",
-                 "cache-persist", "optgap", "fuzz-extended"):
+                 "cache-persist", "optgap", "sim-speed",
+                 "fuzz-extended"):
         check_rejects(f"dropping {lane} is rejected",
                       lambda doc, lane=lane: doc["jobs"].pop(lane),
                       f"required job missing: {lane}")
@@ -151,6 +152,29 @@ def main():
                                 "BENCH_optgap.json",
                                 "BENCH_other.json"),
         "BENCH_optgap.json")
+
+    check_rejects(
+        "sim-speed without its ctest label is rejected",
+        lambda doc: patch_steps(doc["jobs"]["sim-speed"],
+                                "-L simspeed", "-L hotpath"),
+        "simspeed ctest label")
+    check_rejects(
+        "sim-speed without the counter gate is rejected",
+        lambda doc: patch_steps(doc["jobs"]["sim-speed"],
+                                "BENCH_simspeed.json",
+                                "BENCH_other.json"),
+        "BENCH_simspeed.json")
+
+    def drop_sim_shadow(doc):
+        hits = 0
+        for step in doc["jobs"]["sim-speed"]["steps"]:
+            if "SELVEC_CHECK_SIM" in str(step.get("env", "")):
+                step.pop("env")
+                hits += 1
+        assert hits > 0, "no sim-speed step carries SELVEC_CHECK_SIM"
+    check_rejects(
+        "sim-speed without the lockstep shadow run is rejected",
+        drop_sim_shadow, "SELVEC_CHECK_SIM")
 
     def drop_cache_artifact(doc):
         steps = doc["jobs"]["cache-persist"]["steps"]

@@ -3,7 +3,7 @@
 
 Usage: validate_ci.py [path/to/ci.yml]
 
-Checks that the workflow parses as YAML and still carries the nine
+Checks that the workflow parses as YAML and still carries the ten
 contract lanes — build-test (gcc/clang x Release/Debug), sanitize
 (fuzzish label under ASan/UBSan), tsan (parallel + fuzzish +
 cachedisk labels under ThreadSanitizer), format, bench-smoke
@@ -15,10 +15,14 @@ deadline-bounded selvec_fuzz sweep with --repro-dir and
 --replay-check, and the on-failure repro-bundle artifact upload),
 cache-persist (cachedisk label, cold/warm --cache-dir runs compared
 byte-for-byte, the warm disk-hit and corrupt-entry stderr
-assertions, and the cache-directory artifact upload) and optgap
+assertions, and the cache-directory artifact upload), optgap
 (the optgap ctest label — KL-vs-exact differentials plus the strict
 CLI-parsing regressions — then bench_optgap artifact upload and the
-exact-counter gate against BENCH_optgap.json) — so a refactor of
+exact-counter gate against BENCH_optgap.json) and sim-speed (the
+simspeed ctest label — streaming-vs-dense differentials plus the
+simdiff fuzz sweep — then the full suite under the SELVEC_CHECK_SIM
+lockstep shadow, bench_simspeed artifact upload and the
+exact-counter gate against BENCH_simspeed.json) — so a refactor of
 the workflow cannot silently drop one.
 
 Beyond the lanes it pins the operational contract: every job must
@@ -76,7 +80,7 @@ def main():
 
     for required in ("build-test", "sanitize", "tsan", "format",
                      "bench-smoke", "perf-smoke", "fuzz-smoke",
-                     "cache-persist", "optgap"):
+                     "cache-persist", "optgap", "sim-speed"):
         if required not in jobs:
             fail(f"required job missing: {required}")
 
@@ -205,7 +209,24 @@ def main():
     if "--counters" not in optgap or "BENCH_optgap.json" not in optgap:
         fail("optgap must gate counters against BENCH_optgap.json")
 
-    print(f"ok: {os.path.relpath(path)} has all nine contract lanes")
+    sim = steps_text("sim-speed")
+    if "-L simspeed" not in sim:
+        fail("sim-speed must run the simspeed ctest label")
+    if "bench_simspeed" not in sim:
+        fail("sim-speed must run bench_simspeed")
+    if "upload-artifact" not in sim:
+        fail("sim-speed must upload the simspeed JSON artifact")
+    if "--counters" not in sim or "BENCH_simspeed.json" not in sim:
+        fail("sim-speed must gate counters against BENCH_simspeed.json")
+    # The full-suite shadow run is the lane's whole point: every
+    # streaming op instance cross-checked against the dense engine.
+    sim_env = "\n".join(
+        str(step.get("env", ""))
+        for step in jobs["sim-speed"].get("steps", []))
+    if "SELVEC_CHECK_SIM" not in sim_env:
+        fail("sim-speed must run the suite under SELVEC_CHECK_SIM")
+
+    print(f"ok: {os.path.relpath(path)} has all ten contract lanes")
 
 
 if __name__ == "__main__":
